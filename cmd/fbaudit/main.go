@@ -1,0 +1,56 @@
+// Command fbaudit reproduces Table 2 of the paper: it audits the encoded
+// FQL and Graph-API documentation for the 42 corresponding User-attribute
+// views and prints the inconsistencies, including the experimentally-
+// determined correct labeling.
+//
+// Usage:
+//
+//	fbaudit [-all]
+//
+// With -all, the consistent attributes are listed as well.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/fb"
+)
+
+func main() {
+	all := flag.Bool("all", false, "also list the consistent attributes")
+	flag.Parse()
+
+	fqlDocs := fb.FQLDocs()
+	graphDocs := fb.GraphDocs()
+	incs := fb.Audit(fqlDocs, graphDocs, fb.GroundTruth())
+
+	fmt.Printf("Reviewed %d corresponding views over the User table.\n", fb.ReviewedViewCount())
+	fmt.Printf("Found %d inconsistencies between the FQL and Graph API documentation (paper Table 2):\n\n", len(incs))
+	fmt.Print(fb.RenderTable(incs))
+
+	if *all {
+		fmt.Printf("\nConsistently documented attributes (%d):\n", fb.ReviewedViewCount()-len(incs))
+		inconsistent := make(map[string]bool, len(incs))
+		for _, inc := range incs {
+			inconsistent[inc.Attribute] = true
+		}
+		var names []string
+		for a := range fqlDocs {
+			if !inconsistent[a] {
+				names = append(names, a)
+			}
+		}
+		sort.Strings(names)
+		for _, a := range names {
+			fmt.Printf("  %-28s %s\n", a, fqlDocs[a])
+		}
+	}
+
+	if len(incs) != 6 {
+		fmt.Fprintf(os.Stderr, "warning: expected 6 inconsistencies per the paper, found %d\n", len(incs))
+		os.Exit(1)
+	}
+}

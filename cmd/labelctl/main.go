@@ -1,0 +1,272 @@
+// Command labelctl labels conjunctive queries against a security-view
+// catalog and checks them against policies from the command line — the
+// paper's workflow (Figure 2) as a tool.
+//
+// Usage:
+//
+//	labelctl -schema schema.txt -views views.txt label "Q(x) :- Meetings(x, 'Cathy')"
+//	labelctl -schema schema.txt -views views.txt -policy policy.txt check QUERY...
+//	labelctl -fb label "SELECT name FROM user WHERE uid = me()" -fql
+//
+// File formats:
+//
+//	schema: one relation per line, e.g.  Meetings(time, person)
+//	views:  one datalog view per line, e.g.  V2(t) :- Meetings(t, p)
+//	policy: one partition per line, e.g.  W1: V1 V2
+//
+// With -fb the built-in Facebook schema and catalog (Section 7.2) are used;
+// -config loads a JSON configuration (schema + views + per-principal
+// policies; see internal/store); -fql parses queries as FQL-style SQL
+// instead of datalog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/fb"
+	"repro/internal/fql"
+	"repro/internal/label"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+func main() {
+	configPath := flag.String("config", "", "JSON config file (schema + views + policies; see internal/store)")
+	principal := flag.String("principal", "", "with -config: use this principal's policy for check/explain")
+	schemaPath := flag.String("schema", "", "schema file (one relation per line)")
+	viewsPath := flag.String("views", "", "security views file (one datalog view per line)")
+	policyPath := flag.String("policy", "", "policy file (one partition per line: NAME: view view ...)")
+	useFB := flag.Bool("fb", false, "use the built-in Facebook schema and catalog")
+	useFQL := flag.Bool("fql", false, "parse queries as FQL-style SQL")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	verb, args := args[0], args[1:]
+
+	var sch *schema.Schema
+	var cat *label.Catalog
+	var configPolicies map[string]*policy.Policy
+	var err error
+	if *configPath != "" {
+		sch, cat, configPolicies, err = loadConfig(*configPath)
+	} else {
+		sch, cat, err = loadCatalog(*useFB, *schemaPath, *viewsPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	labeler := label.NewLabeler(cat)
+	pickPolicy := func() (*policy.Policy, error) {
+		if *configPath != "" && *principal != "" {
+			p, ok := configPolicies[*principal]
+			if !ok {
+				return nil, fmt.Errorf("config has no policy for principal %q", *principal)
+			}
+			return p, nil
+		}
+		if *policyPath == "" {
+			return nil, fmt.Errorf("need -policy FILE (or -config with -principal)")
+		}
+		return loadPolicy(cat, *policyPath)
+	}
+
+	parse := func(i int, src string) (*cq.Query, error) {
+		if *useFQL {
+			return fql.Compile(sch, fmt.Sprintf("Q%d", i+1), src)
+		}
+		return cq.ParseQuery(src)
+	}
+
+	switch verb {
+	case "label":
+		if len(args) == 0 {
+			usage()
+		}
+		for i, src := range args {
+			q, err := parse(i, src)
+			if err != nil {
+				fatal(err)
+			}
+			lbl, err := labeler.Label(q)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("query:  %s\n", q)
+			fmt.Printf("tagged: %s\n", q.TaggedString())
+			fmt.Printf("label:  %s\n", lbl.Render(cat))
+			if lbl.HasTop() {
+				fmt.Println("note:   some atom is not determined by any security view (⊤); no view-based policy can admit this query")
+			}
+			if i < len(args)-1 {
+				fmt.Println()
+			}
+		}
+	case "check":
+		if len(args) == 0 {
+			usage()
+		}
+		pol, err := pickPolicy()
+		if err != nil {
+			fatal(err)
+		}
+		qm := policy.NewQueryMonitor(labeler, pol)
+		refused := 0
+		for i, src := range args {
+			q, err := parse(i, src)
+			if err != nil {
+				fatal(err)
+			}
+			dec, err := qm.Submit(q)
+			if err != nil {
+				fatal(err)
+			}
+			verdict := "ALLOWED"
+			if !dec.Allowed {
+				verdict = "REFUSED"
+				refused++
+			}
+			fmt.Printf("%-8s %s  (live partitions: %s)\n", verdict, q, strings.Join(dec.Live, ", "))
+		}
+		if refused > 0 {
+			os.Exit(2)
+		}
+	case "explain":
+		pol, err := pickPolicy()
+		if err != nil {
+			fatal(err)
+		}
+		qm := policy.NewQueryMonitor(labeler, pol)
+		for i, src := range args {
+			q, err := parse(i, src)
+			if err != nil {
+				fatal(err)
+			}
+			out, err := qm.Explain(q)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+		}
+	case "views":
+		for _, v := range cat.Views() {
+			fmt.Println(v)
+		}
+	default:
+		usage()
+	}
+}
+
+func loadConfig(path string) (*schema.Schema, *label.Catalog, map[string]*policy.Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	cfg, err := store.Load(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return cfg.Build()
+}
+
+func loadCatalog(useFB bool, schemaPath, viewsPath string) (*schema.Schema, *label.Catalog, error) {
+	if useFB {
+		cat, err := fb.Catalog()
+		if err != nil {
+			return nil, nil, err
+		}
+		return fb.Schema(), cat, nil
+	}
+	if schemaPath == "" || viewsPath == "" {
+		return nil, nil, fmt.Errorf("need -schema and -views (or -fb)")
+	}
+	sch, err := loadSchema(schemaPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(viewsPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	views, err := cq.ParseProgram(string(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	cat, err := label.NewCatalog(sch, views...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sch, cat, nil
+}
+
+func loadSchema(path string) (*schema.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rels []*schema.Relation
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		open := strings.IndexByte(line, '(')
+		close := strings.LastIndexByte(line, ')')
+		if open < 0 || close < open {
+			return nil, fmt.Errorf("%s:%d: expected Rel(attr, ...), got %q", path, ln+1, line)
+		}
+		name := strings.TrimSpace(line[:open])
+		var attrs []string
+		for _, a := range strings.Split(line[open+1:close], ",") {
+			attrs = append(attrs, strings.TrimSpace(a))
+		}
+		r, err := schema.NewRelation(name, attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, ln+1, err)
+		}
+		rels = append(rels, r)
+	}
+	return schema.New(rels...)
+}
+
+func loadPolicy(cat *label.Catalog, path string) (*policy.Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	parts := make(map[string][]string)
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: expected NAME: view view ..., got %q", path, ln+1, line)
+		}
+		parts[strings.TrimSpace(name)] = strings.Fields(rest)
+	}
+	return policy.New(cat, parts)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  labelctl [-fb | -schema FILE -views FILE | -config FILE] [-fql] label QUERY...
+  labelctl ... [-policy FILE | -config FILE -principal NAME] check QUERY...
+  labelctl ... [-policy FILE | -config FILE -principal NAME] explain QUERY...
+  labelctl [-fb | -schema FILE -views FILE | -config FILE] views`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "labelctl:", err)
+	os.Exit(1)
+}

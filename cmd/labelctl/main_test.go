@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadSchema(t *testing.T) {
+	dir := t.TempDir()
+	p := write(t, dir, "schema.txt", `
+# Alice's data
+Meetings(time, person)
+Contacts(person, email, position)
+`)
+	s, err := loadSchema(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Relation("Meetings").Arity() != 2 {
+		t.Errorf("schema = %v", s)
+	}
+}
+
+func TestLoadSchemaErrors(t *testing.T) {
+	dir := t.TempDir()
+	for _, content := range []string{
+		"Meetings time, person",
+		"Meetings(time, time)",
+		"(a, b)",
+	} {
+		p := write(t, dir, "bad.txt", content)
+		if _, err := loadSchema(p); err == nil {
+			t.Errorf("loadSchema(%q) succeeded, want error", content)
+		}
+	}
+	if _, err := loadSchema(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadCatalogAndPolicy(t *testing.T) {
+	dir := t.TempDir()
+	sp := write(t, dir, "schema.txt", "Meetings(time, person)\nContacts(person, email, position)\n")
+	vp := write(t, dir, "views.txt", `
+V1(t, p) :- Meetings(t, p)
+V2(t) :- Meetings(t, p)
+V3(p, e, r) :- Contacts(p, e, r)
+`)
+	sch, cat, err := loadCatalog(false, sp, vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Len() != 2 || cat.Len() != 3 {
+		t.Errorf("schema %d relations, catalog %d views", sch.Len(), cat.Len())
+	}
+
+	pp := write(t, dir, "policy.txt", `
+# either relation, not both
+W1: V1 V2
+W2: V3
+`)
+	pol, err := loadPolicy(cat, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Len() != 2 {
+		t.Errorf("policy has %d partitions", pol.Len())
+	}
+
+	// Errors.
+	if _, _, err := loadCatalog(false, "", ""); err == nil {
+		t.Error("missing paths accepted")
+	}
+	badPolicy := write(t, dir, "bad-policy.txt", "no-colon-here")
+	if _, err := loadPolicy(cat, badPolicy); err == nil {
+		t.Error("malformed policy accepted")
+	}
+	unknownView := write(t, dir, "unk.txt", "W1: NoSuchView")
+	if _, err := loadPolicy(cat, unknownView); err == nil {
+		t.Error("unknown view in policy accepted")
+	}
+}
+
+func TestLoadCatalogFB(t *testing.T) {
+	sch, cat, err := loadCatalog(true, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Relation("user") == nil || cat.ViewByName("user_birthday") == nil {
+		t.Error("facebook catalog incomplete")
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	p := write(t, dir, "config.json", `{
+  "schema": [
+    {"name": "Meetings", "attrs": ["time", "person"]},
+    {"name": "Contacts", "attrs": ["person", "email", "position"]}
+  ],
+  "views": [
+    "V1(t, p) :- Meetings(t, p)",
+    "V2(t) :- Meetings(t, p)"
+  ],
+  "policies": {"app": {"times": ["V2"]}}
+}`)
+	sch, cat, pols, err := loadConfig(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Len() != 2 || cat.Len() != 2 || len(pols) != 1 {
+		t.Errorf("loaded %d relations, %d views, %d policies", sch.Len(), cat.Len(), len(pols))
+	}
+	if _, _, _, err := loadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing config accepted")
+	}
+	bad := write(t, dir, "bad.json", "{")
+	if _, _, _, err := loadConfig(bad); err == nil {
+		t.Error("malformed config accepted")
+	}
+}

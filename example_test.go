@@ -1,0 +1,99 @@
+package disclosure_test
+
+import (
+	"fmt"
+
+	disclosure "repro"
+)
+
+// Example reproduces the paper's Section 1.1 scenario end to end: Alice
+// permits only her meeting time slots (V2), and the labeler-backed
+// reference monitor admits or refuses app queries accordingly.
+func Example() {
+	s := disclosure.MustSchema(
+		disclosure.MustRelation("Meetings", "time", "person"),
+		disclosure.MustRelation("Contacts", "person", "email", "position"),
+	)
+	sys, _ := disclosure.NewSystem(s,
+		disclosure.MustParse("V1(t, p) :- Meetings(t, p)"),
+		disclosure.MustParse("V2(t) :- Meetings(t, p)"),
+		disclosure.MustParse("V3(p, e, r) :- Contacts(p, e, r)"),
+	)
+	db := sys.Database()
+	db.MustInsert("Meetings", "10", "Cathy")
+	sys.SetPolicy("app", map[string][]string{"times-only": {"V2"}})
+
+	busy, _, _ := sys.Submit("app", disclosure.MustParse("Busy(t) :- Meetings(t, p)"))
+	q1, _, _ := sys.Submit("app", disclosure.MustParse("Q1(t) :- Meetings(t, 'Cathy')"))
+	fmt.Println(busy.Allowed, q1.Allowed)
+	// Output: true false
+}
+
+// ExampleNewLabeler shows raw disclosure labeling: the label names the
+// security views needed to answer each query (Figure 1 of the paper).
+func ExampleNewLabeler() {
+	s := disclosure.MustSchema(
+		disclosure.MustRelation("Meetings", "time", "person"),
+		disclosure.MustRelation("Contacts", "person", "email", "position"),
+	)
+	cat, _ := disclosure.NewCatalog(s,
+		disclosure.MustParse("V1(t, p) :- Meetings(t, p)"),
+		disclosure.MustParse("V2(t) :- Meetings(t, p)"),
+		disclosure.MustParse("V3(p, e, r) :- Contacts(p, e, r)"),
+	)
+	l := disclosure.NewLabeler(cat)
+
+	q2 := disclosure.MustParse("Q2(t) :- Meetings(t, p), Contacts(p, e, 'Intern')")
+	lbl, _ := l.Label(q2)
+	fmt.Println(lbl.Render(cat))
+	// Output: {V1} ⊗ {V3}
+}
+
+// ExampleDissect shows Example 5.4 of the paper: folding plus splitting
+// with join-variable promotion.
+func ExampleDissect() {
+	q := disclosure.MustParse("Q2(x) :- M(x, y), C(y, w, 'Intern')")
+	atoms, _ := disclosure.Dissect(q)
+	for _, a := range atoms {
+		fmt.Println(a.TaggedString())
+	}
+	// Output:
+	// [M(x_d, y_d)]
+	// [C(y_d, w_e, 'Intern')]
+}
+
+// ExampleCompileFQL compiles FQL-style SQL — how 2013-era Facebook apps
+// asked queries — into a conjunctive query ready for labeling.
+func ExampleCompileFQL() {
+	s := disclosure.MustSchema(
+		disclosure.MustRelation("user", "uid", "name", "birthday"),
+		disclosure.MustRelation("friend", "uid", "uid2"),
+	)
+	q, _ := disclosure.CompileFQL(s, "FriendBirthdays",
+		"SELECT birthday FROM user WHERE uid IN (SELECT uid2 FROM friend WHERE uid = me())")
+	fmt.Println(len(q.Body), "atoms")
+	// Output: 2 atoms
+}
+
+// ExampleNewMonitor demonstrates the Chinese-Wall policy of Example 6.2:
+// after touching Contacts, Meetings is walled off.
+func ExampleNewMonitor() {
+	s := disclosure.MustSchema(
+		disclosure.MustRelation("M", "time", "person"),
+		disclosure.MustRelation("C", "person", "email", "position"),
+	)
+	cat, _ := disclosure.NewCatalog(s,
+		disclosure.MustParse("V1(t, p) :- M(t, p)"),
+		disclosure.MustParse("V3(p, e, r) :- C(p, e, r)"),
+	)
+	pol, _ := disclosure.NewPolicy(cat, map[string][]string{
+		"W1": {"V1"},
+		"W2": {"V3"},
+	})
+	qm := disclosure.NewQueryMonitor(disclosure.NewLabeler(cat), pol)
+
+	d1, _ := qm.Submit(disclosure.MustParse("Q(p, e) :- C(p, e, r)"))
+	d2, _ := qm.Submit(disclosure.MustParse("Q(t) :- M(t, p)"))
+	fmt.Println(d1.Allowed, d2.Allowed)
+	// Output: true false
+}

@@ -1,0 +1,88 @@
+// Calendar: the mobile-app scenario from the paper's introduction.
+//
+// In 2012 LinkedIn's iOS app was found to transmit users' calendar entries
+// — including meeting notes — to LinkedIn's servers (the paper's footnote
+// 1). This example shows how a disclosure-labeling reference monitor on the
+// device makes the difference between "the app can see when you are busy"
+// and "the app can read your meeting notes" precise and enforceable.
+//
+// Two apps run against the same calendar: a networking app that was granted
+// attendee names, and a widget that was granted free/busy times only. The
+// same over-reaching query is admitted for one and refused for the other.
+//
+// Run with: go run ./examples/calendar
+package main
+
+import (
+	"fmt"
+	"log"
+
+	disclosure "repro"
+)
+
+func main() {
+	s := disclosure.MustSchema(
+		disclosure.MustRelation("Calendar", "slot", "attendee", "notes"),
+		disclosure.MustRelation("Profile", "attendee", "employer"),
+	)
+	sys, err := disclosure.NewSystem(s,
+		// The device's security-view vocabulary for the calendar.
+		disclosure.MustParse("busy(s) :- Calendar(s, a, n)"),
+		disclosure.MustParse("attendees(s, a) :- Calendar(s, a, n)"),
+		disclosure.MustParse("full_calendar(s, a, n) :- Calendar(s, a, n)"),
+		disclosure.MustParse("profiles(a, e) :- Profile(a, e)"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sys.Database()
+	db.MustInsert("Calendar", "Mon 9am", "Dana", "discuss merger terms")
+	db.MustInsert("Calendar", "Mon 1pm", "Raj", "1:1")
+	db.MustInsert("Calendar", "Tue 10am", "Dana", "board prep")
+	db.MustInsert("Profile", "Dana", "Acme Corp")
+	db.MustInsert("Profile", "Raj", "Initech")
+
+	// The widget sees busy/free only; the networking app may correlate
+	// attendees with public profiles but must never read notes.
+	if err := sys.SetPolicy("widget", map[string][]string{
+		"w": {"busy"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SetPolicy("networker", map[string][]string{
+		"w": {"attendees", "profiles"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		"Busy(s) :- Calendar(s, a, n)",
+		"Who(s, a) :- Calendar(s, a, n)",
+		"Employers(s, e) :- Calendar(s, a, n), Profile(a, e)",
+		// The LinkedIn query: ship the notes home.
+		"Leak(s, a, n) :- Calendar(s, a, n)",
+	}
+	for _, app := range []string{"widget", "networker"} {
+		fmt.Printf("--- app %q ---\n", app)
+		for _, src := range queries {
+			q := disclosure.MustParse(src)
+			lbl, err := sys.Label(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dec, rows, err := sys.Submit(app, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			verdict := "REFUSED"
+			if dec.Allowed {
+				verdict = "ALLOWED"
+			}
+			fmt.Printf("%-8s %-52s label %s\n", verdict, src, lbl.Render(sys.Catalog()))
+			if dec.Allowed && len(rows) > 0 {
+				fmt.Printf("         first answer: %v\n", rows[0])
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,79 @@
+// Chinese Wall: the stateful policy of Examples 6.2 and 6.3.
+//
+// A consulting app may access either the Meetings relation or the Contacts
+// relation, but never both — the classic Chinese Wall policy (Brewer and
+// Nash). The policy has two partitions, W1 = {V1} and W2 = {V3}; the
+// reference monitor tracks which partitions remain consistent with the
+// whole query history using one bit per partition, so the decision for the
+// n-th query never re-examines queries 1..n-1.
+//
+// Run with: go run ./examples/chinesewall
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	disclosure "repro"
+)
+
+func main() {
+	s := disclosure.MustSchema(
+		disclosure.MustRelation("M", "time", "person"),
+		disclosure.MustRelation("C", "person", "email", "position"),
+	)
+	sys, err := disclosure.NewSystem(s,
+		disclosure.MustParse("V1(t, p) :- M(t, p)"),
+		disclosure.MustParse("V2(t) :- M(t, p)"),
+		disclosure.MustParse("V3(p, e, r) :- C(p, e, r)"),
+		disclosure.MustParse("V6(p, e) :- C(p, e, r)"),
+		disclosure.MustParse("V7(p, r) :- C(p, e, r)"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sys.Database()
+	db.MustInsert("M", "9", "Jim")
+	db.MustInsert("C", "Jim", "jim@e.com", "Manager")
+	db.MustInsert("C", "Cathy", "cathy@e.com", "Intern")
+
+	// Either all of Meetings, or all of Contacts — never both.
+	if err := sys.SetPolicy("consultant", map[string][]string{
+		"W1-meetings": {"V1"},
+		"W2-contacts": {"V3"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The session from Example 6.2: V6, then V7, then V2.
+	session := []string{
+		"Q6(p, e) :- C(p, e, r)",     // contacts projection → allowed, retires W1
+		"Q7(p, r) :- C(p, e, r)",     // another contacts projection → still allowed
+		"Q2(t) :- M(t, p)",           // meetings → refused: the wall is up
+		"Q3(p) :- C(p, e, 'Intern')", // contacts again → allowed
+	}
+	for i, src := range session {
+		q := disclosure.MustParse(src)
+		dec, rows, err := sys.Submit("consultant", q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "REFUSED"
+		if dec.Allowed {
+			verdict = "ALLOWED"
+		}
+		fmt.Printf("step %d: %-8s %-35s live partitions: {%s}\n",
+			i+1, verdict, src, strings.Join(dec.Live, ", "))
+		if dec.Allowed {
+			fmt.Printf("                 answers: %v\n", rows)
+		}
+	}
+
+	fmt.Println()
+	out, err := sys.Explain("consultant", disclosure.MustParse("Q(t, p) :- M(t, p)"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,155 @@
+// Facebook: the app-ecosystem case study of Section 7.
+//
+// This example wires the reconstructed Facebook schema and permission
+// catalog (eight relations, User with 34 attributes, the 16-view User
+// generating set) into a full System, loads a small social graph, and runs
+// three apps with different permission grants — including FQL queries
+// compiled through the fql front end, exactly how 2013-era apps talked to
+// the platform.
+//
+// It also demonstrates overprivilege detection (Section 2.2): an app that
+// requested more permissions than its queries need is flagged.
+//
+// Run with: go run ./examples/facebook
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	disclosure "repro"
+	"repro/internal/fb"
+)
+
+func main() {
+	s := fb.Schema()
+	views, err := fb.SecurityViews(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := disclosure.NewSystem(s, views...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loadGraph(sys.Database())
+
+	// Three apps with different permission grants.
+	grants := map[string][]string{
+		// A birthday-reminder app: basic info + birthdays of the user and
+		// their friends, plus the friend list every app gets.
+		"birthday-app": {"user_basic", "user_birthday", "friends_basic", "friends_birthday", "friend_list"},
+		// A music-match app: likes of the user and friends.
+		"music-app": {"user_basic", "user_likes", "friends_likes", "friend_list"},
+		// An over-privileged flashlight app that asked for everything it
+		// could think of but only ever reads the user's name.
+		"flashlight": {"user_basic", "user_birthday", "user_likes", "user_relationships", "user_contact", "friend_list"},
+	}
+	for app, perms := range grants {
+		if err := sys.SetPolicy(app, map[string][]string{"granted": perms}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// FQL queries per app (compiled to conjunctive queries).
+	sessions := map[string][]string{
+		"birthday-app": {
+			"SELECT name FROM user WHERE uid = me()",
+			"SELECT birthday FROM user WHERE uid = me()",
+			"SELECT uid, birthday FROM user WHERE is_friend = 1",
+			"SELECT email FROM user WHERE uid = me()", // not granted → refused
+		},
+		"music-app": {
+			"SELECT music, movies FROM user WHERE uid = me()",
+			"SELECT languages FROM user WHERE uid = me()", // the user_likes quirk
+			"SELECT uid, music FROM user WHERE is_friend = 1",
+			"SELECT birthday FROM user WHERE uid = me()", // not granted → refused
+		},
+		"flashlight": {
+			"SELECT name FROM user WHERE uid = me()",
+		},
+	}
+
+	for _, app := range []string{"birthday-app", "music-app", "flashlight"} {
+		fmt.Printf("=== %s (granted: %s) ===\n", app, strings.Join(grants[app], ", "))
+		used := map[string]bool{}
+		for _, src := range sessions[app] {
+			q, err := disclosure.CompileFQL(s, "Q", src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lbl, err := sys.Label(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dec, rows, err := sys.Submit(app, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			verdict := "REFUSED"
+			if dec.Allowed {
+				verdict = "ALLOWED"
+			}
+			fmt.Printf("%-8s %-60s\n         label %s\n", verdict, src, lbl.Render(sys.Catalog()))
+			if dec.Allowed {
+				fmt.Printf("         answers: %v\n", rows)
+				for _, a := range lbl.Atoms {
+					for _, n := range sys.Catalog().ViewNamesOf(a) {
+						used[n] = true
+					}
+				}
+			}
+		}
+		// Overprivilege report: granted permissions none of the app's
+		// admitted queries needed.
+		var unused []string
+		for _, p := range grants[app] {
+			if !used[p] {
+				unused = append(unused, p)
+			}
+		}
+		if len(unused) > 0 {
+			fmt.Printf("overprivilege: granted but never needed: %s\n", strings.Join(unused, ", "))
+		}
+		fmt.Println()
+	}
+}
+
+// loadGraph inserts a tiny social graph: the principal 'me', two friends
+// and one stranger.
+func loadGraph(db *disclosure.Database) {
+	users := []struct {
+		uid, name, birthday, music, languages, email, isFriend string
+	}{
+		{"me", "Alice", "1990-04-02", "jazz", "English", "alice@example.com", "0"},
+		{"u1", "Bob", "1988-11-23", "rock", "English", "bob@example.com", "1"},
+		{"u2", "Carol", "1992-01-15", "jazz", "French", "carol@example.com", "1"},
+		{"u3", "Mallory", "1985-07-07", "metal", "German", "mallory@example.com", "0"},
+	}
+	for _, u := range users {
+		args := make([]string, len(fb.UserAttrs))
+		for i, a := range fb.UserAttrs {
+			switch a {
+			case "uid":
+				args[i] = u.uid
+			case "name":
+				args[i] = u.name
+			case "birthday":
+				args[i] = u.birthday
+			case "music":
+				args[i] = u.music
+			case "languages":
+				args[i] = u.languages
+			case "email":
+				args[i] = u.email
+			case "is_friend":
+				args[i] = u.isFriend
+			default:
+				args[i] = "-"
+			}
+		}
+		db.MustInsert("user", args...)
+	}
+	db.MustInsert("friend", "me", "u1", "2019")
+	db.MustInsert("friend", "me", "u2", "2021")
+}

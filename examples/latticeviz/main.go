@@ -1,0 +1,73 @@
+// Latticeviz: building and inspecting a disclosure lattice through the
+// library API (Figure 3 of the paper, plus the Contacts projections of
+// Figure 4 and their generating sets from Examples 4.4 and 4.10).
+//
+// Run with: go run ./examples/latticeviz
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cq"
+	"repro/internal/lattice"
+	"repro/internal/order"
+)
+
+func main() {
+	// Figure 3: the four projections of Meetings.
+	u := lattice.MustUniverse(order.SingleAtom{},
+		cq.MustParse("V1(x, y) :- Meetings(x, y)"),
+		cq.MustParse("V2(x) :- Meetings(x, y)"),
+		cq.MustParse("V4(y) :- Meetings(x, y)"),
+		cq.MustParse("V5() :- Meetings(x, y)"),
+	)
+	l, err := lattice.Build(u, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 3 — disclosure lattice of the Meetings projections:")
+	fmt.Print(l.String())
+
+	v2 := u.DownIdx([]int{u.IndexOf("V2")})
+	v4 := u.DownIdx([]int{u.IndexOf("V4")})
+	fmt.Printf("\nGLB(⇓{V2}, ⇓{V4}) = ⇓%v\n", u.NamesOf(u.GLB(v2, v4)))
+	fmt.Printf("LUB(⇓{V2}, ⇓{V4}) = ⇓%v (strictly below ⊤: the projections cannot reconstitute Meetings)\n",
+		u.NamesOf(u.LUB(v2, v4)))
+
+	// Example 3.5: ℘({V2, V4}) does not induce a labeler.
+	f := lattice.NewLabelFamily(u, [][]int{
+		nil,
+		{u.IndexOf("V2")},
+		{u.IndexOf("V4")},
+		{u.IndexOf("V2"), u.IndexOf("V4")},
+		{u.IndexOf("V1")},
+	})
+	if err := f.InducesLabeler(); err != nil {
+		fmt.Printf("\nExample 3.5 — ℘({V2,V4}) does not induce a labeler:\n  %v\n", err)
+	}
+
+	// Examples 4.4/4.10: the Contacts projections and their generating set.
+	uc := lattice.MustUniverse(order.SingleAtom{},
+		cq.MustParse("V3(x, y, z) :- Contacts(x, y, z)"),
+		cq.MustParse("V6(x, y) :- Contacts(x, y, z)"),
+		cq.MustParse("V7(x, z) :- Contacts(x, y, z)"),
+		cq.MustParse("V8(y, z) :- Contacts(x, y, z)"),
+		cq.MustParse("V9(x) :- Contacts(x, y, z)"),
+		cq.MustParse("V10(y) :- Contacts(x, y, z)"),
+		cq.MustParse("V11(z) :- Contacts(x, y, z)"),
+		cq.MustParse("V12() :- Contacts(x, y, z)"),
+	)
+	fmt.Println("\nExample 4.4 — GLBs among the Contacts projections:")
+	pairs := [][]string{{"V6", "V7"}, {"V6", "V8"}, {"V7", "V8"}}
+	for _, p := range pairs {
+		g := uc.GLB(uc.DownIdx([]int{uc.IndexOf(p[0])}), uc.DownIdx([]int{uc.IndexOf(p[1])}))
+		fmt.Printf("  GLB({%s}, {%s}) ≡ ⇓%v\n", p[0], p[1], uc.NamesOf(g))
+	}
+	lc, err := lattice.Build(uc, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nThe full Contacts lattice has %d elements; distributive: %v (Theorem 4.8)\n",
+		len(lc.Elements), lc.IsDistributive())
+}

@@ -1,0 +1,78 @@
+// Quickstart: the paper's running example (Figure 1 and Section 1.1).
+//
+// Alice keeps a calendar and a contact list on her device. A third-party
+// scheduling app asks queries over them. Alice defines three security
+// views — the full Meetings table (V1), just the meeting time slots (V2),
+// and the full Contacts table (V3) — and a policy that permits only the
+// information in V2. The reference monitor labels every query with the
+// security views needed to answer it and refuses anything above the policy.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	disclosure "repro"
+)
+
+func main() {
+	// Alice's schema and data (Figure 1a).
+	s := disclosure.MustSchema(
+		disclosure.MustRelation("Meetings", "time", "person"),
+		disclosure.MustRelation("Contacts", "person", "email", "position"),
+	)
+	sys, err := disclosure.NewSystem(s,
+		disclosure.MustParse("V1(t, p) :- Meetings(t, p)"),
+		disclosure.MustParse("V2(t) :- Meetings(t, p)"),
+		disclosure.MustParse("V3(p, e, r) :- Contacts(p, e, r)"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sys.Database()
+	db.MustInsert("Meetings", "9", "Jim")
+	db.MustInsert("Meetings", "10", "Cathy")
+	db.MustInsert("Meetings", "12", "Bob")
+	db.MustInsert("Contacts", "Jim", "jim@e.com", "Manager")
+	db.MustInsert("Contacts", "Cathy", "cathy@e.com", "Intern")
+	db.MustInsert("Contacts", "Bob", "bob@e.com", "Consultant")
+
+	// Alice's policy: the scheduling app may learn her busy time slots
+	// (V2) and nothing more.
+	if err := sys.SetPolicy("scheduler", map[string][]string{"times-only": {"V2"}}); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		// Busy slots: answerable from V2 alone → allowed.
+		"Busy(t) :- Meetings(t, p)",
+		// Q1 from Figure 1c: when does Alice meet Cathy? Needs V1 → refused.
+		"Q1(t) :- Meetings(t, 'Cathy')",
+		// Q2 from Figure 1c: when does Alice meet interns? Needs V1 and V3
+		// → refused.
+		"Q2(t) :- Meetings(t, p), Contacts(p, e, 'Intern')",
+		// Is the calendar nonempty? Strictly below V2 → allowed.
+		"Any() :- Meetings(t, p)",
+	}
+	for _, src := range queries {
+		q := disclosure.MustParse(src)
+		lbl, err := sys.Label(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec, rows, err := sys.Submit("scheduler", q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "REFUSED"
+		if dec.Allowed {
+			verdict = "ALLOWED"
+		}
+		fmt.Printf("%-8s %-55s label %s\n", verdict, src, lbl.Render(sys.Catalog()))
+		if dec.Allowed {
+			fmt.Printf("         answers: %v\n", rows)
+		}
+	}
+}

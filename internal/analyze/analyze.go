@@ -1,0 +1,300 @@
+// Package analyze implements the policy-analysis applications of
+// disclosure labeling sketched in Section 2.2 of the paper: reasoning
+// precisely about the information disclosed by security views to identify
+// overlap, redundancy and inconsistency in a policy, and detecting
+// overprivileged applications that request more permissions than their
+// queries need.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/label"
+	"repro/internal/policy"
+	"repro/internal/rewrite"
+	"repro/internal/unify"
+)
+
+// Redundancy reports a security view whose information is already revealed
+// by another single view in the catalog.
+type Redundancy struct {
+	View      string // the redundant view
+	ImpliedBy string // a view that already reveals it
+	Mutual    bool   // true when the two views are information-equivalent
+}
+
+// RedundantViews finds catalog views derivable from another single view.
+// Mutual redundancies (equivalent views) are reported once, from the view
+// with the lexicographically larger name.
+func RedundantViews(c *label.Catalog) []Redundancy {
+	views := c.Views()
+	var out []Redundancy
+	for _, v := range views {
+		for _, w := range views {
+			if v.Name == w.Name {
+				continue
+			}
+			vw := rewrite.SingleAtomRewritable(v, w)
+			if !vw {
+				continue
+			}
+			wv := rewrite.SingleAtomRewritable(w, v)
+			if wv && v.Name < w.Name {
+				continue // report the pair once
+			}
+			out = append(out, Redundancy{View: v.Name, ImpliedBy: w.Name, Mutual: wv})
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].View < out[j].View })
+	return out
+}
+
+// Overlap reports the shared information of two security views: the
+// greatest lower bound of their disclosure, when it is not ⊥.
+type Overlap struct {
+	A, B string
+	// GLB is the materialized common-information view (Section 5.1's
+	// GLBSingleton output).
+	GLB *cq.Query
+}
+
+// Overlaps finds all pairs of catalog views with nontrivial common
+// information. Pairs where one view outright implies the other are
+// excluded (those are redundancies, not mere overlaps).
+func Overlaps(c *label.Catalog) ([]Overlap, error) {
+	views := c.Views()
+	var out []Overlap
+	for i, v := range views {
+		for _, w := range views[i+1:] {
+			if rewrite.SingleAtomRewritable(v, w) || rewrite.SingleAtomRewritable(w, v) {
+				continue
+			}
+			g, err := unify.GLBSingleton(v, w, fmt.Sprintf("glb_%s_%s", v.Name, w.Name))
+			if err != nil {
+				return nil, err
+			}
+			if g == nil {
+				continue
+			}
+			// A GLB that reveals nothing beyond emptiness of a relation is
+			// still an overlap, but flag only informative ones: skip GLBs
+			// equivalent to ⊥-adjacent boolean views with no constants?
+			// The paper treats any nontrivial common information as
+			// overlap; keep everything non-⊥.
+			out = append(out, Overlap{A: v.Name, B: w.Name, GLB: g})
+		}
+	}
+	return out, nil
+}
+
+// PartitionSubsumption reports a policy partition whose admissible
+// disclosure is entirely below another partition's: the subsumed partition
+// can never matter for any decision and indicates a policy-authoring
+// mistake.
+type PartitionSubsumption struct {
+	Subsumed string
+	By       string
+}
+
+// SubsumedPartitions analyzes a policy for internally redundant partitions.
+func SubsumedPartitions(p *policy.Policy) []PartitionSubsumption {
+	parts := p.Partitions()
+	var out []PartitionSubsumption
+	for _, a := range parts {
+		for _, b := range parts {
+			if a.Name == b.Name {
+				continue
+			}
+			if a.Label.BelowEq(b.Label) && !(b.Label.BelowEq(a.Label) && a.Name < b.Name) {
+				out = append(out, PartitionSubsumption{Subsumed: a.Name, By: b.Name})
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subsumed < out[j].Subsumed })
+	return out
+}
+
+// PrivilegeReport compares the permissions an app was granted against the
+// permissions its observed query workload actually needs (Section 2.2's
+// overprivilege detection).
+type PrivilegeReport struct {
+	// Needed is a minimal set of security views sufficient for every
+	// admissible query in the workload (greedy minimum cover over the
+	// per-atom ℓ⁺ alternatives).
+	Needed []string
+	// Unused are granted views no query needed.
+	Unused []string
+	// Missing are views required by some query but not granted; the
+	// affected queries are refused under the grant.
+	Missing []string
+	// Uncoverable counts queries with a ⊤ atom: no permission vocabulary
+	// admits them.
+	Uncoverable int
+}
+
+// Privileges analyzes a workload of queries against a grant.
+func Privileges(c *label.Catalog, granted []string, queries []*cq.Query) (*PrivilegeReport, error) {
+	l := label.NewLabeler(c)
+	grantSet := make(map[string]bool, len(granted))
+	for _, g := range granted {
+		if c.ViewByName(g) == nil {
+			return nil, fmt.Errorf("analyze: unknown granted view %q", g)
+		}
+		grantSet[g] = true
+	}
+	// For every dissected atom, the alternatives are the views in ℓ⁺.
+	// Greedy set cover: repeatedly pick the view covering the most
+	// still-uncovered atoms, preferring already-granted views.
+	type atomAlt struct{ alts map[string]bool }
+	var atoms []atomAlt
+	uncoverable := 0
+	for _, q := range queries {
+		lbl, err := l.Label(q)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range lbl.Atoms {
+			if a.IsTop() {
+				uncoverable++
+				continue
+			}
+			alts := make(map[string]bool)
+			for _, n := range c.ViewNamesOf(a) {
+				alts[n] = true
+			}
+			atoms = append(atoms, atomAlt{alts: alts})
+		}
+	}
+	covered := make([]bool, len(atoms))
+	var needed []string
+	for {
+		remaining := 0
+		counts := make(map[string]int)
+		for i, at := range atoms {
+			if covered[i] {
+				continue
+			}
+			remaining++
+			for v := range at.alts {
+				counts[v]++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		best, bestScore := "", -1
+		for v, n := range counts {
+			score := n * 2
+			if grantSet[v] {
+				score++ // prefer granted views on ties
+			}
+			if score > bestScore || (score == bestScore && v < best) {
+				best, bestScore = v, score
+			}
+		}
+		if best == "" {
+			break
+		}
+		needed = append(needed, best)
+		for i, at := range atoms {
+			if !covered[i] && at.alts[best] {
+				covered[i] = true
+			}
+		}
+	}
+	sort.Strings(needed)
+	rep := &PrivilegeReport{Needed: needed, Uncoverable: uncoverable}
+	neededSet := make(map[string]bool, len(needed))
+	for _, n := range needed {
+		neededSet[n] = true
+	}
+	for _, g := range granted {
+		if !neededSet[g] {
+			rep.Unused = append(rep.Unused, g)
+		}
+	}
+	for _, n := range needed {
+		if !grantSet[n] {
+			rep.Missing = append(rep.Missing, n)
+		}
+	}
+	sort.Strings(rep.Unused)
+	sort.Strings(rep.Missing)
+	return rep, nil
+}
+
+// String renders the report.
+func (r *PrivilegeReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "needed:  %s\n", strings.Join(r.Needed, ", "))
+	fmt.Fprintf(&b, "unused:  %s\n", strings.Join(r.Unused, ", "))
+	fmt.Fprintf(&b, "missing: %s\n", strings.Join(r.Missing, ", "))
+	if r.Uncoverable > 0 {
+		fmt.Fprintf(&b, "uncoverable atoms: %d\n", r.Uncoverable)
+	}
+	return b.String()
+}
+
+// LabelDiff compares a hand-maintained labeling (query name → documented
+// view names) against the machine-derived labels, generalizing the
+// Section 7.1 audit from documentation-vs-documentation to
+// documentation-vs-derivation.
+type LabelDiff struct {
+	Query      string
+	Documented []string
+	Derived    []string
+}
+
+// DiffDocumentedLabels labels each query and reports those whose derived
+// ℓ⁺ view sets differ from the documented ones. Documented entries name,
+// per query, the set of views the documentation claims are required; the
+// derived set is the union of per-atom ℓ⁺ alternatives.
+func DiffDocumentedLabels(c *label.Catalog, documented map[string][]string, queries map[string]*cq.Query) ([]LabelDiff, error) {
+	l := label.NewLabeler(c)
+	names := make([]string, 0, len(queries))
+	for n := range queries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []LabelDiff
+	for _, n := range names {
+		lbl, err := l.Label(queries[n])
+		if err != nil {
+			return nil, err
+		}
+		derivedSet := make(map[string]bool)
+		for _, a := range lbl.Atoms {
+			for _, v := range c.ViewNamesOf(a) {
+				derivedSet[v] = true
+			}
+		}
+		derived := make([]string, 0, len(derivedSet))
+		for v := range derivedSet {
+			derived = append(derived, v)
+		}
+		sort.Strings(derived)
+		doc := append([]string(nil), documented[n]...)
+		sort.Strings(doc)
+		if !equalStrings(doc, derived) {
+			out = append(out, LabelDiff{Query: n, Documented: doc, Derived: derived})
+		}
+	}
+	return out, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/fb"
+	"repro/internal/label"
+	"repro/internal/policy"
+	"repro/internal/schema"
+)
+
+func testCatalog(t *testing.T) *label.Catalog {
+	t.Helper()
+	s := schema.MustNew(
+		schema.MustRelation("M", "time", "person"),
+		schema.MustRelation("C", "person", "email", "position"),
+	)
+	return label.MustCatalog(s,
+		cq.MustParse("V1(x, y) :- M(x, y)"),
+		cq.MustParse("V2(x) :- M(x, y)"),
+		cq.MustParse("V1dup(a, b) :- M(a, b)"), // equivalent to V1
+		cq.MustParse("V4(y) :- M(x, y)"),
+		cq.MustParse("V3(x, y, z) :- C(x, y, z)"),
+		cq.MustParse("V6(x, y) :- C(x, y, z)"),
+		cq.MustParse("V7(x, z) :- C(x, y, z)"),
+	)
+}
+
+func TestRedundantViews(t *testing.T) {
+	reds := RedundantViews(testCatalog(t))
+	byView := make(map[string]Redundancy)
+	for _, r := range reds {
+		byView[r.View] = r
+	}
+	// V2 and V4 are implied by V1 (or V1dup); V6, V7 by V3.
+	for _, v := range []string{"V2", "V4", "V6", "V7"} {
+		if _, ok := byView[v]; !ok {
+			t.Errorf("%s should be reported redundant; got %v", v, reds)
+		}
+	}
+	// The V1/V1dup equivalence is reported once, from the larger name.
+	if r, ok := byView["V1dup"]; !ok || !r.Mutual {
+		t.Errorf("V1dup should be reported mutually redundant: %v", reds)
+	}
+	if _, ok := byView["V1"]; ok {
+		t.Errorf("V1 must not be reported (pair reported once): %v", reds)
+	}
+	// V3 is implied by nothing.
+	if _, ok := byView["V3"]; ok {
+		t.Error("V3 wrongly reported redundant")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("C", "a", "b", "c"))
+	c := label.MustCatalog(s,
+		cq.MustParse("V6(x, y) :- C(x, y, z)"),
+		cq.MustParse("V7(x, z) :- C(x, y, z)"),
+		cq.MustParse("V8(y, z) :- C(x, y, z)"),
+	)
+	overlaps, err := Overlaps(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overlaps) != 3 {
+		t.Fatalf("got %d overlaps, want 3 (all pairs): %v", len(overlaps), overlaps)
+	}
+	// V6 ∩ V7 = π1 (Example 5.2).
+	for _, o := range overlaps {
+		if o.A == "V6" && o.B == "V7" {
+			want := cq.MustParse("W(x) :- C(x, y, z)")
+			if !cq.Equivalent(o.GLB, want) {
+				t.Errorf("GLB(V6, V7) = %s, want π1", o.GLB)
+			}
+		}
+	}
+}
+
+func TestOverlapsSkipsImplications(t *testing.T) {
+	c := testCatalog(t)
+	overlaps, err := Overlaps(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range overlaps {
+		if (o.A == "V1" && o.B == "V2") || (o.A == "V2" && o.B == "V1") {
+			t.Error("V1/V2 is an implication, not an overlap")
+		}
+	}
+}
+
+func TestSubsumedPartitions(t *testing.T) {
+	c := testCatalog(t)
+	p, err := policy.New(c, map[string][]string{
+		"big":   {"V1"},
+		"small": {"V2"}, // V2's info ≼ V1's info → small is useless
+		"other": {"V3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := SubsumedPartitions(p)
+	if len(subs) != 1 || subs[0].Subsumed != "small" || subs[0].By != "big" {
+		t.Errorf("SubsumedPartitions = %v", subs)
+	}
+}
+
+func TestPrivilegesFacebook(t *testing.T) {
+	cat, err := fb.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkQuery := func(bind map[string]string, head []string) *cq.Query {
+		args := make([]cq.Term, 0, len(fb.UserAttrs))
+		var hd []cq.Term
+		for _, a := range fb.UserAttrs {
+			if v, ok := bind[a]; ok {
+				args = append(args, cq.C(v))
+				continue
+			}
+			t := cq.V("v_" + a)
+			args = append(args, t)
+		}
+		for _, h := range head {
+			for i, a := range fb.UserAttrs {
+				if a == h {
+					hd = append(hd, args[i])
+				}
+			}
+		}
+		q, err := cq.NewQuery("Q", hd, []cq.Atom{{Rel: "user", Args: args}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	queries := []*cq.Query{
+		mkQuery(map[string]string{"uid": "me"}, []string{"name"}),
+		mkQuery(map[string]string{"uid": "me"}, []string{"birthday"}),
+	}
+	granted := []string{"user_basic", "user_birthday", "user_likes", "user_contact"}
+	rep, err := Privileges(cat, granted, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNeeded := []string{"user_basic", "user_birthday"}
+	if strings.Join(rep.Needed, ",") != strings.Join(wantNeeded, ",") {
+		t.Errorf("Needed = %v, want %v", rep.Needed, wantNeeded)
+	}
+	wantUnused := []string{"user_contact", "user_likes"}
+	if strings.Join(rep.Unused, ",") != strings.Join(wantUnused, ",") {
+		t.Errorf("Unused = %v, want %v", rep.Unused, wantUnused)
+	}
+	if len(rep.Missing) != 0 || rep.Uncoverable != 0 {
+		t.Errorf("Missing = %v, Uncoverable = %d", rep.Missing, rep.Uncoverable)
+	}
+
+	// An ungranted need shows up as Missing.
+	rep, err = Privileges(cat, []string{"user_basic"}, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(rep.Missing, ",") != "user_birthday" {
+		t.Errorf("Missing = %v, want [user_birthday]", rep.Missing)
+	}
+	if !strings.Contains(rep.String(), "user_birthday") {
+		t.Errorf("String() = %q", rep.String())
+	}
+
+	// Unknown grants are rejected.
+	if _, err := Privileges(cat, []string{"nope"}, queries); err == nil {
+		t.Error("unknown grant accepted")
+	}
+}
+
+func TestPrivilegesUncoverable(t *testing.T) {
+	c := testCatalog(t)
+	rep, err := Privileges(c, nil, []*cq.Query{cq.MustParse("Q(x) :- Unknown(x)")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Uncoverable != 1 {
+		t.Errorf("Uncoverable = %d, want 1", rep.Uncoverable)
+	}
+}
+
+func TestDiffDocumentedLabels(t *testing.T) {
+	c := testCatalog(t)
+	queries := map[string]*cq.Query{
+		"times":   cq.MustParse("Q(x) :- M(x, y)"),
+		"persons": cq.MustParse("Q(y) :- M(x, y)"),
+	}
+	documented := map[string][]string{
+		// Correct: a times query is determined by V1, V1dup and V2.
+		"times": {"V1", "V1dup", "V2"},
+		// Wrong: claims V2 suffices for the person column.
+		"persons": {"V2"},
+	}
+	diffs, err := DiffDocumentedLabels(c, documented, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || diffs[0].Query != "persons" {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	if strings.Join(diffs[0].Derived, ",") != "V1,V1dup,V4" {
+		t.Errorf("derived = %v", diffs[0].Derived)
+	}
+}

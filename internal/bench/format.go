@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatSeries renders measurement series as an aligned text table with one
+// row per x-value and one column per series — the shape of the paper's
+// figure data.
+func FormatSeries(title, xLabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-28s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " | %22s", s.Name)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 28+len(series)*25) + "\n")
+	// Collect x values from the first series (all series share them).
+	for i, p := range series[0].Points {
+		fmt.Fprintf(&b, "%-28d", p.X)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, " | %20.4fs", s.Points[i].SecondsPer1M)
+			} else {
+				fmt.Fprintf(&b, " | %22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTSV renders series as tab-separated values for plotting.
+func FormatTSV(series []Series) string {
+	var b strings.Builder
+	b.WriteString("series\tx\tseconds_per_1M\tqueries\telapsed_seconds\n")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s\t%d\t%.6f\t%d\t%.6f\n", s.Name, p.X, p.SecondsPer1M, p.QueriesTimed, p.ElapsedSecond)
+		}
+	}
+	return b.String()
+}
+
+// Speedup returns the ratio of the two series' SecondsPer1M at each shared
+// x-value — used by EXPERIMENTS.md to report baseline/optimized factors.
+func Speedup(slow, fast Series) []float64 {
+	n := len(slow.Points)
+	if len(fast.Points) < n {
+		n = len(fast.Points)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if fast.Points[i].SecondsPer1M > 0 {
+			out[i] = slow.Points[i].SecondsPer1M / fast.Points[i].SecondsPer1M
+		}
+	}
+	return out
+}

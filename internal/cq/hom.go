@@ -1,0 +1,139 @@
+package cq
+
+// This file implements homomorphism search between conjunctive queries and
+// the classical Chandra–Merlin containment and equivalence tests built on it.
+//
+// A homomorphism from query A to query B is a mapping h from the variables
+// of A to the terms of B such that (i) h maps every body atom of A onto some
+// body atom of B and (ii) h maps the head of A onto the head of B
+// position-wise. Constants map to themselves. Then A's answers contain B's
+// answers on every database (ans(B) ⊆ ans(A)).
+//
+// Containment testing is NP-complete in general; the backtracking search
+// below is exponential in the number of body atoms of the source query,
+// which is small (≤ ~15) for every workload in the paper.
+
+// FindHomomorphism searches for a homomorphism from `from` to `to` as
+// defined above (head mapped onto head). It returns the witness
+// substitution, or nil if none exists. Both queries must have the same head
+// arity for a homomorphism to exist.
+func FindHomomorphism(from, to *Query) Subst {
+	if len(from.Head) != len(to.Head) {
+		return nil
+	}
+	h := make(Subst)
+	// Seed the mapping with the head constraints.
+	for i := range from.Head {
+		ft, tt := from.Head[i], to.Head[i]
+		if ft.IsConst() {
+			if !tt.IsConst() || ft.Value != tt.Value {
+				return nil
+			}
+			continue
+		}
+		if prev, ok := h[ft.Value]; ok {
+			if prev != tt {
+				return nil
+			}
+			continue
+		}
+		h[ft.Value] = tt
+	}
+	if homBody(from.Body, to.Body, h) {
+		return h
+	}
+	return nil
+}
+
+// FindBodyHomomorphism searches for a homomorphism from the body atoms of
+// `from` into the body atoms of `to` that extends the given partial
+// substitution (which may be nil). It returns the witness, or nil.
+func FindBodyHomomorphism(from, to []Atom, seed Subst) Subst {
+	h := seed.Clone()
+	if h == nil {
+		h = make(Subst)
+	}
+	if homBody(from, to, h) {
+		return h
+	}
+	return nil
+}
+
+// homBody extends h so that every atom of from maps onto some atom of to.
+// It mutates h during the search; on failure h may contain leftover
+// bindings only if the function returns false at the top level, so callers
+// must treat h as undefined when homBody returns false.
+func homBody(from, to []Atom, h Subst) bool {
+	if len(from) == 0 {
+		return true
+	}
+	// Order atoms most-constrained-first: atoms with more bound arguments
+	// under the current h are matched earlier, which prunes the search.
+	best := 0
+	bestScore := -1
+	for i, a := range from {
+		score := 0
+		for _, t := range a.Args {
+			if t.IsConst() {
+				score++
+			} else if _, ok := h[t.Value]; ok {
+				score++
+			}
+		}
+		if score > bestScore {
+			bestScore, best = score, i
+		}
+	}
+	atom := from[best]
+	rest := make([]Atom, 0, len(from)-1)
+	rest = append(rest, from[:best]...)
+	rest = append(rest, from[best+1:]...)
+
+	for _, target := range to {
+		if target.Rel != atom.Rel || len(target.Args) != len(atom.Args) {
+			continue
+		}
+		// Try to extend h so that atom maps onto target.
+		added := make([]string, 0, len(atom.Args))
+		ok := true
+		for i, t := range atom.Args {
+			want := target.Args[i]
+			if t.IsConst() {
+				if !want.IsConst() || t.Value != want.Value {
+					ok = false
+					break
+				}
+				continue
+			}
+			if prev, bound := h[t.Value]; bound {
+				if prev != want {
+					ok = false
+					break
+				}
+				continue
+			}
+			h[t.Value] = want
+			added = append(added, t.Value)
+		}
+		if ok && homBody(rest, to, h) {
+			return true
+		}
+		for _, v := range added {
+			delete(h, v)
+		}
+	}
+	return false
+}
+
+// ContainedIn reports whether q1 ⊆ q2, i.e. the answers of q1 are a subset
+// of the answers of q2 on every database. By the Chandra–Merlin theorem this
+// holds precisely when there is a homomorphism from q2 to q1.
+func ContainedIn(q1, q2 *Query) bool {
+	return FindHomomorphism(q2, q1) != nil
+}
+
+// Equivalent reports whether the two queries return the same answers on
+// every database (containment in both directions).
+func Equivalent(q1, q2 *Query) bool {
+	return ContainedIn(q1, q2) && ContainedIn(q2, q1)
+}

@@ -1,0 +1,60 @@
+package cq
+
+// AllBodyHomomorphisms enumerates every homomorphism from the atom list
+// `from` into the atom list `to` extending the (possibly nil) seed
+// substitution. The result contains one substitution per distinct total
+// mapping of the variables occurring in `from`.
+//
+// The enumeration is exponential in len(from) in the worst case; callers
+// use it on view bodies (small) mapped into query bodies (bounded by the
+// workload's atom limit).
+func AllBodyHomomorphisms(from, to []Atom, seed Subst) []Subst {
+	var out []Subst
+	h := seed.Clone()
+	if h == nil {
+		h = make(Subst)
+	}
+	enumerateHoms(from, to, h, &out)
+	return out
+}
+
+func enumerateHoms(from, to []Atom, h Subst, out *[]Subst) {
+	if len(from) == 0 {
+		*out = append(*out, h.Clone())
+		return
+	}
+	atom := from[0]
+	rest := from[1:]
+	for _, target := range to {
+		if target.Rel != atom.Rel || len(target.Args) != len(atom.Args) {
+			continue
+		}
+		added := make([]string, 0, len(atom.Args))
+		ok := true
+		for i, t := range atom.Args {
+			want := target.Args[i]
+			if t.IsConst() {
+				if !want.IsConst() || t.Value != want.Value {
+					ok = false
+					break
+				}
+				continue
+			}
+			if prev, bound := h[t.Value]; bound {
+				if prev != want {
+					ok = false
+					break
+				}
+				continue
+			}
+			h[t.Value] = want
+			added = append(added, t.Value)
+		}
+		if ok {
+			enumerateHoms(rest, to, h, out)
+		}
+		for _, v := range added {
+			delete(h, v)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package cq
+
+// This file implements query minimization ("folding" in the paper's
+// terminology, after Chandra and Merlin): computing an equivalent query with
+// the minimum number of body atoms. The minimized query is the core of the
+// original and is unique up to variable renaming.
+
+// Minimize returns an equivalent query with a minimal body (the core of q).
+// The result is a new query; q is not modified.
+//
+// The algorithm repeatedly attempts to drop a body atom: atom a can be
+// dropped when there is a homomorphism from q into q-minus-a that fixes the
+// head. Dropping continues until no atom is removable; the result is then
+// the core. The paper's Dissect algorithm (Section 5.2) uses this as its
+// first step.
+func Minimize(q *Query) *Query {
+	if m := minimizeShared(q); m != q {
+		return m
+	}
+	return q.Clone()
+}
+
+// MinimizeShared is Minimize without the defensive copy on the fast path:
+// when the query is trivially minimal (no relation occurs twice in the
+// body) it returns q itself. Hot paths that do not mutate the result use
+// this to avoid cloning; everyone else should call Minimize.
+func MinimizeShared(q *Query) *Query { return minimizeShared(q) }
+
+func minimizeShared(q *Query) *Query {
+	// Fast path: an atom is droppable only if a homomorphism maps it onto
+	// another atom, which must be over the same relation. If no relation
+	// occurs twice the query is already minimal. Small bodies use a
+	// quadratic scan to avoid allocating a count map.
+	var relCount map[string]int
+	dup := false
+	if len(q.Body) <= 16 {
+		for i := 1; i < len(q.Body) && !dup; i++ {
+			for j := 0; j < i; j++ {
+				if q.Body[i].Rel == q.Body[j].Rel {
+					dup = true
+					break
+				}
+			}
+		}
+		if dup {
+			relCount = make(map[string]int, len(q.Body))
+			for _, a := range q.Body {
+				relCount[a.Rel]++
+			}
+		}
+	} else {
+		relCount = make(map[string]int, len(q.Body))
+		for _, a := range q.Body {
+			relCount[a.Rel]++
+			if relCount[a.Rel] > 1 {
+				dup = true
+			}
+		}
+	}
+	if !dup {
+		return q
+	}
+	cur := q.Clone()
+	for {
+		removed := false
+		for i := 0; i < len(cur.Body); i++ {
+			if len(cur.Body) == 1 {
+				break
+			}
+			if relCount[cur.Body[i].Rel] < 2 {
+				continue
+			}
+			candidate := cur.Clone()
+			candidate.Body = append(candidate.Body[:i], candidate.Body[i+1:]...)
+			// Safety: dropping the atom must not orphan a head variable.
+			if candidate.Validate() != nil {
+				continue
+			}
+			// cur ≡ candidate iff there is a homomorphism cur → candidate
+			// (candidate → cur is witnessed by the identity, since
+			// candidate's body is a subset of cur's).
+			if FindHomomorphism(cur, candidate) != nil {
+				relCount[cur.Body[i].Rel]--
+				cur = candidate
+				removed = true
+				i--
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// IsMinimal reports whether no body atom of q can be dropped while
+// preserving equivalence.
+func IsMinimal(q *Query) bool {
+	return len(Minimize(q).Body) == len(q.Body)
+}

@@ -1,0 +1,147 @@
+package cq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser random byte soup and mutations of
+// valid queries; it must return errors, not panic, and anything it accepts
+// must round-trip through String.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := []byte("QVabcxyz(),:-'∧ 019\"\\_")
+	valid := []string{
+		"Q1(x) :- Meetings(x, 'Cathy')",
+		"Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+		"V5() :- Meetings(x, y)",
+	}
+	check := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", src, r)
+			}
+		}()
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		if _, err := ParseQuery(q.String()); err != nil {
+			t.Fatalf("accepted %q but its rendering %q does not reparse: %v", src, q, err)
+		}
+	}
+	// Pure random soup.
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		check(string(b))
+	}
+	// Mutations of valid queries: deletions, duplications, swaps.
+	for i := 0; i < 3000; i++ {
+		src := valid[rng.Intn(len(valid))]
+		b := []byte(src)
+		switch rng.Intn(3) {
+		case 0:
+			if len(b) > 1 {
+				p := rng.Intn(len(b))
+				b = append(b[:p], b[p+1:]...)
+			}
+		case 1:
+			p := rng.Intn(len(b))
+			b = append(b[:p], append([]byte{alphabet[rng.Intn(len(alphabet))]}, b[p:]...)...)
+		case 2:
+			p, q := rng.Intn(len(b)), rng.Intn(len(b))
+			b[p], b[q] = b[q], b[p]
+		}
+		check(string(b))
+	}
+}
+
+// TestCanonicalStringStability: canonicalization is invariant under random
+// atom shuffles and consistent variable renamings.
+func TestCanonicalStringStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	queries := []string{
+		"Q(x) :- R(x, y), S(y, z), R(z, x)",
+		"Q(a, b) :- T(a, c), T(c, b), U(c, 'k')",
+		"Q() :- R(x, x), S(x, y)",
+	}
+	for _, src := range queries {
+		q := MustParse(src)
+		want := q.CanonicalString()
+		for trial := 0; trial < 50; trial++ {
+			shuffled := q.Clone()
+			rng.Shuffle(len(shuffled.Body), func(i, j int) {
+				shuffled.Body[i], shuffled.Body[j] = shuffled.Body[j], shuffled.Body[i]
+			})
+			// Consistent renaming: prefix every variable.
+			ren := make(Subst)
+			for _, v := range shuffled.Vars() {
+				ren[v] = V("r_" + v)
+			}
+			renamed := ren.ApplyQuery(shuffled)
+			if got := renamed.CanonicalString(); got != want {
+				t.Fatalf("canonical string unstable for %s:\n want %q\n got  %q (after shuffle+rename)", src, want, got)
+			}
+		}
+	}
+}
+
+// TestTaggedStringMatchesPaperNotation pins the paper's Section-5 example
+// rendering.
+func TestTaggedStringMatchesPaperNotation(t *testing.T) {
+	q := MustParse("Q2(x) :- M(x, y), C(y, w, 'Intern')")
+	want := "[M(x_d, y_e), C(y_e, w_e, 'Intern')]"
+	if got := q.TaggedString(); got != want {
+		t.Errorf("TaggedString = %q, want %q", got, want)
+	}
+}
+
+// TestMinimizeSharedFastPath: MinimizeShared returns the identical object
+// when no relation repeats, and an equivalent fresh object otherwise.
+func TestMinimizeSharedFastPath(t *testing.T) {
+	unique := MustParse("Q(x) :- R(x, y), S(y, z)")
+	if got := MinimizeShared(unique); got != unique {
+		t.Error("fast path should return the input pointer")
+	}
+	dup := MustParse("Q(x) :- R(x, y), R(x, z)")
+	got := MinimizeShared(dup)
+	if got == dup {
+		t.Error("slow path must not return the input pointer")
+	}
+	if len(got.Body) != 1 || !Equivalent(got, dup) {
+		t.Errorf("MinimizeShared(%s) = %s", dup, got)
+	}
+	// A >16-atom body exercises the map-based duplicate scan.
+	var b strings.Builder
+	b.WriteString("Q(x0) :- ")
+	for i := 0; i < 18; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if i == 17 {
+			b.WriteString("R0(x0, y17)") // duplicate of atom 0's relation
+		} else {
+			b.WriteString(strings.ReplaceAll("R#(x#, y#)", "#", itoa(i)))
+		}
+	}
+	big := MustParse(b.String())
+	m := MinimizeShared(big)
+	if !Equivalent(m, big) {
+		t.Error("large-body minimization changed semantics")
+	}
+	if len(m.Body) != 17 {
+		t.Errorf("large-body minimization kept %d atoms, want 17", len(m.Body))
+	}
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

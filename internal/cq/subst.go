@@ -1,0 +1,68 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution mapping variable names to terms.
+type Subst map[string]Term
+
+// Apply maps a term through the substitution. Constants and unmapped
+// variables are returned unchanged.
+func (s Subst) Apply(t Term) Term {
+	if t.IsVar() {
+		if r, ok := s[t.Value]; ok {
+			return r
+		}
+	}
+	return t
+}
+
+// ApplyAtom maps every argument of the atom through the substitution.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	out := a.Clone()
+	for i, t := range out.Args {
+		out.Args[i] = s.Apply(t)
+	}
+	return out
+}
+
+// ApplyQuery maps the head and every body atom of q through the
+// substitution, returning a new query. The result is not re-validated; a
+// substitution that maps a head variable to a constant keeps the query
+// well-formed semantically (the head position becomes a constant).
+func (s Subst) ApplyQuery(q *Query) *Query {
+	out := q.Clone()
+	for i, t := range out.Head {
+		out.Head[i] = s.Apply(t)
+	}
+	for i := range out.Body {
+		out.Body[i] = s.ApplyAtom(out.Body[i])
+	}
+	return out
+}
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the substitution deterministically, e.g. "{x→y, z→'9'}".
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s→%s", k, s[k]))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,229 @@
+// Package determinacy implements a bounded checker for view determinacy,
+// the "ideal" disclosure order of Section 3.1 that the paper approximates
+// with equivalent view rewriting because exact checking is highly
+// intractable.
+//
+// A view set W determines a query Q when the answers to W functionally fix
+// the answer to Q: for all databases D1, D2, if V(D1) = V(D2) for every
+// V ∈ W then Q(D1) = Q(D2).
+//
+// The checker here enumerates every database up to a tuple bound over a
+// finite domain and groups them by their W-answer signature; a group
+// containing two databases with different Q-answers is a counterexample.
+// The procedure is:
+//
+//   - refutation-complete up to the bound: any returned counterexample is a
+//     genuine proof that W does not determine Q;
+//   - sound only up to the bound in the positive direction: "no
+//     counterexample" means determinacy holds for all databases within the
+//     bound (small-model evidence, not a proof).
+//
+// Its role in this repository is validation: the equivalent-view-rewriting
+// order must be a conservative approximation of determinacy (everything
+// the labeler declares derivable really is), which the tests check on
+// random view pairs.
+package determinacy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/schema"
+)
+
+// Checker enumerates databases over a schema with a finite domain.
+type Checker struct {
+	schema *schema.Schema
+	domain []string
+	// MaxTuples bounds the tuples per relation in enumerated databases.
+	maxTuples int
+}
+
+// New builds a checker. The enumeration size is
+// Π_rel C(|domain|^arity, ≤ maxTuples); keep domains and arities tiny
+// (e.g. a binary relation over a 2-element domain with maxTuples 4 gives
+// 16 databases).
+func New(s *schema.Schema, domain []string, maxTuples int) (*Checker, error) {
+	if len(domain) == 0 {
+		return nil, fmt.Errorf("determinacy: empty domain")
+	}
+	if maxTuples <= 0 {
+		return nil, fmt.Errorf("determinacy: maxTuples must be positive")
+	}
+	total := 1.0
+	for _, r := range s.Relations() {
+		universe := 1
+		for i := 0; i < r.Arity(); i++ {
+			universe *= len(domain)
+		}
+		total *= float64(uint64(1) << uint(min(universe, 62)))
+		if total > 1e7 {
+			return nil, fmt.Errorf("determinacy: enumeration too large (relation %s has %d possible tuples)", r.Name(), universe)
+		}
+	}
+	return &Checker{schema: s, domain: append([]string(nil), domain...), maxTuples: maxTuples}, nil
+}
+
+// Counterexample is a pair of databases with equal view answers but
+// different query answers.
+type Counterexample struct {
+	D1, D2 *engine.Database
+	// ViewAnswers is the shared W-answer signature.
+	ViewAnswers string
+	// Q1, Q2 are the differing query answers.
+	Q1, Q2 []engine.Tuple
+}
+
+// String renders the counterexample compactly.
+func (c *Counterexample) String() string {
+	var b strings.Builder
+	b.WriteString("counterexample databases with equal view answers:\n")
+	for name, db := range map[string]*engine.Database{"D1": c.D1, "D2": c.D2} {
+		fmt.Fprintf(&b, "  %s:", name)
+		for _, r := range db.Schema().Relations() {
+			fmt.Fprintf(&b, " %s=%v", r.Name(), db.Table(r.Name()).Rows())
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  Q(D1)=%v  Q(D2)=%v\n", c.Q1, c.Q2)
+	return b.String()
+}
+
+// Determines checks whether w determines q over all databases within the
+// checker's bounds. It returns (true, nil) when no counterexample exists
+// within the bounds, or (false, ce) with a concrete counterexample.
+func (c *Checker) Determines(w []*cq.Query, q *cq.Query) (bool, *Counterexample, error) {
+	type group struct {
+		db *engine.Database
+		q  []engine.Tuple
+	}
+	groups := make(map[string]group)
+	var failure *Counterexample
+
+	err := c.enumerate(func(db *engine.Database) (bool, error) {
+		var sig strings.Builder
+		for _, v := range w {
+			rows, err := db.Eval(v)
+			if err != nil {
+				return false, err
+			}
+			sig.WriteString(v.Name)
+			sig.WriteByte('[')
+			for _, row := range rows {
+				sig.WriteString(strings.Join(row, ","))
+				sig.WriteByte(';')
+			}
+			sig.WriteByte(']')
+		}
+		qRows, err := db.Eval(q)
+		if err != nil {
+			return false, err
+		}
+		key := sig.String()
+		if prev, ok := groups[key]; ok {
+			if !engine.EqualResults(prev.q, qRows) {
+				failure = &Counterexample{
+					D1:          prev.db,
+					D2:          db,
+					ViewAnswers: key,
+					Q1:          prev.q,
+					Q2:          qRows,
+				}
+				return false, nil // stop enumeration
+			}
+			return true, nil
+		}
+		groups[key] = group{db: db, q: qRows}
+		return true, nil
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	if failure != nil {
+		return false, failure, nil
+	}
+	return true, nil, nil
+}
+
+// enumerate visits every database within bounds; the visitor returns false
+// to stop early.
+func (c *Checker) enumerate(visit func(*engine.Database) (bool, error)) error {
+	rels := c.schema.Relations()
+	// Tuple universe per relation.
+	universes := make([][][]string, len(rels))
+	for ri, r := range rels {
+		universes[ri] = allTuples(c.domain, r.Arity())
+	}
+	// Iterate the cartesian product of per-relation tuple subsets.
+	var rec func(ri int, db *engine.Database) (bool, error)
+	rec = func(ri int, db *engine.Database) (bool, error) {
+		if ri == len(rels) {
+			return visit(db)
+		}
+		u := universes[ri]
+		n := len(u)
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			if popcount(mask) > c.maxTuples {
+				continue
+			}
+			next := cloneDatabase(c.schema, db)
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					if err := next.Insert(rels[ri].Name(), u[i]...); err != nil {
+						return false, err
+					}
+				}
+			}
+			cont, err := rec(ri+1, next)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err := rec(0, engine.NewDatabase(c.schema))
+	return err
+}
+
+func allTuples(domain []string, arity int) [][]string {
+	if arity == 0 {
+		return [][]string{{}}
+	}
+	sub := allTuples(domain, arity-1)
+	var out [][]string
+	for _, d := range domain {
+		for _, s := range sub {
+			t := append([]string{d}, s...)
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func cloneDatabase(s *schema.Schema, db *engine.Database) *engine.Database {
+	out := engine.NewDatabase(s)
+	for _, r := range s.Relations() {
+		for _, row := range db.Table(r.Name()).Rows() {
+			out.MustInsert(r.Name(), row...)
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

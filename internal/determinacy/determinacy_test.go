@@ -1,0 +1,179 @@
+package determinacy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/rewrite"
+	"repro/internal/schema"
+)
+
+func meetingsChecker(t *testing.T) *Checker {
+	t.Helper()
+	s := schema.MustNew(schema.MustRelation("M", "a", "b"))
+	c, err := New(s, []string{"0", "1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFullViewDeterminesProjections(t *testing.T) {
+	c := meetingsChecker(t)
+	v1 := cq.MustParse("V1(x, y) :- M(x, y)")
+	for _, q := range []string{
+		"V2(x) :- M(x, y)",
+		"V4(y) :- M(x, y)",
+		"V5() :- M(x, y)",
+		"D(x) :- M(x, x)",
+		"P(x) :- M(x, '1')",
+	} {
+		ok, ce, err := c.Determines([]*cq.Query{v1}, cq.MustParse(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("{V1} should determine %s; counterexample:\n%s", q, ce)
+		}
+	}
+}
+
+func TestProjectionsDoNotDetermineFullView(t *testing.T) {
+	// The Figure-3 point: even both projections together cannot
+	// reconstitute Meetings.
+	c := meetingsChecker(t)
+	v2 := cq.MustParse("V2(x) :- M(x, y)")
+	v4 := cq.MustParse("V4(y) :- M(x, y)")
+	v1 := cq.MustParse("V1(x, y) :- M(x, y)")
+	ok, ce, err := c.Determines([]*cq.Query{v2, v4}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("{V2, V4} must not determine V1")
+	}
+	if ce == nil || len(ce.String()) == 0 {
+		t.Fatal("expected a rendered counterexample")
+	}
+	// The counterexample must be genuine: equal view answers, different
+	// query answers — spot-check by re-evaluating.
+	for _, v := range []*cq.Query{v2, v4} {
+		r1, _ := ce.D1.Eval(v)
+		r2, _ := ce.D2.Eval(v)
+		if len(r1) != len(r2) {
+			t.Errorf("counterexample has differing %s answers", v.Name)
+		}
+	}
+	q1, _ := ce.D1.Eval(v1)
+	q2, _ := ce.D2.Eval(v1)
+	if engine.EqualResults(q1, q2) {
+		t.Error("counterexample query answers are equal")
+	}
+}
+
+func TestExample51Determinacy(t *testing.T) {
+	// Example 5.1: the point lookup V13 does not determine emptiness V14,
+	// and vice versa.
+	s := schema.MustNew(schema.MustRelation("M", "a", "b"))
+	c, err := New(s, []string{"9", "Jim", "z"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v13 := cq.MustParse("V13() :- M('9', 'Jim')")
+	v14 := cq.MustParse("V14() :- M(x, y)")
+	ok, _, err := c.Determines([]*cq.Query{v13}, v14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("V13 must not determine V14")
+	}
+	ok, _, err = c.Determines([]*cq.Query{v14}, v13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("V14 must not determine V13")
+	}
+}
+
+// TestRewritingImpliesDeterminacy validates the paper's claim that
+// equivalent view rewriting is a conservative approximation of the
+// determinacy order: whenever the single-atom criterion declares {v} ≼ {s},
+// the bounded determinacy checker must find no counterexample.
+func TestRewritingImpliesDeterminacy(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "a", "b"))
+	c, err := New(s, []string{"0", "1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	randomView := func(name string) *cq.Query {
+		vals := []string{"0", "1"}
+		varNames := []string{"x", "y"}
+		for {
+			args := make([]cq.Term, 2)
+			used := map[string]bool{}
+			for i := range args {
+				switch rng.Intn(4) {
+				case 0:
+					args[i] = cq.C(vals[rng.Intn(2)])
+				case 1:
+					v := varNames[rng.Intn(2)]
+					args[i] = cq.V(v)
+					used[v] = true
+				default:
+					args[i] = cq.V(varNames[i])
+					used[varNames[i]] = true
+				}
+			}
+			var head []cq.Term
+			for v := range used {
+				if rng.Intn(2) == 0 {
+					head = append(head, cq.V(v))
+				}
+			}
+			q, err := cq.NewQuery(name, head, []cq.Atom{{Rel: "R", Args: args}})
+			if err != nil {
+				continue
+			}
+			return q
+		}
+	}
+	positives := 0
+	for trial := 0; trial < 120; trial++ {
+		v := randomView("V")
+		sv := randomView("S")
+		if !rewrite.SingleAtomRewritable(v, sv) {
+			continue
+		}
+		positives++
+		ok, ce, err := c.Determines([]*cq.Query{sv}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("rewriting claims %s ≼ %s but determinacy fails:\n%s", v, sv, ce)
+		}
+	}
+	if positives < 10 {
+		t.Fatalf("only %d rewritable pairs exercised", positives)
+	}
+}
+
+func TestCheckerValidation(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "a", "b"))
+	if _, err := New(s, nil, 3); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := New(s, []string{"0"}, 0); err == nil {
+		t.Error("zero tuple bound accepted")
+	}
+	// A schema too large to enumerate is rejected up front.
+	big := schema.MustNew(schema.MustRelation("R", "a", "b", "c", "d", "e"))
+	if _, err := New(big, []string{"0", "1", "2", "3"}, 4); err == nil {
+		t.Error("oversized enumeration accepted")
+	}
+}

@@ -1,0 +1,307 @@
+// Package engine is a small in-memory relational engine with set semantics:
+// tuple storage plus a backtracking evaluator for conjunctive queries. It is
+// the substrate under the example applications (the reference monitor
+// guards a live database) and under the semantic property tests, which
+// execute rewriting witnesses against random databases to validate the
+// labeler's rewritability decisions.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// Tuple is a row of constants.
+type Tuple []string
+
+// key renders the tuple as a map key.
+func (t Tuple) key() string { return strings.Join(t, "\x00") }
+
+// Table stores the extension of one relation as a set of tuples, with
+// lazily built hash indexes per column. Indexes are dropped on insert and
+// rebuilt on demand, so bulk loading stays cheap and repeated evaluation
+// gets index speed.
+type Table struct {
+	rel     *schema.Relation
+	rows    []Tuple
+	keys    map[string]struct{}
+	indexes map[int]map[string][]int // column → value → row ids
+}
+
+// index returns (building if needed) the hash index for a column.
+func (t *Table) index(col int) map[string][]int {
+	if t.indexes == nil {
+		t.indexes = make(map[int]map[string][]int)
+	}
+	if idx, ok := t.indexes[col]; ok {
+		return idx
+	}
+	idx := make(map[string][]int)
+	for i, row := range t.rows {
+		idx[row[col]] = append(idx[row[col]], i)
+	}
+	t.indexes[col] = idx
+	return idx
+}
+
+// Relation returns the table's schema relation.
+func (t *Table) Relation() *schema.Relation { return t.rel }
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the tuples in insertion order.
+func (t *Table) Rows() []Tuple {
+	out := make([]Tuple, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append(Tuple(nil), r...)
+	}
+	return out
+}
+
+// Database is a set of tables keyed by relation name.
+type Database struct {
+	schema *schema.Schema
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database over the schema.
+func NewDatabase(s *schema.Schema) *Database {
+	db := &Database{schema: s, tables: make(map[string]*Table, s.Len())}
+	for _, r := range s.Relations() {
+		db.tables[r.Name()] = &Table{rel: r, keys: make(map[string]struct{})}
+	}
+	return db
+}
+
+// Schema returns the database schema.
+func (db *Database) Schema() *schema.Schema { return db.schema }
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// Insert adds a tuple to the named relation, ignoring exact duplicates
+// (set semantics). It returns an error for unknown relations or arity
+// mismatches.
+func (db *Database) Insert(rel string, values ...string) error {
+	t, ok := db.tables[rel]
+	if !ok {
+		return fmt.Errorf("engine: unknown relation %q", rel)
+	}
+	if len(values) != t.rel.Arity() {
+		return fmt.Errorf("engine: relation %q has arity %d, got %d values", rel, t.rel.Arity(), len(values))
+	}
+	tup := Tuple(append([]string(nil), values...))
+	k := tup.key()
+	if _, dup := t.keys[k]; dup {
+		return nil
+	}
+	t.keys[k] = struct{}{}
+	t.rows = append(t.rows, tup)
+	t.indexes = nil // invalidate; rebuilt lazily on next evaluation
+	return nil
+}
+
+// MustInsert is like Insert but panics on error; for statically-known data
+// in examples and tests.
+func (db *Database) MustInsert(rel string, values ...string) {
+	if err := db.Insert(rel, values...); err != nil {
+		panic(err)
+	}
+}
+
+// Eval evaluates a conjunctive query against the database and returns the
+// set of answer tuples (head bindings), sorted lexicographically. A boolean
+// query returns a single empty tuple when satisfied and no tuples
+// otherwise.
+func (db *Database) Eval(q *cq.Query) ([]Tuple, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	for _, a := range q.Body {
+		t, ok := db.tables[a.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: query %s references unknown relation %q", q.Name, a.Rel)
+		}
+		if len(a.Args) != t.rel.Arity() {
+			return nil, fmt.Errorf("engine: query %s: atom %s has %d arguments, relation has arity %d",
+				q.Name, a.Rel, len(a.Args), t.rel.Arity())
+		}
+	}
+	seen := make(map[string]struct{})
+	var out []Tuple
+	binding := make(map[string]string)
+	var eval func(atoms []cq.Atom)
+	eval = func(atoms []cq.Atom) {
+		if len(atoms) == 0 {
+			ans := make(Tuple, len(q.Head))
+			for i, h := range q.Head {
+				if h.IsConst() {
+					ans[i] = h.Value
+				} else {
+					ans[i] = binding[h.Value]
+				}
+			}
+			k := ans.key()
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out = append(out, ans)
+			}
+			return
+		}
+		// Greedy join order: evaluate the atom with the most bound
+		// arguments next, so index lookups and early failures prune the
+		// search.
+		best, bestScore := 0, -1
+		for i, a := range atoms {
+			score := 0
+			for _, arg := range a.Args {
+				if arg.IsConst() {
+					score++
+				} else if _, has := binding[arg.Value]; has {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		atom := atoms[best]
+		rest := make([]cq.Atom, 0, len(atoms)-1)
+		rest = append(rest, atoms[:best]...)
+		rest = append(rest, atoms[best+1:]...)
+
+		table := db.tables[atom.Rel]
+		// Candidate rows: a hash-index probe on the first bound column, or
+		// a full scan when nothing is bound.
+		candidates := -1 // sentinel: full scan
+		var rowIDs []int
+		for i, arg := range atom.Args {
+			val, boundOK := "", false
+			if arg.IsConst() {
+				val, boundOK = arg.Value, true
+			} else if v, has := binding[arg.Value]; has {
+				val, boundOK = v, true
+			}
+			if boundOK {
+				rowIDs = table.index(i)[val]
+				candidates = len(rowIDs)
+				break
+			}
+		}
+		tryRow := func(row Tuple) {
+			var bound []string
+			ok := true
+			for i, arg := range atom.Args {
+				if arg.IsConst() {
+					if arg.Value != row[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, has := binding[arg.Value]; has {
+					if v != row[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[arg.Value] = row[i]
+				bound = append(bound, arg.Value)
+			}
+			if ok {
+				eval(rest)
+			}
+			for _, v := range bound {
+				delete(binding, v)
+			}
+		}
+		if candidates >= 0 {
+			for _, id := range rowIDs {
+				tryRow(table.rows[id])
+			}
+		} else {
+			for _, row := range table.rows {
+				tryRow(row)
+			}
+		}
+	}
+	eval(q.Body)
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out, nil
+}
+
+// EvalBool evaluates a boolean query, reporting satisfaction.
+func (db *Database) EvalBool(q *cq.Query) (bool, error) {
+	rows, err := db.Eval(q)
+	if err != nil {
+		return false, err
+	}
+	return len(rows) > 0, nil
+}
+
+// Materialize evaluates each view against the database and returns a new
+// database whose relations are the views (named after the views, with
+// synthetic attribute names a0, a1, ...). This is how a rewriting — a query
+// over view names — is executed: materialize the views, then Eval the
+// rewriting against the result.
+func Materialize(db *Database, views ...*cq.Query) (*Database, error) {
+	rels := make([]*schema.Relation, 0, len(views))
+	results := make(map[string][]Tuple, len(views))
+	for _, v := range views {
+		rows, err := db.Eval(v)
+		if err != nil {
+			return nil, fmt.Errorf("engine: materializing %s: %w", v.Name, err)
+		}
+		attrs := make([]string, len(v.Head))
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%d", i)
+		}
+		if len(attrs) == 0 {
+			// Boolean views materialize as a unary relation holding a
+			// single marker tuple when true.
+			attrs = []string{"present"}
+			if len(rows) > 0 {
+				rows = []Tuple{{"true"}}
+			}
+		}
+		r, err := schema.NewRelation(v.Name, attrs...)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, r)
+		results[v.Name] = rows
+	}
+	s, err := schema.New(rels...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewDatabase(s)
+	for name, rows := range results {
+		for _, row := range rows {
+			if err := out.Insert(name, row...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// EqualResults reports whether two result sets are equal as sets (both are
+// sorted by Eval).
+func EqualResults(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].key() != b[i].key() {
+			return false
+		}
+	}
+	return true
+}

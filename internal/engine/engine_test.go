@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// figure1DB loads the dataset of Figure 1(a).
+func figure1DB(t *testing.T) *Database {
+	t.Helper()
+	s := schema.MustNew(
+		schema.MustRelation("Meetings", "time", "person"),
+		schema.MustRelation("Contacts", "person", "email", "position"),
+	)
+	db := NewDatabase(s)
+	db.MustInsert("Meetings", "9", "Jim")
+	db.MustInsert("Meetings", "10", "Cathy")
+	db.MustInsert("Meetings", "12", "Bob")
+	db.MustInsert("Contacts", "Jim", "jim@e.com", "Manager")
+	db.MustInsert("Contacts", "Cathy", "cathy@e.com", "Intern")
+	db.MustInsert("Contacts", "Bob", "bob@e.com", "Consultant")
+	return db
+}
+
+func TestEvalFigure1Queries(t *testing.T) {
+	db := figure1DB(t)
+	// Q1(x) :- Meetings(x, 'Cathy') → {10}.
+	rows, err := db.Eval(cq.MustParse("Q1(x) :- Meetings(x, 'Cathy')"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "10" {
+		t.Errorf("Q1 = %v, want [[10]]", rows)
+	}
+	// Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern') → {10} (Cathy).
+	rows, err = db.Eval(cq.MustParse("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "10" {
+		t.Errorf("Q2 = %v, want [[10]]", rows)
+	}
+	// V2 (projection): three times.
+	rows, _ = db.Eval(cq.MustParse("V2(x) :- Meetings(x, y)"))
+	if len(rows) != 3 {
+		t.Errorf("V2 = %v", rows)
+	}
+}
+
+func TestEvalSetSemantics(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "a", "b"))
+	db := NewDatabase(s)
+	db.MustInsert("R", "1", "x")
+	db.MustInsert("R", "1", "y")
+	db.MustInsert("R", "1", "x") // duplicate ignored
+	if db.Table("R").Len() != 2 {
+		t.Errorf("table has %d rows, want 2", db.Table("R").Len())
+	}
+	rows, err := db.Eval(cq.MustParse("Q(a) :- R(a, b)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "1" {
+		t.Errorf("projection = %v, want one tuple", rows)
+	}
+}
+
+func TestEvalBooleanAndConstants(t *testing.T) {
+	db := figure1DB(t)
+	ok, err := db.EvalBool(cq.MustParse("V13() :- Meetings(9, 'Jim')"))
+	if err != nil || !ok {
+		t.Errorf("V13 = %v, %v; want true", ok, err)
+	}
+	ok, _ = db.EvalBool(cq.MustParse("Nope() :- Meetings(9, 'Bob')"))
+	if ok {
+		t.Error("absent tuple reported present")
+	}
+}
+
+func TestEvalRepeatedVariables(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "a", "b"))
+	db := NewDatabase(s)
+	db.MustInsert("R", "1", "1")
+	db.MustInsert("R", "1", "2")
+	rows, err := db.Eval(cq.MustParse("D(x) :- R(x, x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "1" {
+		t.Errorf("diagonal = %v", rows)
+	}
+}
+
+func TestEvalSelfJoin(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("E", "src", "dst"))
+	db := NewDatabase(s)
+	db.MustInsert("E", "a", "b")
+	db.MustInsert("E", "b", "c")
+	db.MustInsert("E", "c", "d")
+	rows, err := db.Eval(cq.MustParse("P2(x, z) :- E(x, y), E(y, z)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("paths = %v, want 2", rows)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	db := figure1DB(t)
+	if _, err := db.Eval(cq.MustParse("Q(x) :- Unknown(x)")); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := db.Eval(cq.MustParse("Q(x) :- Meetings(x)")); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := db.Insert("Unknown", "a"); err == nil {
+		t.Error("insert into unknown relation accepted")
+	}
+	if err := db.Insert("Meetings", "a"); err == nil {
+		t.Error("insert with wrong arity accepted")
+	}
+}
+
+func TestMaterializeAndExecuteRewriting(t *testing.T) {
+	db := figure1DB(t)
+	v1 := cq.MustParse("V1(x, y) :- Meetings(x, y)")
+	// Rewriting of Q1 over V1: Q1(x) :- V1(x, 'Cathy').
+	rows, err := ExecuteRewriting(db,
+		[]cq.Term{cq.V("x")},
+		[]cq.Atom{cq.NewAtom("V1", cq.V("x"), cq.C("Cathy"))},
+		map[string]*cq.Query{"V1": v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := db.Eval(cq.MustParse("Q1(x) :- Meetings(x, 'Cathy')"))
+	if !EqualResults(rows, direct) {
+		t.Errorf("rewriting = %v, direct = %v", rows, direct)
+	}
+}
+
+func TestExecuteRewritingBooleanView(t *testing.T) {
+	db := figure1DB(t)
+	v5 := cq.MustParse("V5() :- Meetings(x, y)")
+	rows, err := ExecuteRewriting(db, nil,
+		[]cq.Atom{{Rel: "V5"}},
+		map[string]*cq.Query{"V5": v5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("boolean rewriting = %v, want satisfied", rows)
+	}
+	// Empty database → unsatisfied.
+	s := schema.MustNew(
+		schema.MustRelation("Meetings", "time", "person"),
+		schema.MustRelation("Contacts", "person", "email", "position"),
+	)
+	empty := NewDatabase(s)
+	rows, err = ExecuteRewriting(empty, nil,
+		[]cq.Atom{{Rel: "V5"}},
+		map[string]*cq.Query{"V5": v5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("boolean rewriting on empty db = %v, want unsatisfied", rows)
+	}
+}
+
+func TestExecuteRewritingErrors(t *testing.T) {
+	db := figure1DB(t)
+	if _, err := ExecuteRewriting(db, nil, []cq.Atom{{Rel: "Missing"}}, nil); err == nil {
+		t.Error("unknown view accepted")
+	}
+	v5 := cq.MustParse("V5() :- Meetings(x, y)")
+	if _, err := ExecuteRewriting(db, nil,
+		[]cq.Atom{cq.NewAtom("V5", cq.V("x"))},
+		map[string]*cq.Query{"V5": v5}); err == nil {
+		t.Error("boolean view with arguments accepted")
+	}
+}
+
+func TestRowsAreCopies(t *testing.T) {
+	db := figure1DB(t)
+	rows := db.Table("Meetings").Rows()
+	rows[0][0] = "corrupted"
+	fresh := db.Table("Meetings").Rows()
+	if fresh[0][0] == "corrupted" {
+		t.Error("Rows leaked internal storage")
+	}
+}
+
+func TestIndexInvalidationOnInsert(t *testing.T) {
+	// An index probe must see tuples inserted after a previous evaluation
+	// built the index.
+	s := schema.MustNew(schema.MustRelation("R", "a", "b"))
+	db := NewDatabase(s)
+	db.MustInsert("R", "1", "x")
+	q := cq.MustParse("Q(b) :- R('1', b)")
+	rows, err := db.Eval(q)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("first eval: %v %v", rows, err)
+	}
+	db.MustInsert("R", "1", "y")
+	rows, err = db.Eval(q)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("eval after insert: %v %v (stale index?)", rows, err)
+	}
+}
+
+func TestJoinOrderIndependence(t *testing.T) {
+	// The greedy join order must not change results: evaluate a query and
+	// its body-reversed twin.
+	s := schema.MustNew(
+		schema.MustRelation("R", "a", "b"),
+		schema.MustRelation("S", "a", "b"),
+	)
+	db := NewDatabase(s)
+	for i := 0; i < 20; i++ {
+		db.MustInsert("R", fmt.Sprint(i%5), fmt.Sprint(i%3))
+		db.MustInsert("S", fmt.Sprint(i%3), fmt.Sprint(i%7))
+	}
+	q1 := cq.MustParse("Q(x, z) :- R(x, y), S(y, z)")
+	q2 := cq.MustParse("Q(x, z) :- S(y, z), R(x, y)")
+	r1, err := db.Eval(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Eval(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualResults(r1, r2) {
+		t.Errorf("atom order changed results: %v vs %v", r1, r2)
+	}
+}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+)
+
+// ExecuteRewriting runs a rewriting — a query whose body atoms reference
+// view names — against the database: it materializes the referenced views
+// and evaluates the rewriting over them. Boolean views (empty head)
+// materialize as unary marker relations, and their zero-argument atoms in
+// the rewriting body are adjusted to match.
+//
+// ExecuteRewriting is the semantic ground truth for rewritability: if rw is
+// an equivalent rewriting of view v, then for every database the result
+// equals db.Eval(v).
+func ExecuteRewriting(db *Database, head []cq.Term, body []cq.Atom, views map[string]*cq.Query) ([]Tuple, error) {
+	used := make(map[string]*cq.Query)
+	for _, a := range body {
+		def, ok := views[a.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: rewriting references unknown view %q", a.Rel)
+		}
+		used[a.Rel] = def
+	}
+	defs := make([]*cq.Query, 0, len(used))
+	for _, def := range used {
+		defs = append(defs, def)
+	}
+	mat, err := Materialize(db, defs...)
+	if err != nil {
+		return nil, err
+	}
+	adjusted := make([]cq.Atom, len(body))
+	for i, a := range body {
+		if len(used[a.Rel].Head) == 0 {
+			if len(a.Args) != 0 {
+				return nil, fmt.Errorf("engine: boolean view %q used with %d arguments", a.Rel, len(a.Args))
+			}
+			adjusted[i] = cq.NewAtom(a.Rel, cq.C("true"))
+		} else {
+			adjusted[i] = a.Clone()
+		}
+	}
+	q, err := cq.NewQuery("Rewriting", head, adjusted)
+	if err != nil {
+		return nil, fmt.Errorf("engine: invalid rewriting: %w", err)
+	}
+	return mat.Eval(q)
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/rewrite"
+	"repro/internal/schema"
+)
+
+// TestRewritingWitnessesSemantically validates the single-atom
+// rewritability criterion end to end: whenever SingleAtom declares
+// {v} ≼ {s} and returns a witness, executing the witness over the
+// materialized view s must produce exactly v's answers on randomly
+// generated databases. This ties the labeler's core decision procedure to
+// the semantics of equivalent view rewriting.
+func TestRewritingWitnessesSemantically(t *testing.T) {
+	rng := rand.New(rand.NewSource(2013))
+	s := schema.MustNew(schema.MustRelation("R", "a", "b", "c"))
+
+	// Random single-atom views over the ternary relation R: random term
+	// kinds per position, random head subset.
+	randomView := func(name string) *cq.Query {
+		vals := []string{"0", "1", "2"}
+		for {
+			args := make([]cq.Term, 3)
+			varNames := []string{"x", "y", "z"}
+			usedVars := map[string]bool{}
+			for i := range args {
+				switch rng.Intn(4) {
+				case 0:
+					args[i] = cq.C(vals[rng.Intn(len(vals))])
+				case 1:
+					// Possibly repeat an earlier variable.
+					v := varNames[rng.Intn(3)]
+					args[i] = cq.V(v)
+					usedVars[v] = true
+				default:
+					v := varNames[i]
+					args[i] = cq.V(v)
+					usedVars[v] = true
+				}
+			}
+			var head []cq.Term
+			for v := range usedVars {
+				if rng.Intn(2) == 0 {
+					head = append(head, cq.V(v))
+				}
+			}
+			q, err := cq.NewQuery(name, head, []cq.Atom{{Rel: "R", Args: args}})
+			if err != nil {
+				continue
+			}
+			return q
+		}
+	}
+
+	randomDB := func() *Database {
+		db := NewDatabase(s)
+		vals := []string{"0", "1", "2"}
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			db.MustInsert("R", vals[rng.Intn(3)], vals[rng.Intn(3)], vals[rng.Intn(3)])
+		}
+		return db
+	}
+
+	positives := 0
+	for trial := 0; trial < 400; trial++ {
+		v := randomView("Vq")
+		sv := randomView("S")
+		rw, ok, err := rewrite.SingleAtom(v, sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		positives++
+		for d := 0; d < 5; d++ {
+			db := randomDB()
+			direct, err := db.Eval(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaViews, err := ExecuteRewriting(db, rw.Head, rw.Body, map[string]*cq.Query{sv.Name: sv})
+			if err != nil {
+				t.Fatalf("executing witness %s for %s ≼ %s: %v", rw, v, sv, err)
+			}
+			if !EqualResults(direct, viaViews) {
+				t.Fatalf("witness disagrees for\n  v = %s\n  s = %s\n  witness = %s\n  direct = %v\n  via views = %v\n  db = %v",
+					v, sv, rw, direct, viaViews, db.Table("R").Rows())
+			}
+		}
+	}
+	if positives < 20 {
+		t.Fatalf("only %d positive rewritability cases exercised; generator too narrow", positives)
+	}
+}
+
+// TestNonRewritabilityCounterexamples spot-checks negative decisions: for
+// pairs declared non-rewritable, a concrete pair of databases demonstrates
+// that the view's answer is not determined by the security view's answer
+// (same view output, different query output).
+func TestNonRewritabilityCounterexamples(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("M", "a", "b"))
+	cases := []struct {
+		v, sv    string
+		db1, db2 [][2]string // two databases with equal s-answers, different v-answers
+	}{
+		{
+			// π1 does not determine the full table.
+			v: "V1(x, y) :- M(x, y)", sv: "S(x) :- M(x, y)",
+			db1: [][2]string{{"1", "a"}},
+			db2: [][2]string{{"1", "b"}},
+		},
+		{
+			// The diagonal is not determined by π1.
+			v: "D(x) :- M(x, x)", sv: "S(x) :- M(x, y)",
+			db1: [][2]string{{"1", "1"}},
+			db2: [][2]string{{"1", "2"}},
+		},
+		{
+			// Emptiness is not determined by a point lookup (Example 5.1).
+			v: "V14() :- M(x, y)", sv: "S() :- M(9, 'Jim')",
+			db1: [][2]string{{"1", "a"}},
+			db2: nil,
+		},
+	}
+	for _, tc := range cases {
+		v, sv := cq.MustParse(tc.v), cq.MustParse(tc.sv)
+		if rewrite.SingleAtomRewritable(v, sv) {
+			t.Errorf("%s ≼ %s claimed rewritable", tc.v, tc.sv)
+			continue
+		}
+		mk := func(rows [][2]string) *Database {
+			db := NewDatabase(s)
+			for _, r := range rows {
+				db.MustInsert("M", r[0], r[1])
+			}
+			return db
+		}
+		db1, db2 := mk(tc.db1), mk(tc.db2)
+		s1, err := db1.Eval(sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := db2.Eval(sv)
+		if !EqualResults(s1, s2) {
+			t.Fatalf("test case broken: s-answers differ for %s", tc.sv)
+		}
+		v1, _ := db1.Eval(v)
+		v2, _ := db2.Eval(v)
+		if EqualResults(v1, v2) {
+			t.Errorf("counterexample for %s ⋠ %s does not separate the databases", tc.v, tc.sv)
+		}
+	}
+}
+
+// TestGeneralRewritingSemantics executes multi-atom rewriting witnesses
+// from the general search against random databases.
+func TestGeneralRewritingSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := schema.MustNew(
+		schema.MustRelation("M", "t", "p"),
+		schema.MustRelation("C", "p", "e", "r"),
+	)
+	v1 := cq.MustParse("V1(x, y) :- M(x, y)")
+	v3 := cq.MustParse("V3(x, y, z) :- C(x, y, z)")
+	defs := map[string]*cq.Query{"V1": v1, "V3": v3}
+	queries := []string{
+		"Q(x) :- M(x, y), C(y, w, 'I')",
+		"Q(x, e) :- M(x, y), C(y, e, r)",
+		"Q(t, p) :- M(t, p), C(p, e, r)",
+		"Q() :- M(x, y), C(y, w, z)",
+	}
+	for _, src := range queries {
+		q := cq.MustParse(src)
+		rw, ok, err := rewrite.Equivalent(q, []*cq.Query{v1, v3}, rewrite.Options{})
+		if err != nil || !ok {
+			t.Fatalf("%s: ok=%v err=%v", src, ok, err)
+		}
+		for d := 0; d < 10; d++ {
+			db := NewDatabase(s)
+			people := []string{"a", "b", "c"}
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				db.MustInsert("M", fmt.Sprint(rng.Intn(4)), people[rng.Intn(3)])
+			}
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				db.MustInsert("C", people[rng.Intn(3)], fmt.Sprintf("e%d", rng.Intn(3)), []string{"I", "J"}[rng.Intn(2)])
+			}
+			direct, err := db.Eval(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			via, err := ExecuteRewriting(db, rw.Head, rw.Body, defs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !EqualResults(direct, via) {
+				t.Fatalf("%s: witness %s disagrees: %v vs %v", src, rw, direct, via)
+			}
+		}
+	}
+}

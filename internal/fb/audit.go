@@ -1,0 +1,166 @@
+package fb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the Section 7.1 case study: a manual review of
+// Facebook's hand-crafted permission labeling of FQL and Graph-API queries.
+// The paper compares the documented permissions for 42 corresponding
+// single-attribute views over the User table across the two APIs and finds
+// six discrepancies (Table 2); issuing live queries showed the
+// inconsistencies were documentation errors.
+//
+// DocLabel captures a documented permission requirement. Facebook's
+// documentation uses three shapes: "none" (no permissions required), "any"
+// (any nonempty permission set suffices), and a disjunction of concrete
+// permission alternatives (e.g. "user_likes or friends_likes").
+
+// LabelKind discriminates the three shapes of documented labels.
+type LabelKind int
+
+const (
+	// None: no permissions are required.
+	None LabelKind = iota
+	// Any: any nonempty set of permissions suffices.
+	Any
+	// Perms: one of the listed permission alternatives is required.
+	Perms
+)
+
+// DocLabel is a documented permission requirement for one API query.
+type DocLabel struct {
+	Kind LabelKind
+	// Alternatives lists the acceptable permission sets (disjunction);
+	// meaningful only when Kind == Perms.
+	Alternatives [][]string
+	// Note carries a documentation qualifier, e.g. "only available for
+	// friends of the current user". Notes participate in equality: a
+	// qualified "any" differs from a plain "any".
+	Note string
+}
+
+// NoneLabel, AnyLabel and PermsLabel are convenience constructors.
+func NoneLabel() DocLabel { return DocLabel{Kind: None} }
+
+// AnyLabel returns an "any nonempty permission set" label with an optional
+// qualifier note.
+func AnyLabel(note string) DocLabel { return DocLabel{Kind: Any, Note: note} }
+
+// PermsLabel returns a concrete-permissions label; each argument is one
+// acceptable alternative (space-separated permission names).
+func PermsLabel(alternatives ...string) DocLabel {
+	d := DocLabel{Kind: Perms}
+	for _, a := range alternatives {
+		d.Alternatives = append(d.Alternatives, strings.Fields(a))
+	}
+	return d
+}
+
+// Equal reports whether two documented labels demand the same permissions.
+func (d DocLabel) Equal(o DocLabel) bool {
+	if d.Kind != o.Kind || d.Note != o.Note {
+		return false
+	}
+	if d.Kind != Perms {
+		return true
+	}
+	return canonicalAlts(d.Alternatives) == canonicalAlts(o.Alternatives)
+}
+
+func canonicalAlts(alts [][]string) string {
+	rendered := make([]string, 0, len(alts))
+	for _, a := range alts {
+		c := append([]string(nil), a...)
+		sort.Strings(c)
+		rendered = append(rendered, strings.Join(c, "+"))
+	}
+	sort.Strings(rendered)
+	return strings.Join(rendered, "|")
+}
+
+// String renders the label the way the paper's Table 2 does.
+func (d DocLabel) String() string {
+	switch d.Kind {
+	case None:
+		return "none"
+	case Any:
+		if d.Note != "" {
+			return "any; " + d.Note
+		}
+		return "any"
+	default:
+		var alts []string
+		for _, a := range d.Alternatives {
+			alts = append(alts, strings.Join(a, " and "))
+		}
+		s := strings.Join(alts, " or ")
+		if d.Note != "" {
+			s += "; " + d.Note
+		}
+		return s
+	}
+}
+
+// APILabeling is a documented labeling of single-attribute User views for
+// one API: attribute name → documented permission requirement.
+type APILabeling map[string]DocLabel
+
+// Inconsistency is one row of Table 2: an attribute whose documented
+// permissions differ between the two APIs, together with the
+// experimentally-determined correct source.
+type Inconsistency struct {
+	Attribute string
+	FQL       DocLabel
+	Graph     DocLabel
+	// Correct names the API whose documentation matched observed behavior
+	// ("FQL" or "Graph API"), as determined by the paper's live queries.
+	Correct string
+}
+
+// Audit compares two documented labelings of corresponding views and
+// returns the attributes whose labels disagree, in attribute order of the
+// fql map's sorted keys. The correct column is filled from ground when
+// available. Attributes present in only one labeling are reported as
+// inconsistencies with a zero label on the missing side.
+func Audit(fql, graph APILabeling, ground map[string]string) []Inconsistency {
+	attrs := make(map[string]struct{}, len(fql)+len(graph))
+	for a := range fql {
+		attrs[a] = struct{}{}
+	}
+	for a := range graph {
+		attrs[a] = struct{}{}
+	}
+	sorted := make([]string, 0, len(attrs))
+	for a := range attrs {
+		sorted = append(sorted, a)
+	}
+	sort.Strings(sorted)
+	var out []Inconsistency
+	for _, a := range sorted {
+		fl, fok := fql[a]
+		gl, gok := graph[a]
+		if fok && gok && fl.Equal(gl) {
+			continue
+		}
+		inc := Inconsistency{Attribute: a, FQL: fl, Graph: gl}
+		if ground != nil {
+			inc.Correct = ground[a]
+		}
+		out = append(out, inc)
+	}
+	return out
+}
+
+// RenderTable renders inconsistencies as the paper's Table 2.
+func RenderTable(incs []Inconsistency) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s | %-38s | %-52s | %s\n", "Attribute", "FQL Permissions", "Graph API Permissions", "Correct Labeling")
+	b.WriteString(strings.Repeat("-", 130) + "\n")
+	for _, inc := range incs {
+		fmt.Fprintf(&b, "%-22s | %-38s | %-52s | %s\n", inc.Attribute, inc.FQL, inc.Graph, inc.Correct)
+	}
+	return b.String()
+}

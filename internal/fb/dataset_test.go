@@ -1,0 +1,66 @@
+package fb
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+)
+
+func TestGenerateGraph(t *testing.T) {
+	db := engine.NewDatabase(Schema())
+	if err := GenerateGraph(db, 25, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("user").Len(); got != 25 {
+		t.Errorf("user rows = %d, want 25", got)
+	}
+	for _, rel := range []string{"friend", "album", "photo", "event", "groups", "checkin", "likes"} {
+		if db.Table(rel).Len() == 0 {
+			t.Errorf("relation %s is empty", rel)
+		}
+	}
+
+	// The is_friend denormalization must be consistent with the friend
+	// edge list: every user marked is_friend='1' has a friend('me', u, _)
+	// edge and vice versa (the paper's losslessness argument depends on
+	// this invariant).
+	marked, err := db.Eval(cq.MustParse("Q(u) :- user(" + userArgs(map[string]string{"uid": "u", "is_friend": "'1'"}) + ")"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := db.Eval(cq.MustParse("Q(u) :- friend('me', u, s)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.EqualResults(marked, edges) {
+		t.Errorf("is_friend marks %v but edges are %v", marked, edges)
+	}
+	if len(marked) == 0 {
+		t.Error("no friends generated; scoped queries would be vacuous")
+	}
+
+	// Determinism.
+	db2 := engine.NewDatabase(Schema())
+	if err := GenerateGraph(db2, 25, 3); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := db.Eval(cq.MustParse("Q(u, n) :- user(" + userArgs(map[string]string{"uid": "u", "name": "n"}) + ")"))
+	r2, _ := db2.Eval(cq.MustParse("Q(u, n) :- user(" + userArgs(map[string]string{"uid": "u", "name": "n"}) + ")"))
+	if !engine.EqualResults(r1, r2) {
+		t.Error("same seed produced different graphs")
+	}
+
+	// A friends-scoped query returns exactly the friends' rows.
+	fb, err := db.Eval(cq.MustParse("Q(u, b) :- user(" + userArgs(map[string]string{"uid": "u", "birthday": "b", "is_friend": "'1'"}) + ")"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != len(marked) {
+		t.Errorf("friends birthday rows = %d, want %d", len(fb), len(marked))
+	}
+
+	if err := GenerateGraph(db, 0, 1); err == nil {
+		t.Error("nUsers=0 accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package fb
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/label"
+)
+
+// TestDerivedLabelsMatchPermissionModel machine-labels a query for every
+// User attribute in both the self scope and the friends scope and checks
+// that the derived ℓ⁺ names exactly the intended permission view — the
+// data-derived labeling that Section 7.1 argues should replace the
+// hand-maintained documentation.
+func TestDerivedLabelsMatchPermissionModel(t *testing.T) {
+	cat, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := label.NewLabeler(cat)
+
+	groupOf := make(map[string]string) // attribute → permission group
+	for g, attrs := range UserPermissionGroups {
+		for _, a := range attrs {
+			groupOf[a] = g
+		}
+	}
+
+	checked := 0
+	for _, attr := range UserAttrs {
+		g, gated := groupOf[attr]
+		if !gated {
+			continue // uid, is_friend
+		}
+		// Self scope: SELECT attr FROM user WHERE uid = me().
+		qSelf := buildUserQuery(t, map[string]string{"uid": Me}, []string{attr})
+		lbl, err := l.Label(qSelf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := cat.ViewNamesOf(lbl.Atoms[0])
+		if len(names) != 1 || names[0] != "user_"+g {
+			t.Errorf("self %s: ℓ⁺ = %v, want [user_%s]", attr, names, g)
+		}
+		// Friends scope.
+		qFriends := buildUserQuery(t, map[string]string{"is_friend": FriendTrue}, []string{attr})
+		lblF, err := l.Label(qFriends)
+		if err != nil {
+			t.Fatal(err)
+		}
+		namesF := cat.ViewNamesOf(lblF.Atoms[0])
+		if len(namesF) != 1 || namesF[0] != "friends_"+g {
+			t.Errorf("friends %s: ℓ⁺ = %v, want [friends_%s]", attr, namesF, g)
+		}
+		checked += 2
+	}
+	if checked < 60 {
+		t.Fatalf("only %d scoped attribute views checked", checked)
+	}
+
+	// Multi-attribute selections within one group still label to exactly
+	// that group; selections across groups are ⊤ (no single permission
+	// covers them — the app must be granted both, which our single-atom
+	// catalog expresses as no single view dominating the atom).
+	q := buildUserQuery(t, map[string]string{"uid": Me}, []string{"music", "movies", "books"})
+	lbl, err := l.Label(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := cat.ViewNamesOf(lbl.Atoms[0]); len(names) != 1 || names[0] != "user_likes" {
+		t.Errorf("likes bundle: ℓ⁺ = %v", names)
+	}
+	qCross := buildUserQuery(t, map[string]string{"uid": Me}, []string{"birthday", "email"})
+	lblCross, err := l.Label(qCross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lblCross.HasTop() {
+		t.Errorf("cross-group selection should be ⊤ under single-atom views, got %s", lblCross.Render(cat))
+	}
+}
+
+// buildUserQuery constructs a single-atom user query binding the given
+// attributes to constants and exposing the listed attributes in the head.
+func buildUserQuery(t *testing.T, sel map[string]string, expose []string) *cq.Query {
+	t.Helper()
+	args := make([]cq.Term, len(UserAttrs))
+	for i, a := range UserAttrs {
+		if v, ok := sel[a]; ok {
+			args[i] = cq.C(v)
+		} else {
+			args[i] = cq.V("v_" + a)
+		}
+	}
+	var head []cq.Term
+	if sel["is_friend"] == FriendTrue {
+		// Friends-scoped views expose the owner uid.
+		head = append(head, args[indexOf("uid")])
+	}
+	for _, e := range expose {
+		head = append(head, args[indexOf(e)])
+	}
+	q, err := cq.NewQuery("Q", head, []cq.Atom{{Rel: "user", Args: args}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func indexOf(attr string) int {
+	for i, a := range UserAttrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}

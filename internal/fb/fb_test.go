@@ -1,0 +1,244 @@
+package fb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/label"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if s.Len() != 8 {
+		t.Errorf("schema has %d relations, want 8 (paper Section 7.2)", s.Len())
+	}
+	u := s.Relation("user")
+	if u == nil || u.Arity() != 34 {
+		t.Fatalf("user relation arity = %d, want 34", u.Arity())
+	}
+	for _, r := range s.Relations() {
+		if r.Name() == "user" {
+			continue
+		}
+		if a := r.Arity(); a < 3 || a > 10 {
+			t.Errorf("relation %s has arity %d, paper says 3..10", r.Name(), a)
+		}
+		if !r.HasAttr("uid") {
+			t.Errorf("relation %s lacks the uid join attribute", r.Name())
+		}
+	}
+}
+
+func TestSecurityViewsWellFormed(t *testing.T) {
+	s := Schema()
+	views, err := SecurityViews(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userViews := 0
+	for _, v := range views {
+		if !v.IsSingleAtom() {
+			t.Errorf("view %s is not single-atom", v.Name)
+		}
+		if err := v.ValidateAgainst(s); err != nil {
+			t.Errorf("view %s: %v", v.Name, err)
+		}
+		if len(v.Head) == 0 {
+			t.Errorf("view %s exposes nothing", v.Name)
+		}
+		if v.Body[0].Rel == "user" {
+			userViews++
+		}
+	}
+	if userViews != 16 {
+		t.Errorf("user relation has %d security views, want 16 (paper Section 7.2)", userViews)
+	}
+}
+
+func TestCatalogBuilds(t *testing.T) {
+	c, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() < 30 {
+		t.Errorf("catalog has only %d views", c.Len())
+	}
+	if c.ViewByName("user_birthday") == nil || c.ViewByName("friends_birthday") == nil {
+		t.Error("expected user_birthday and friends_birthday views")
+	}
+}
+
+func TestLabelingFacebookQueries(t *testing.T) {
+	c, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := label.NewLabeler(c)
+
+	// "Birthday of the current user": determined by user_birthday (and by
+	// nothing else except... nothing else exposes birthday with uid=me).
+	q := cq.MustParse("Q(b) :- user(" + userArgs(map[string]string{"uid": "'me'", "birthday": "b"}) + ")")
+	lbl, err := l.Label(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lbl.Atoms) != 1 {
+		t.Fatalf("label has %d atoms", len(lbl.Atoms))
+	}
+	names := c.ViewNamesOf(lbl.Atoms[0])
+	if len(names) != 1 || names[0] != "user_birthday" {
+		t.Errorf("ℓ⁺ = %v, want [user_birthday]", names)
+	}
+
+	// "Birthdays of my friends" (the paper's join-permission example):
+	// determined by friends_birthday.
+	qf := cq.MustParse("Qf(u, b) :- user(" + userArgs(map[string]string{"uid": "u", "birthday": "b", "is_friend": "'1'"}) + ")")
+	lblf, err := l.Label(qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	namesf := c.ViewNamesOf(lblf.Atoms[0])
+	if len(namesf) != 1 || namesf[0] != "friends_birthday" {
+		t.Errorf("ℓ⁺ = %v, want [friends_birthday]", namesf)
+	}
+
+	// A query for everyone's birthday (no friend scoping) is ⊤: no 2013
+	// permission revealed arbitrary users' birthdays.
+	qa := cq.MustParse("Qa(u, b) :- user(" + userArgs(map[string]string{"uid": "u", "birthday": "b"}) + ")")
+	lbla, err := l.Label(qa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lbla.HasTop() {
+		t.Errorf("global birthday scan should be ⊤, got %s", lbla.Render(c))
+	}
+}
+
+// userArgs renders a user(...) argument list binding the given attributes
+// and filling the rest with fresh existential variables.
+func userArgs(bind map[string]string) string {
+	parts := make([]string, len(UserAttrs))
+	for i, a := range UserAttrs {
+		if v, ok := bind[a]; ok {
+			parts[i] = v
+		} else {
+			parts[i] = "e_" + a
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func TestTable2Reproduction(t *testing.T) {
+	incs := Table2()
+	if len(incs) != 6 {
+		t.Fatalf("audit found %d inconsistencies, want 6 (Table 2); got %+v", len(incs), incs)
+	}
+	want := map[string]string{
+		"pic":                 "FQL",
+		"timezone":            "Graph API",
+		"devices":             "Graph API",
+		"relationship_status": "Graph API",
+		"quotes":              "FQL",
+		"profile_url":         "FQL",
+	}
+	for _, inc := range incs {
+		correct, ok := want[inc.Attribute]
+		if !ok {
+			t.Errorf("unexpected inconsistency for %q", inc.Attribute)
+			continue
+		}
+		if inc.Correct != correct {
+			t.Errorf("%s: correct = %q, want %q", inc.Attribute, inc.Correct, correct)
+		}
+		delete(want, inc.Attribute)
+	}
+	for a := range want {
+		t.Errorf("missing Table-2 row for %q", a)
+	}
+	if ReviewedViewCount() != 42 {
+		t.Errorf("reviewed %d views, want 42", ReviewedViewCount())
+	}
+	// 36 of the 42 views must agree.
+	if consistent := ReviewedViewCount() - len(incs); consistent != 36 {
+		t.Errorf("%d consistent views, want 36", consistent)
+	}
+}
+
+func TestAuditGeneric(t *testing.T) {
+	a := APILabeling{"x": AnyLabel(""), "y": NoneLabel()}
+	b := APILabeling{"x": AnyLabel(""), "y": PermsLabel("p")}
+	incs := Audit(a, b, map[string]string{"y": "A"})
+	if len(incs) != 1 || incs[0].Attribute != "y" || incs[0].Correct != "A" {
+		t.Errorf("Audit = %+v", incs)
+	}
+	// Asymmetric key sets are reported.
+	incs = Audit(APILabeling{"only_a": NoneLabel()}, APILabeling{}, nil)
+	if len(incs) != 1 {
+		t.Errorf("missing-side audit = %+v", incs)
+	}
+	// Notes participate in equality ("any" vs qualified "any").
+	incs = Audit(APILabeling{"z": AnyLabel("")}, APILabeling{"z": AnyLabel("only for friends")}, nil)
+	if len(incs) != 1 {
+		t.Error("note-qualified labels must not compare equal")
+	}
+}
+
+func TestDocLabelEquality(t *testing.T) {
+	// Alternative order must not matter.
+	if !PermsLabel("a b", "c").Equal(PermsLabel("c", "b a")) {
+		t.Error("alternative order should not matter")
+	}
+	if PermsLabel("a").Equal(PermsLabel("b")) {
+		t.Error("different permissions compare equal")
+	}
+	if NoneLabel().Equal(AnyLabel("")) {
+		t.Error("none == any")
+	}
+	if got := PermsLabel("user_likes", "friends_likes").String(); got != "user_likes or friends_likes" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NoneLabel().String(); got != "none" {
+		t.Errorf("String = %q", got)
+	}
+	if got := AnyLabel("qualified").String(); got != "any; qualified" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable(Table2())
+	for _, want := range []string{"pic", "timezone", "devices", "relationship_status", "quotes", "profile_url", "Correct Labeling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProjectionViewErrors(t *testing.T) {
+	s := Schema()
+	if _, err := projectionView(s, "v", "nope", nil, nil, false); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := projectionView(s, "v", "user", []string{"nope"}, nil, false); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := projectionView(s, "v", "user", []string{"uid"}, map[string]string{"uid": "me"}, false); err == nil {
+		t.Error("exposing a selected-away attribute accepted")
+	}
+}
+
+func TestDocsCoverAll42Views(t *testing.T) {
+	fql, graph := FQLDocs(), GraphDocs()
+	if len(fql) != 42 || len(graph) != 42 {
+		t.Fatalf("labelings cover %d/%d attributes, want 42/42", len(fql), len(graph))
+	}
+	for _, a := range auditAttrs42 {
+		if _, ok := fql[a]; !ok {
+			t.Errorf("FQL docs missing %q", a)
+		}
+		if _, ok := graph[a]; !ok {
+			t.Errorf("Graph docs missing %q", a)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package fb models the Facebook app-ecosystem case study of Section 7 of
+// the paper: an eight-relation schema reconstructed from the paper's
+// description (the User relation carries 34 attributes; the others between
+// 3 and 10), a security-view catalog expressing Facebook's permission
+// vocabulary, the documented FQL and Graph-API permission labelings for 42
+// User-attribute views, and the audit algorithm that reproduces the six
+// Table-2 inconsistencies.
+//
+// Facebook's 2013 developer documentation is no longer retrievable; the
+// model below is reconstructed from everything the paper states and from
+// the public FQL User-table column list of that era. The audit algorithm is
+// independent of the particular reconstruction: it diffs any two labelings
+// of corresponding queries.
+//
+// Join permissions (e.g. friends_birthday) are modeled with the paper's own
+// device: every relation carries an is_friend column indicating whether the
+// tuple's owner is a friend of the querying principal — a denormalization
+// the paper argues is lossless because any app can already read its user's
+// friend list.
+package fb
+
+import (
+	"repro/internal/schema"
+)
+
+// UserAttrs lists the 34 attributes of the User relation, uid first,
+// is_friend last (the paper's denormalization column).
+var UserAttrs = []string{
+	"uid", "name", "first_name", "last_name", "username",
+	"birthday", "sex", "email", "pic", "pic_small",
+	"pic_big", "pic_square", "timezone", "locale", "religion",
+	"political", "relationship_status", "significant_other_id", "hometown_location", "current_location",
+	"activities", "interests", "music", "movies", "books",
+	"quotes", "about_me", "status", "online_presence", "website",
+	"devices", "profile_url", "languages", "is_friend",
+}
+
+// Schema returns the eight-relation Facebook schema. Every relation has a
+// uid column (the paper's workload joins subqueries on uid) and an
+// is_friend column.
+func Schema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("user", UserAttrs...),
+		// friend: the friendship edge list (the one relation without
+		// is_friend — it *is* the friendship information; uid aliases uid1).
+		schema.MustRelation("friend", "uid", "uid2", "since"),
+		// album: photo albums.
+		schema.MustRelation("album", "aid", "uid", "name", "description",
+			"location", "size", "created", "visible", "is_friend"),
+		// photo: individual photos.
+		schema.MustRelation("photo", "pid", "aid", "uid", "caption",
+			"created", "link", "is_friend"),
+		// event: events the user attends.
+		schema.MustRelation("event", "eid", "uid", "name", "location",
+			"start_time", "end_time", "rsvp_status", "is_friend"),
+		// groups: group memberships.
+		schema.MustRelation("groups", "gid", "uid", "name", "description", "is_friend"),
+		// checkin: location check-ins.
+		schema.MustRelation("checkin", "checkin_id", "uid", "page_id",
+			"message", "timestamp", "is_friend"),
+		// likes: page likes.
+		schema.MustRelation("likes", "uid", "page_id", "page_name", "is_friend"),
+	)
+}

@@ -1,0 +1,157 @@
+package fb
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/label"
+	"repro/internal/schema"
+)
+
+// Me is the constant denoting the principal's own user id. Facebook's
+// permission model is relative to the current user; modeling "me" as a
+// distinguished constant lets self-scoped permissions be ordinary
+// selection views.
+const Me = "me"
+
+// FriendTrue is the is_friend marker value for tuples owned by friends of
+// the current principal (the paper's denormalization column).
+const FriendTrue = "1"
+
+// UserPermissionGroups maps each user_* permission to the User attributes
+// it reveals. Together with the friends_* variants this yields the
+// 16-view generating set the paper reports for the User relation.
+var UserPermissionGroups = map[string][]string{
+	"basic":         {"name", "first_name", "last_name", "username", "sex", "pic", "pic_small", "pic_big", "pic_square", "profile_url", "locale"},
+	"about_me":      {"about_me", "quotes", "religion", "political"},
+	"birthday":      {"birthday"},
+	"likes":         {"music", "movies", "books", "activities", "interests", "languages"},
+	"relationships": {"relationship_status", "significant_other_id"},
+	"location":      {"hometown_location", "current_location", "timezone"},
+	"status":        {"status", "online_presence", "website", "devices"},
+	"contact":       {"email"},
+}
+
+// projectionView builds a single-atom view over rel that exposes the given
+// attributes (head order as given, prefixed with uid when includeUID is
+// set) and fixes the attributes in sel to constants.
+func projectionView(s *schema.Schema, name, rel string, attrs []string, sel map[string]string, includeUID bool) (*cq.Query, error) {
+	r := s.Relation(rel)
+	if r == nil {
+		return nil, fmt.Errorf("fb: unknown relation %q", rel)
+	}
+	args := make([]cq.Term, r.Arity())
+	for i := 0; i < r.Arity(); i++ {
+		a := r.Attr(i)
+		if v, fixed := sel[a]; fixed {
+			args[i] = cq.C(v)
+		} else {
+			args[i] = cq.V("v_" + a)
+		}
+	}
+	var head []cq.Term
+	if includeUID {
+		i := r.AttrIndex("uid")
+		if i < 0 {
+			return nil, fmt.Errorf("fb: relation %q has no uid attribute", rel)
+		}
+		if args[i].IsVar() {
+			head = append(head, args[i])
+		}
+	}
+	for _, a := range attrs {
+		i := r.AttrIndex(a)
+		if i < 0 {
+			return nil, fmt.Errorf("fb: relation %q has no attribute %q", rel, a)
+		}
+		if !args[i].IsVar() {
+			return nil, fmt.Errorf("fb: attribute %q is fixed by a selection and cannot be exposed", a)
+		}
+		head = append(head, args[i])
+	}
+	return cq.NewQuery(name, head, []cq.Atom{{Rel: rel, Args: args}})
+}
+
+// SecurityViews returns the full security-view generating set for the
+// Facebook schema: for User, a user_<group> view (attributes of the
+// current user) and a friends_<group> view (attributes plus uid of the
+// principal's friends) per permission group — 16 views; for each content
+// relation, three views (self, friends, public metadata); for friend, the
+// friend-list views the platform grants to every app.
+func SecurityViews(s *schema.Schema) ([]*cq.Query, error) {
+	var out []*cq.Query
+	add := func(name, rel string, attrs []string, sel map[string]string, includeUID bool) error {
+		v, err := projectionView(s, name, rel, attrs, sel, includeUID)
+		if err != nil {
+			return err
+		}
+		out = append(out, v)
+		return nil
+	}
+
+	// Deterministic group order.
+	groups := []string{"basic", "about_me", "birthday", "likes", "relationships", "location", "status", "contact"}
+	for _, g := range groups {
+		attrs := UserPermissionGroups[g]
+		if err := add("user_"+g, "user", attrs, map[string]string{"uid": Me}, false); err != nil {
+			return nil, err
+		}
+		if err := add("friends_"+g, "user", attrs, map[string]string{"is_friend": FriendTrue}, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// friend: the friend list (available to any app per the paper) and the
+	// richer edge view with the friendship date.
+	if err := add("friend_list", "friend", []string{"uid2"}, map[string]string{"uid": Me}, false); err != nil {
+		return nil, err
+	}
+	if err := add("friend_since", "friend", []string{"uid2", "since"}, map[string]string{"uid": Me}, false); err != nil {
+		return nil, err
+	}
+
+	// Content relations: a self view (all attributes, uid = me), a friends
+	// view (all attributes of friend-owned tuples), and a public metadata
+	// view — named <rel>_self / <rel>_friends / <rel>_meta to avoid
+	// clashing with the user_* permission-group views.
+	content := []struct {
+		rel    string
+		public []string
+	}{
+		{"album", []string{"aid", "name", "created"}},
+		{"photo", []string{"pid", "aid", "created"}},
+		{"event", []string{"eid", "name", "start_time"}},
+		{"groups", []string{"gid", "name"}},
+		{"checkin", []string{"checkin_id", "page_id", "timestamp"}},
+		{"likes", []string{"page_id", "page_name"}},
+	}
+	for _, cr := range content {
+		r := s.Relation(cr.rel)
+		var rest []string
+		for _, a := range r.Attrs() {
+			if a != "uid" && a != "is_friend" {
+				rest = append(rest, a)
+			}
+		}
+		if err := add(cr.rel+"_self", cr.rel, rest, map[string]string{"uid": Me}, false); err != nil {
+			return nil, err
+		}
+		if err := add(cr.rel+"_friends", cr.rel, rest, map[string]string{"is_friend": FriendTrue}, true); err != nil {
+			return nil, err
+		}
+		if err := add(cr.rel+"_meta", cr.rel, cr.public, nil, true); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Catalog builds the labeled security-view catalog for the Facebook schema.
+func Catalog() (*label.Catalog, error) {
+	s := Schema()
+	views, err := SecurityViews(s)
+	if err != nil {
+		return nil, err
+	}
+	return label.NewCatalog(s, views...)
+}

@@ -1,0 +1,415 @@
+// Package fql is a front end for an FQL-flavored SQL subset, the query
+// language of the paper's Facebook case study (Section 7.1). It compiles
+//
+//	SELECT col, ... FROM table WHERE cond [AND cond ...]
+//
+// statements into conjunctive queries over a schema. Conditions are
+// equalities between a column and a literal, the special me() function, a
+// column of the same table, or an IN-subquery:
+//
+//	SELECT name, pic FROM user WHERE uid = me()
+//	SELECT birthday FROM user WHERE uid IN (SELECT uid2 FROM friend WHERE uid = me())
+//
+// IN-subqueries compile to joins, exactly how FQL expressed friend-scoped
+// queries.
+package fql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// Compile parses an FQL statement and compiles it to a conjunctive query
+// named name over the given schema.
+func Compile(s *schema.Schema, name, src string) (*cq.Query, error) {
+	p := &parser{lex: newLexer(src)}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.peek().kind != tokEOF {
+		return nil, fmt.Errorf("fql: unexpected trailing input at %q", p.lex.peek().text)
+	}
+	c := &compiler{schema: s}
+	head, body, err := c.compileSelect(sel, true)
+	if err != nil {
+		return nil, err
+	}
+	q, err := cq.NewQuery(name, head, body)
+	if err != nil {
+		return nil, fmt.Errorf("fql: %w", err)
+	}
+	return q, nil
+}
+
+// MustCompile is like Compile but panics on error.
+func MustCompile(s *schema.Schema, name, src string) *cq.Query {
+	q, err := Compile(s, name, src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ---- AST ----
+
+type selectStmt struct {
+	cols  []string
+	star  bool // SELECT *
+	table string
+	conds []cond
+}
+
+type condKind int
+
+const (
+	condLiteral condKind = iota // col = 'value' or col = 123
+	condMe                      // col = me()
+	condColumn                  // col = col2
+	condIn                      // col IN (subselect)
+)
+
+type cond struct {
+	kind  condKind
+	col   string
+	value string      // literal value
+	col2  string      // for condColumn
+	sub   *selectStmt // for condIn
+}
+
+// ---- Lexer ----
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokComma
+	tokEq
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	cur  token
+	init bool
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) peek() token {
+	if !l.init {
+		l.cur = l.scan()
+		l.init = true
+	}
+	return l.cur
+}
+
+func (l *lexer) next() token {
+	t := l.peek()
+	l.cur = l.scan()
+	return t
+}
+
+func (l *lexer) scan() token {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF}
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ","}
+	case c == '=':
+		l.pos++
+		return token{kind: tokEq, text: "="}
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "("}
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")"}
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		l.pos++ // closing quote (safe even at EOF)
+		return token{kind: tokString, text: b.String()}
+	case c >= '0' && c <= '9' || c == '-':
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos]}
+	default:
+		start := l.pos
+		for l.pos < len(l.src) {
+			r := rune(l.src[l.pos])
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' {
+				l.pos++
+			} else {
+				break
+			}
+		}
+		if l.pos == start {
+			l.pos++ // skip unknown byte; parser will reject the token
+			return token{kind: tokIdent, text: string(c)}
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos]}
+	}
+}
+
+// ---- Parser ----
+
+type parser struct {
+	lex *lexer
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.lex.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("fql: expected %s, found %q", strings.ToUpper(kw), t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*selectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	s := &selectStmt{}
+	if t := p.lex.peek(); t.kind == tokIdent && t.text == "*" {
+		p.lex.next()
+		s.star = true
+	} else {
+		for {
+			t := p.lex.next()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("fql: expected column name, found %q", t.text)
+			}
+			s.cols = append(s.cols, t.text)
+			if p.lex.peek().kind == tokComma {
+				p.lex.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	t := p.lex.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("fql: expected table name, found %q", t.text)
+	}
+	s.table = t.text
+	// Optional WHERE clause.
+	if nt := p.lex.peek(); nt.kind == tokIdent && strings.EqualFold(nt.text, "where") {
+		p.lex.next()
+		for {
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			s.conds = append(s.conds, c)
+			if nt := p.lex.peek(); nt.kind == tokIdent && strings.EqualFold(nt.text, "and") {
+				p.lex.next()
+				continue
+			}
+			break
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseCond() (cond, error) {
+	t := p.lex.next()
+	if t.kind != tokIdent {
+		return cond{}, fmt.Errorf("fql: expected column name in condition, found %q", t.text)
+	}
+	col := t.text
+	op := p.lex.next()
+	switch {
+	case op.kind == tokEq:
+		v := p.lex.next()
+		switch v.kind {
+		case tokString, tokNumber:
+			return cond{kind: condLiteral, col: col, value: v.text}, nil
+		case tokIdent:
+			if strings.EqualFold(v.text, "me") && p.lex.peek().kind == tokLParen {
+				p.lex.next()
+				if cl := p.lex.next(); cl.kind != tokRParen {
+					return cond{}, fmt.Errorf("fql: expected ) after me(, found %q", cl.text)
+				}
+				return cond{kind: condMe, col: col}, nil
+			}
+			return cond{kind: condColumn, col: col, col2: v.text}, nil
+		default:
+			return cond{}, fmt.Errorf("fql: expected value after =, found %q", v.text)
+		}
+	case op.kind == tokIdent && strings.EqualFold(op.text, "in"):
+		if t := p.lex.next(); t.kind != tokLParen {
+			return cond{}, fmt.Errorf("fql: expected ( after IN, found %q", t.text)
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return cond{}, err
+		}
+		if t := p.lex.next(); t.kind != tokRParen {
+			return cond{}, fmt.Errorf("fql: expected ) closing IN subquery, found %q", t.text)
+		}
+		if sub.star || len(sub.cols) != 1 {
+			return cond{}, fmt.Errorf("fql: IN subquery must select exactly one column")
+		}
+		return cond{kind: condIn, col: col, sub: sub}, nil
+	default:
+		return cond{}, fmt.Errorf("fql: expected = or IN after column %s, found %q", col, op.text)
+	}
+}
+
+// ---- Compiler ----
+
+type compiler struct {
+	schema *schema.Schema
+	fresh  int
+}
+
+func (c *compiler) freshVar(prefix string) cq.Term {
+	c.fresh++
+	return cq.V(prefix + strconv.Itoa(c.fresh))
+}
+
+// compileSelect compiles a select statement into head terms (the selected
+// columns' variables, in order; empty for subqueries used inside IN) and
+// body atoms. For top == false, the single selected column's variable is
+// returned as the head so the caller can equate it with the outer column.
+func (c *compiler) compileSelect(s *selectStmt, top bool) ([]cq.Term, []cq.Atom, error) {
+	rel := c.schema.Relation(s.table)
+	if rel == nil {
+		return nil, nil, fmt.Errorf("fql: unknown table %q", s.table)
+	}
+	// One variable per column of this table occurrence.
+	colVars := make([]cq.Term, rel.Arity())
+	for i := range colVars {
+		colVars[i] = c.freshVar("c")
+	}
+	varOf := func(col string) (cq.Term, error) {
+		i := rel.AttrIndex(col)
+		if i < 0 {
+			return cq.Term{}, fmt.Errorf("fql: table %q has no column %q", s.table, col)
+		}
+		return colVars[i], nil
+	}
+	if s.star {
+		s.cols = rel.Attrs()
+	}
+	atom := cq.Atom{Rel: s.table, Args: colVars}
+	body := []cq.Atom{atom}
+
+	// Conditions constrain the column variables. Equalities accumulate in
+	// a substitution; each new equality is recorded against the resolved
+	// representatives so chains like "a = b AND b = 'x'" compose.
+	subst := make(cq.Subst)
+	resolve := func(t cq.Term) cq.Term {
+		for t.IsVar() {
+			next, ok := subst[t.Value]
+			if !ok {
+				return t
+			}
+			t = next
+		}
+		return t
+	}
+	equate := func(a, b cq.Term) error {
+		a, b = resolve(a), resolve(b)
+		switch {
+		case a == b:
+		case a.IsVar():
+			subst[a.Value] = b
+		case b.IsVar():
+			subst[b.Value] = a
+		default: // two distinct constants
+			return fmt.Errorf("fql: unsatisfiable condition: %s = %s", a, b)
+		}
+		return nil
+	}
+	for _, cnd := range s.conds {
+		v, err := varOf(cnd.col)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch cnd.kind {
+		case condLiteral:
+			err = equate(v, cq.C(cnd.value))
+		case condMe:
+			err = equate(v, cq.C("me"))
+		case condColumn:
+			v2, verr := varOf(cnd.col2)
+			if verr != nil {
+				return nil, nil, verr
+			}
+			err = equate(v, v2)
+		case condIn:
+			subHead, subBody, serr := c.compileSelect(cnd.sub, false)
+			if serr != nil {
+				return nil, nil, serr
+			}
+			if len(subHead) != 1 {
+				return nil, nil, fmt.Errorf("fql: internal: IN subquery head arity %d", len(subHead))
+			}
+			// Equate the outer column with the subquery's selected column.
+			err = equate(v, subHead[0])
+			body = append(body, subBody...)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	// Apply the accumulated equalities, following chains to fixpoint.
+	for i, a := range body {
+		mapped := a.Clone()
+		for j, t := range mapped.Args {
+			mapped.Args[j] = resolve(t)
+		}
+		body[i] = mapped
+	}
+	// Head: the selected columns (after substitution).
+	head := make([]cq.Term, 0, len(s.cols))
+	for _, col := range s.cols {
+		v, err := varOf(col)
+		if err != nil {
+			return nil, nil, err
+		}
+		head = append(head, resolve(v))
+	}
+	if !top {
+		// Subqueries hand back their single selected column variable.
+		return head, body, nil
+	}
+	return head, body, nil
+}

@@ -1,0 +1,207 @@
+package fql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/fb"
+	"repro/internal/label"
+	"repro/internal/schema"
+)
+
+func testSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.MustRelation("user", "uid", "name", "birthday", "is_friend"),
+		schema.MustRelation("friend", "uid", "uid2", "since"),
+	)
+}
+
+func TestCompileSimpleSelect(t *testing.T) {
+	s := testSchema()
+	q, err := Compile(s, "Q", "SELECT name FROM user WHERE uid = me()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cq.MustParse("W(n) :- user('me', n, b, f)")
+	if !cq.Equivalent(q, want) {
+		t.Errorf("compiled %s, want equivalent of %s", q, want)
+	}
+}
+
+func TestCompileLiteralsAndMultiColumns(t *testing.T) {
+	s := testSchema()
+	q, err := Compile(s, "Q", "SELECT uid, name FROM user WHERE birthday = '1990-01-01' AND is_friend = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cq.MustParse("W(u, n) :- user(u, n, '1990-01-01', '1')")
+	if !cq.Equivalent(q, want) {
+		t.Errorf("compiled %s, want %s", q, want)
+	}
+}
+
+func TestCompileInSubquery(t *testing.T) {
+	// The classic FQL friend query.
+	s := testSchema()
+	q, err := Compile(s, "Q",
+		"SELECT name, birthday FROM user WHERE uid IN (SELECT uid2 FROM friend WHERE uid = me())")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cq.MustParse("W(n, b) :- user(u, n, b, f), friend('me', u, s)")
+	if !cq.Equivalent(q, want) {
+		t.Errorf("compiled %s, want %s", q, want)
+	}
+}
+
+func TestCompileNestedIn(t *testing.T) {
+	// Friends of friends.
+	s := testSchema()
+	q, err := Compile(s, "Q",
+		"SELECT name FROM user WHERE uid IN (SELECT uid2 FROM friend WHERE uid IN (SELECT uid2 FROM friend WHERE uid = me()))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cq.MustParse("W(n) :- user(u, n, b, f), friend(h, u, s1), friend('me', h, s2)")
+	if !cq.Equivalent(q, want) {
+		t.Errorf("compiled %s, want %s", q, want)
+	}
+}
+
+func TestCompileColumnEquality(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("r", "a", "b", "c"))
+	q, err := Compile(s, "Q", "SELECT a FROM r WHERE a = b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cq.MustParse("W(x) :- r(x, x, c)")
+	if !cq.Equivalent(q, want) {
+		t.Errorf("compiled %s, want %s", q, want)
+	}
+	// Chained equalities: a = b AND b = 'x' pins both.
+	q2, err := Compile(s, "Q", "SELECT c FROM r WHERE a = b AND b = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := cq.MustParse("W(c) :- r('x', 'x', c)")
+	if !cq.Equivalent(q2, want2) {
+		t.Errorf("compiled %s, want %s", q2, want2)
+	}
+	// Unsatisfiable constants.
+	if _, err := Compile(s, "Q", "SELECT a FROM r WHERE a = 'x' AND a = 'y'"); err == nil {
+		t.Error("unsatisfiable condition accepted")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	s := testSchema()
+	bad := []string{
+		"",
+		"SELECT FROM user",
+		"SELECT name user",
+		"SELECT name FROM missing",
+		"SELECT missing FROM user",
+		"SELECT name FROM user WHERE missing = 1",
+		"SELECT name FROM user WHERE uid =",
+		"SELECT name FROM user WHERE uid IN SELECT uid2 FROM friend",
+		"SELECT name FROM user WHERE uid IN (SELECT uid2, since FROM friend)",
+		"SELECT name FROM user WHERE uid IN (SELECT uid2 FROM friend",
+		"SELECT name FROM user trailing",
+		"SELECT name FROM user WHERE uid ~ 3",
+	}
+	for _, src := range bad {
+		if _, err := Compile(s, "Q", src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCompileCaseInsensitiveKeywords(t *testing.T) {
+	s := testSchema()
+	if _, err := Compile(s, "Q", "select name from user where uid = me()"); err != nil {
+		t.Errorf("lowercase keywords rejected: %v", err)
+	}
+}
+
+// TestFQLAgainstFacebookCatalog compiles documentation-style FQL and checks
+// the data-derived labels against the intended permissions.
+func TestFQLAgainstFacebookCatalog(t *testing.T) {
+	cat, err := fb.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := label.NewLabeler(cat)
+	s := fb.Schema()
+
+	cases := []struct {
+		fqlSrc string
+		perm   string
+	}{
+		{"SELECT birthday FROM user WHERE uid = me()", "user_birthday"},
+		{"SELECT music, movies FROM user WHERE uid = me()", "user_likes"},
+		{"SELECT languages FROM user WHERE uid = me()", "user_likes"},
+		{"SELECT quotes FROM user WHERE uid = me()", "user_about_me"},
+		{"SELECT email FROM user WHERE uid = me()", "user_contact"},
+	}
+	for _, tc := range cases {
+		q, err := Compile(s, "Q", tc.fqlSrc)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.fqlSrc, err)
+		}
+		lbl, err := l.Label(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lbl.Atoms) != 1 {
+			t.Fatalf("%s: label has %d atoms", tc.fqlSrc, len(lbl.Atoms))
+		}
+		names := cat.ViewNamesOf(lbl.Atoms[0])
+		found := false
+		for _, n := range names {
+			if n == tc.perm {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: ℓ⁺ = %v, want to include %s", tc.fqlSrc, names, tc.perm)
+		}
+	}
+
+	// The friends-birthday join query labels to friends_birthday plus the
+	// friend-list view.
+	q, err := Compile(s, "Q",
+		"SELECT birthday FROM user WHERE is_friend = 1 AND uid IN (SELECT uid2 FROM friend WHERE uid = me())")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl, err := l.Label(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := lbl.Render(cat)
+	if !strings.Contains(rendered, "friends_birthday") || !strings.Contains(rendered, "friend_list") {
+		t.Errorf("friend birthday query labeled %s", rendered)
+	}
+}
+
+func TestCompileSelectStar(t *testing.T) {
+	s := testSchema()
+	q, err := Compile(s, "Q", "SELECT * FROM friend WHERE uid = me()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cq.MustParse("W(m, u, since) :- friend(m, u, since)")
+	_ = want
+	// SELECT * exposes every column, with uid pinned to 'me'.
+	if len(q.Head) != 3 {
+		t.Fatalf("head arity = %d, want 3: %s", len(q.Head), q)
+	}
+	if q.Head[0] != cq.C("me") {
+		t.Errorf("first head term = %v, want 'me'", q.Head[0])
+	}
+	// Star inside IN is rejected.
+	if _, err := Compile(s, "Q", "SELECT name FROM user WHERE uid IN (SELECT * FROM friend)"); err == nil {
+		t.Error("star IN-subquery accepted")
+	}
+}

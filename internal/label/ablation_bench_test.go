@@ -1,0 +1,109 @@
+package label_test
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+//
+//   - compiled positionwise matching vs the generic rewrite.SingleAtom
+//     decision (the precompilation half of the bit-vector optimization);
+//   - the folding fast path (skip minimization when no relation repeats);
+//   - label normalization cost.
+//
+// Run with: go test -bench 'Ablation' -benchmem ./internal/label/
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/fb"
+	"repro/internal/label"
+	"repro/internal/rewrite"
+	"repro/internal/workload"
+)
+
+func BenchmarkAblationGenericRewritability(b *testing.B) {
+	v := cq.MustParse("V9(x) :- C(x, y, z)")
+	s := cq.MustParse("V6(x, y) :- C(x, y, z)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !rewrite.SingleAtomRewritable(v, s) {
+			b.Fatal("broken")
+		}
+	}
+}
+
+func BenchmarkAblationFoldFastPath(b *testing.B) {
+	// Identical shape, differing only in whether a relation repeats (the
+	// condition that forces the homomorphism-based fold).
+	noRepeat := cq.MustParse("Q(x) :- R(x, y), S(y, z), T(z, w)")
+	repeat := cq.MustParse("Q(x) :- R(x, y), R(x, z), T(z, w)")
+	b.Run("unique-relations", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = cq.MinimizeShared(noRepeat)
+		}
+	})
+	b.Run("repeated-relations", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = cq.MinimizeShared(repeat)
+		}
+	})
+}
+
+func BenchmarkAblationNormalize(b *testing.B) {
+	cat, err := fb.Catalog()
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := label.NewLabeler(cat)
+	g := workload.MustNew(fb.Schema(), workload.Options{Seed: 3, MaxSubqueries: 3, FriendScopesMarkIsFriend: true})
+	labels := make([]label.Label, 200)
+	for i := range labels {
+		lbl, err := l.Label(g.Next())
+		if err != nil {
+			b.Fatal(err)
+		}
+		labels[i] = lbl
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = labels[i%len(labels)].Normalize()
+	}
+}
+
+func BenchmarkAblationGeneralVsBitvecLabeler(b *testing.B) {
+	// The multi-atom-capable GeneralLabeler against the production path on
+	// the same single-atom catalog and query — quantifying what the
+	// decomposability restriction buys.
+	views := []*cq.Query{
+		cq.MustParse("V1(x, y) :- M(x, y)"),
+		cq.MustParse("V2(x) :- M(x, y)"),
+		cq.MustParse("V4(y) :- M(x, y)"),
+	}
+	q := cq.MustParse("Q(x) :- M(x, 'c')")
+	b.Run("general", func(b *testing.B) {
+		g, err := label.NewGeneralLabeler(0, views...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.MinimalSupports(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bitvec", func(b *testing.B) {
+		cat, err := label.NewCatalog(nil, views...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l := label.NewLabeler(cat)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Label(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomLabelPacking(t *testing.T) {
+	a := NewAtomLabel(7, 10)
+	a.SetBit(0)
+	a.SetBit(31)
+	if a.RelID() != 7 {
+		t.Errorf("RelID = %d", a.RelID())
+	}
+	if a.Mask() != 1|1<<31 {
+		t.Errorf("Mask = %x", a.Mask())
+	}
+	if !a.HasBit(0) || !a.HasBit(31) || a.HasBit(5) {
+		t.Error("HasBit wrong")
+	}
+	if a.Count() != 2 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	got := a.Bits()
+	if len(got) != 2 || got[0] != 0 || got[1] != 31 {
+		t.Errorf("Bits = %v", got)
+	}
+	if a.IsTop() {
+		t.Error("nonempty label reported as ⊤")
+	}
+}
+
+func TestAtomLabelSpill(t *testing.T) {
+	// A relation with 100 security views exercises the spill path the
+	// paper's generalization note calls for.
+	a := NewAtomLabel(3, 100)
+	for _, b := range []int{0, 31, 32, 63, 95, 96, 99} {
+		a.SetBit(b)
+		if !a.HasBit(b) {
+			t.Errorf("bit %d not set", b)
+		}
+	}
+	if a.Count() != 7 {
+		t.Errorf("Count = %d, want 7", a.Count())
+	}
+	bits := a.Bits()
+	want := []int{0, 31, 32, 63, 95, 96, 99}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("Bits = %v, want %v", bits, want)
+		}
+	}
+	// Subset comparison across the spill boundary.
+	b := NewAtomLabel(3, 100)
+	b.SetBit(32)
+	b.SetBit(99)
+	if !a.BelowEq(b) {
+		t.Error("a (superset) should be below b (subset)")
+	}
+	if b.BelowEq(a) {
+		t.Error("b must not be below a")
+	}
+	// Spill-only difference.
+	c := NewAtomLabel(3, 100)
+	c.SetBit(0)
+	c.SetBit(31)
+	if c.BelowEq(a) {
+		t.Error("c lacks spill bits of a and must not be below it")
+	}
+	// Keys differ with spill content.
+	if a.Key() == b.Key() {
+		t.Error("distinct labels share a key")
+	}
+}
+
+func TestAtomLabelTopSemantics(t *testing.T) {
+	top := TopAtomLabel()
+	if !top.IsTop() || top.Count() != 0 {
+		t.Error("top malformed")
+	}
+	a := NewAtomLabel(1, 4)
+	a.SetBit(2)
+	// Everything is below ⊤.
+	if !a.BelowEq(top) || !top.BelowEq(top) {
+		t.Error("⊤ must dominate everything")
+	}
+	// ⊤ is below nothing but ⊤.
+	if top.BelowEq(a) {
+		t.Error("⊤ must not be below a proper label")
+	}
+}
+
+func TestAtomLabelCrossRelation(t *testing.T) {
+	a := NewAtomLabel(1, 4)
+	a.SetBit(0)
+	b := NewAtomLabel(2, 4)
+	b.SetBit(0)
+	if a.BelowEq(b) || b.BelowEq(a) {
+		t.Error("labels over different relations must be incomparable")
+	}
+}
+
+func TestLabelBelowEq(t *testing.T) {
+	mk := func(rel uint32, bits ...int) AtomLabel {
+		a := NewAtomLabel(rel, 32)
+		for _, b := range bits {
+			a.SetBit(b)
+		}
+		return a
+	}
+	l1 := Label{Atoms: []AtomLabel{mk(1, 0, 1), mk(2, 3)}}
+	l2 := Label{Atoms: []AtomLabel{mk(1, 0), mk(2, 3)}}
+	// l1's atoms have supersets of l2's per-atom sets → l1 ≼ l2.
+	if !l1.BelowEq(l2) {
+		t.Error("l1 ≼ l2 expected")
+	}
+	if l2.BelowEq(l1) {
+		t.Error("l2 ⋠ l1 expected")
+	}
+	// Bottom below everything; nothing (nonempty) below bottom.
+	if !BottomLabel().BelowEq(l1) {
+		t.Error("⊥ ≼ l1 expected")
+	}
+	if l1.BelowEq(BottomLabel()) {
+		t.Error("l1 ⋠ ⊥ expected")
+	}
+	if !BottomLabel().IsBottom() || l1.IsBottom() {
+		t.Error("IsBottom wrong")
+	}
+}
+
+func TestLabelNormalize(t *testing.T) {
+	mk := func(rel uint32, bits ...int) AtomLabel {
+		a := NewAtomLabel(rel, 32)
+		for _, b := range bits {
+			a.SetBit(b)
+		}
+		return a
+	}
+	l := Label{Atoms: []AtomLabel{
+		mk(1, 0, 1, 2), // below the next atom (superset mask = less info)
+		mk(1, 0),
+		mk(1, 0),       // duplicate
+		TopAtomLabel(), // dominates everything
+		TopAtomLabel(), // duplicate ⊤
+		mk(2, 1),       // different relation, kept? dominated by ⊤ too
+	}}
+	n := l.Normalize()
+	// Everything is below ⊤, so normalization keeps exactly one ⊤.
+	if len(n.Atoms) != 1 || !n.Atoms[0].IsTop() {
+		t.Fatalf("Normalize kept %d atoms: %+v", len(n.Atoms), n.Atoms)
+	}
+	// Without ⊤: keep the maximal atoms only, one per equivalence class.
+	l2 := Label{Atoms: []AtomLabel{mk(1, 0, 1, 2), mk(1, 0), mk(1, 0), mk(2, 1)}}
+	n2 := l2.Normalize()
+	if len(n2.Atoms) != 2 {
+		t.Fatalf("Normalize kept %d atoms, want 2: %+v", len(n2.Atoms), n2.Atoms)
+	}
+	// Join is a LUB: result dominates both inputs.
+	j := l2.Join(Label{Atoms: []AtomLabel{mk(3, 0)}})
+	if !l2.BelowEq(j) {
+		t.Error("join must dominate its operands")
+	}
+}
+
+func TestLabelEquivQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func() Label {
+		n := rng.Intn(4)
+		l := Label{}
+		for i := 0; i < n; i++ {
+			a := NewAtomLabel(uint32(1+rng.Intn(3)), 32)
+			for b := 0; b < 8; b++ {
+				if rng.Intn(3) == 0 {
+					a.SetBit(b)
+				}
+			}
+			if a.Empty() {
+				a = TopAtomLabel()
+			}
+			l.Atoms = append(l.Atoms, a)
+		}
+		return l
+	}
+	// Properties: BelowEq is reflexive and transitive; Normalize preserves
+	// equivalence; Join is an upper bound and commutative up to ≡.
+	f := func() bool {
+		a, b, c := gen(), gen(), gen()
+		if !a.BelowEq(a) {
+			return false
+		}
+		if a.BelowEq(b) && b.BelowEq(c) && !a.BelowEq(c) {
+			return false
+		}
+		if !a.EquivTo(a.Normalize()) {
+			return false
+		}
+		j := a.Join(b)
+		if !a.BelowEq(j) || !b.BelowEq(j) {
+			return false
+		}
+		if !j.EquivTo(b.Join(a)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

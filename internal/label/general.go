@@ -1,0 +1,158 @@
+package label
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/rewrite"
+)
+
+// GeneralLabeler extends disclosure labeling to multi-atom security views —
+// the extension the paper leaves as ongoing work at the end of Section 5.
+// Because the universe of multi-atom views is not decomposable, labels can
+// no longer be per-atom ℓ⁺ sets; instead a query's label is the antichain
+// of *minimal supporting view sets*: the ⊆-minimal subsets of the catalog
+// from which the query has an equivalent rewriting.
+//
+// The decision procedure is the bounded general rewriting search, so the
+// GeneralLabeler is exponential in the sizes involved and intended for
+// small, curated catalogs (tens of views); the bit-vector labeler remains
+// the scalable path for single-atom catalogs.
+type GeneralLabeler struct {
+	views []*cq.Query
+	names map[string]*cq.Query
+	opts  rewrite.Options
+	// MaxSupportSize bounds the subsets considered (default 3): supports
+	// larger than this are not searched.
+	maxSupport int
+}
+
+// NewGeneralLabeler builds a labeler over arbitrary conjunctive security
+// views. maxSupport bounds the size of supporting view sets considered
+// (0 means 3).
+func NewGeneralLabeler(maxSupport int, views ...*cq.Query) (*GeneralLabeler, error) {
+	if maxSupport <= 0 {
+		maxSupport = 3
+	}
+	g := &GeneralLabeler{names: make(map[string]*cq.Query, len(views)), maxSupport: maxSupport}
+	for _, v := range views {
+		if _, dup := g.names[v.Name]; dup {
+			return nil, fmt.Errorf("label: duplicate security view name %q", v.Name)
+		}
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("label: security view %s: %w", v.Name, err)
+		}
+		g.names[v.Name] = v
+		g.views = append(g.views, v)
+	}
+	return g, nil
+}
+
+// MinimalSupports returns the ⊆-minimal view sets (by name, each sorted)
+// from which q has an equivalent rewriting, up to the configured support
+// size. An empty result means no bounded support exists (the label is ⊤).
+func (g *GeneralLabeler) MinimalSupports(q *cq.Query) ([][]string, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var supports [][]int
+	n := len(g.views)
+	// Breadth-first over subset sizes so minimality is by construction:
+	// a support found at size k has no subset support of size < k, and
+	// supersets of found supports are skipped.
+	var found [][]int
+	isSuperset := func(idx []int) bool {
+		for _, f := range found {
+			sub := true
+			for _, fi := range f {
+				has := false
+				for _, i := range idx {
+					if i == fi {
+						has = true
+						break
+					}
+				}
+				if !has {
+					sub = false
+					break
+				}
+			}
+			if sub {
+				return true
+			}
+		}
+		return false
+	}
+	var rec func(start int, cur []int, size int)
+	var checkErr error
+	rec = func(start int, cur []int, size int) {
+		if checkErr != nil {
+			return
+		}
+		if len(cur) == size {
+			if isSuperset(cur) {
+				return
+			}
+			views := make([]*cq.Query, len(cur))
+			for i, j := range cur {
+				views[i] = g.views[j]
+			}
+			_, ok, err := rewrite.Equivalent(q, views, g.opts)
+			if err != nil {
+				checkErr = err
+				return
+			}
+			if ok {
+				found = append(found, append([]int(nil), cur...))
+			}
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, i), size)
+		}
+	}
+	for size := 1; size <= g.maxSupport && size <= n; size++ {
+		rec(0, nil, size)
+		if checkErr != nil {
+			return nil, checkErr
+		}
+	}
+	supports = found
+	out := make([][]string, 0, len(supports))
+	for _, s := range supports {
+		names := make([]string, len(s))
+		for i, j := range s {
+			names[i] = g.views[j].Name
+		}
+		sort.Strings(names)
+		out = append(out, names)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// Admissible reports whether q is answerable from the named views alone —
+// the policy-partition check for multi-atom catalogs.
+func (g *GeneralLabeler) Admissible(q *cq.Query, partition []string) (bool, error) {
+	views := make([]*cq.Query, 0, len(partition))
+	for _, n := range partition {
+		v, ok := g.names[n]
+		if !ok {
+			return false, fmt.Errorf("label: unknown security view %q", n)
+		}
+		views = append(views, v)
+	}
+	_, ok, err := rewrite.Equivalent(q, views, g.opts)
+	return ok, err
+}

@@ -1,0 +1,176 @@
+package label
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+// TestGeneralLabelerJoinViews exercises the multi-atom extension with the
+// paper's motivating case: a friends_birthday permission that is genuinely
+// a join between User and Friend (Section 7.2 worked around this with the
+// is_friend denormalization; the GeneralLabeler handles the join view
+// directly).
+func TestGeneralLabelerJoinViews(t *testing.T) {
+	g, err := NewGeneralLabeler(0,
+		// Multi-atom security view: birthdays of my friends.
+		cq.MustParse("friends_birthday(u, b) :- friend('me', u), user(u, n, b)"),
+		// Single-atom views.
+		cq.MustParse("friend_list(u) :- friend('me', u)"),
+		cq.MustParse("all_names(u, n) :- user(u, n, b)"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The friends-birthday query is answerable from the join view alone.
+	q := cq.MustParse("Q(u, b) :- friend('me', u), user(u, n, b)")
+	supports, err := g.MinimalSupports(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(supports) == 0 {
+		t.Fatal("no supports found")
+	}
+	if strings.Join(supports[0], ",") != "friends_birthday" {
+		t.Errorf("minimal support = %v, want [friends_birthday] first", supports)
+	}
+
+	// Arbitrary users' birthdays are not answerable from any subset.
+	qAll := cq.MustParse("Q(u, b) :- user(u, n, b)")
+	supports, err = g.MinimalSupports(qAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(supports) != 0 {
+		t.Errorf("global birthday scan should have no support, got %v", supports)
+	}
+
+	// Names of friends: needs friend_list + all_names together.
+	qNames := cq.MustParse("Q(u, n) :- friend('me', u), user(u, n, b)")
+	supports, err = g.MinimalSupports(qNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPair := false
+	for _, s := range supports {
+		if strings.Join(s, ",") == "all_names,friend_list" {
+			foundPair = true
+		}
+		if strings.Join(s, ",") == "friends_birthday" {
+			t.Error("friends_birthday alone cannot reveal names")
+		}
+	}
+	if !foundPair {
+		t.Errorf("supports = %v, want {all_names, friend_list}", supports)
+	}
+}
+
+func TestGeneralLabelerMinimality(t *testing.T) {
+	g, err := NewGeneralLabeler(0,
+		cq.MustParse("full(x, y) :- R(x, y)"),
+		cq.MustParse("left(x) :- R(x, y)"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supports, err := g.MinimalSupports(cq.MustParse("Q(x) :- R(x, y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both {full} and {left} answer it; {full,left} must NOT be reported
+	// (not minimal).
+	if len(supports) != 2 {
+		t.Fatalf("supports = %v, want exactly the two singletons", supports)
+	}
+	for _, s := range supports {
+		if len(s) != 1 {
+			t.Errorf("non-minimal support %v reported", s)
+		}
+	}
+}
+
+func TestGeneralLabelerAdmissible(t *testing.T) {
+	g, err := NewGeneralLabeler(0,
+		cq.MustParse("V1(x, y) :- M(x, y)"),
+		cq.MustParse("V3(p, e, r) :- C(p, e, r)"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := cq.MustParse("Q2(x) :- M(x, y), C(y, w, 'Intern')")
+	ok, err := g.Admissible(q2, []string{"V1", "V3"})
+	if err != nil || !ok {
+		t.Errorf("Q2 should be admissible from {V1, V3}: %v %v", ok, err)
+	}
+	ok, err = g.Admissible(q2, []string{"V1"})
+	if err != nil || ok {
+		t.Errorf("Q2 must not be admissible from {V1}: %v %v", ok, err)
+	}
+	if _, err := g.Admissible(q2, []string{"nope"}); err == nil {
+		t.Error("unknown view accepted")
+	}
+}
+
+func TestGeneralLabelerValidation(t *testing.T) {
+	if _, err := NewGeneralLabeler(0,
+		cq.MustParse("V(x) :- R(x)"),
+		cq.MustParse("V(y) :- R(y)"),
+	); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	bad := &cq.Query{Name: "B", Head: []cq.Term{cq.V("x")}, Body: nil}
+	if _, err := NewGeneralLabeler(0, bad); err == nil {
+		t.Error("invalid view accepted")
+	}
+	g, _ := NewGeneralLabeler(0, cq.MustParse("V(x) :- R(x)"))
+	if _, err := g.MinimalSupports(bad); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+// TestGeneralLabelerAgreesWithSingleAtom cross-checks the general labeler
+// against the single-atom criterion on a single-atom catalog.
+func TestGeneralLabelerAgreesWithSingleAtom(t *testing.T) {
+	views := []string{
+		"W1(x, y) :- M(x, y)",
+		"W2(x) :- M(x, y)",
+		"W4(y) :- M(x, y)",
+	}
+	parsed := make([]*cq.Query, len(views))
+	for i, v := range views {
+		parsed[i] = cq.MustParse(v)
+	}
+	g, err := NewGeneralLabeler(0, parsed...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"Q(x) :- M(x, y)",
+		"Q(x, y) :- M(x, y)",
+		"Q() :- M(x, y)",
+		"Q(x) :- M(x, 'c')",
+	}
+	for _, qs := range queries {
+		q := cq.MustParse(qs)
+		supports, err := g.MinimalSupports(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range supports {
+			if len(s) != 1 {
+				continue
+			}
+			var sv *cq.Query
+			for _, v := range parsed {
+				if v.Name == s[0] {
+					sv = v
+				}
+			}
+			if !Rewritable(q, sv) {
+				t.Errorf("%s: general labeler found support %v the single-atom criterion rejects", qs, s)
+			}
+		}
+	}
+}

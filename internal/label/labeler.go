@@ -1,0 +1,450 @@
+package label
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/rewrite"
+)
+
+// Labeler computes disclosure labels for conjunctive queries against a
+// catalog of single-atom security views. The three implementations mirror
+// the three measured variants of the paper's Figure-5 experiment.
+type Labeler interface {
+	// Label computes the disclosure label of q.
+	Label(q *cq.Query) (Label, error)
+	// Name identifies the variant in benchmark output.
+	Name() string
+	// Catalog returns the underlying security-view catalog.
+	Catalog() *Catalog
+}
+
+// NewLabeler returns the fully optimized labeler (hash partitioning by
+// relation plus packed bit-vector labels) — the variant a production
+// deployment would use.
+func NewLabeler(c *Catalog) Labeler { return &bitVectorLabeler{cat: c} }
+
+// NewBaselineLabeler returns the baseline variant: a direct adaptation of
+// the LabelGen algorithm of Section 4.2 that scans every security view for
+// every dissected atom, with no relation partitioning.
+func NewBaselineLabeler(c *Catalog) Labeler { return &baselineLabeler{cat: c} }
+
+// NewHashedLabeler returns the intermediate variant: security views are
+// hash-partitioned by base relation, but labels are still assembled with
+// the same per-view scan as the optimized variant minus precompiled
+// matching.
+func NewHashedLabeler(c *Catalog) Labeler { return &hashedLabeler{cat: c} }
+
+// bitVectorLabeler: hashing + bit vectors + precompiled view matchers.
+type bitVectorLabeler struct {
+	cat      *Catalog
+	compiled map[uint32][]compiledView // lazily built per relation id
+}
+
+// baselineLabeler: full scan over all security views per atom.
+type baselineLabeler struct{ cat *Catalog }
+
+// hashedLabeler: per-relation scan using the generic rewritability check.
+type hashedLabeler struct{ cat *Catalog }
+
+func (l *baselineLabeler) Name() string      { return "baseline" }
+func (l *baselineLabeler) Catalog() *Catalog { return l.cat }
+func (l *hashedLabeler) Name() string        { return "hashing" }
+func (l *hashedLabeler) Catalog() *Catalog   { return l.cat }
+func (l *bitVectorLabeler) Name() string     { return "bitvec+hashing" }
+func (l *bitVectorLabeler) Catalog() *Catalog {
+	return l.cat
+}
+
+func (l *baselineLabeler) Label(q *cq.Query) (Label, error) {
+	return labelVia(q, func(v *cq.Query) AtomLabel {
+		a, _ := l.cat.atomGLBLabel(v, true, "glb")
+		return a
+	})
+}
+
+func (l *hashedLabeler) Label(q *cq.Query) (Label, error) {
+	return labelVia(q, func(v *cq.Query) AtomLabel {
+		a, _ := l.cat.atomGLBLabel(v, false, "glb")
+		return a
+	})
+}
+
+func labelVia(q *cq.Query, atomLabel func(*cq.Query) AtomLabel) (Label, error) {
+	atoms, err := Dissect(q)
+	if err != nil {
+		return Label{}, err
+	}
+	lbl := Label{Atoms: make([]AtomLabel, 0, len(atoms))}
+	for _, v := range atoms {
+		lbl.Atoms = append(lbl.Atoms, atomLabel(v))
+	}
+	return lbl.Normalize(), nil
+}
+
+// compiledView is a security view preprocessed for the positionwise
+// single-atom rewritability check: per-position term kinds and variable
+// identifiers replace repeated map lookups and allocations.
+type compiledView struct {
+	bit      int
+	arity    int
+	kinds    []int8   // per position: 0 const, 1 distinguished, 2 existential
+	consts   []string // constant value per const position
+	varIDs   []int32  // dense variable id per var position
+	nvars    int
+	existVar []bool // per dense var id
+}
+
+const (
+	kConst int8 = iota
+	kDist
+	kExist
+)
+
+func compileView(v *cq.Query, bit int) compiledView {
+	a := v.Body[0]
+	roles := v.VarRoles()
+	cv := compiledView{
+		bit:    bit,
+		arity:  len(a.Args),
+		kinds:  make([]int8, len(a.Args)),
+		consts: make([]string, len(a.Args)),
+		varIDs: make([]int32, len(a.Args)),
+	}
+	ids := make(map[string]int32)
+	for i, t := range a.Args {
+		if t.IsConst() {
+			cv.kinds[i] = kConst
+			cv.consts[i] = t.Value
+			cv.varIDs[i] = -1
+			continue
+		}
+		id, ok := ids[t.Value]
+		if !ok {
+			id = int32(len(ids))
+			ids[t.Value] = id
+			cv.existVar = append(cv.existVar, roles[t.Value] == cq.Existential)
+		}
+		cv.varIDs[i] = id
+		if roles[t.Value] == cq.Existential {
+			cv.kinds[i] = kExist
+		} else {
+			cv.kinds[i] = kDist
+		}
+	}
+	cv.nvars = len(ids)
+	return cv
+}
+
+func (l *bitVectorLabeler) compiledFor(relID uint32) []compiledView {
+	if l.compiled == nil {
+		l.compiled = make(map[uint32][]compiledView)
+	}
+	if cvs, ok := l.compiled[relID]; ok {
+		return cvs
+	}
+	var cvs []compiledView
+	for _, rv := range l.cat.byRel[relID-1] {
+		cvs = append(cvs, compileView(l.cat.views[rv.global], rv.bit))
+	}
+	l.compiled[relID] = cvs
+	return cvs
+}
+
+// compiledAtom is a dissected query atom preprocessed once per label call.
+type compiledAtom struct {
+	rel    string
+	kinds  []int8
+	consts []string
+	varIDs []int32
+	nvars  int
+}
+
+// rewritableCompiled is the allocation-light version of the positionwise
+// criterion in rewrite.SingleAtom: it decides {v} ≼ {s} for a compiled
+// query atom v and compiled security view s. Scratch slices are provided by
+// the caller and must hold at least s.nvars and v.nvars entries.
+func rewritableCompiled(v *compiledAtom, s *compiledView, sMap []int32, sMapConst []string, exOwner []int32) bool {
+	if s.arity != len(v.kinds) {
+		return false
+	}
+	for i := 0; i < s.nvars; i++ {
+		sMap[i] = -2 // unassigned
+	}
+	for i := 0; i < v.nvars; i++ {
+		exOwner[i] = -2
+	}
+	// Rules 2–4: positionwise compatibility plus functional s-var mapping.
+	for j := 0; j < s.arity; j++ {
+		switch s.kinds[j] {
+		case kConst:
+			if v.kinds[j] != kConst || v.consts[j] != s.consts[j] {
+				return false
+			}
+		case kExist:
+			if v.kinds[j] != kExist {
+				return false
+			}
+			sv := s.varIDs[j]
+			if prev := sMap[sv]; prev == -2 {
+				sMap[sv] = v.varIDs[j]
+			} else if prev != v.varIDs[j] {
+				return false
+			}
+		case kDist:
+			sv := s.varIDs[j]
+			if v.kinds[j] == kConst {
+				if prev := sMap[sv]; prev == -2 {
+					sMap[sv] = -1
+					sMapConst[sv] = v.consts[j]
+				} else if prev != -1 || sMapConst[sv] != v.consts[j] {
+					return false
+				}
+			} else {
+				if prev := sMap[sv]; prev == -2 {
+					sMap[sv] = v.varIDs[j]
+				} else if prev != v.varIDs[j] {
+					return false
+				}
+			}
+		}
+	}
+	// Rule 5: each v-existential covered by an s-existential must be
+	// covered by that same s-existential at every occurrence.
+	for j := 0; j < s.arity; j++ {
+		if s.kinds[j] == kExist {
+			vv := v.varIDs[j]
+			if prev := exOwner[vv]; prev == -2 {
+				exOwner[vv] = s.varIDs[j]
+			} else if prev != s.varIDs[j] {
+				return false
+			}
+		}
+	}
+	for j := 0; j < s.arity; j++ {
+		if s.kinds[j] == kConst || v.varIDs[j] < 0 {
+			continue
+		}
+		if owner := exOwner[v.varIDs[j]]; owner != -2 {
+			if s.kinds[j] != kExist || s.varIDs[j] != owner {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Label implements the fully optimized labeling path: the dissected atoms
+// are compiled directly into flat term-kind arrays (no intermediate query
+// objects) and matched against precompiled security views, producing packed
+// bit-vector labels — the Section 6.1 representation computed in place.
+func (l *bitVectorLabeler) Label(q *cq.Query) (Label, error) {
+	if err := q.Validate(); err != nil {
+		return Label{}, fmt.Errorf("label: %w", err)
+	}
+	folded := cq.MinimizeShared(q)
+
+	// Join variables: existential variables occurring in ≥2 atoms are
+	// promoted to distinguished (Section 5.2). One map per query encodes,
+	// per variable, the occurrence count (low 16 bits), the index of the
+	// last atom that counted it (middle bits, so a variable repeated
+	// within one atom counts once), and head membership (headBit).
+	const headBit = int32(1) << 30
+	occ := make(map[string]int32, 8)
+	for i, a := range folded.Body {
+		epoch := int32(i+1) << 16
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				continue
+			}
+			if v := occ[t.Value]; v&^0xFFFF != epoch {
+				occ[t.Value] = epoch | (v&0xFFFF + 1)
+			}
+		}
+	}
+	for _, t := range folded.Head {
+		if t.IsVar() {
+			occ[t.Value] |= headBit
+		}
+	}
+	isDist := func(v string) bool {
+		e := occ[v]
+		return e&headBit != 0 || e&0xFFFF >= 2
+	}
+
+	lbl := Label{Atoms: make([]AtomLabel, 0, len(folded.Body))}
+	var sMap []int32
+	var sMapConst []string
+	var exOwner []int32
+	var seen map[string]struct{}
+	if len(folded.Body) > 1 {
+		seen = make(map[string]struct{}, len(folded.Body))
+	}
+	var ca compiledAtom
+	varID := make(map[string]int32, 8)
+	for _, a := range folded.Body {
+		if seen != nil {
+			key := atomKey(a, isDist)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+		}
+		relID := l.cat.relIDs[a.Rel]
+		if relID == 0 {
+			lbl.Atoms = append(lbl.Atoms, TopAtomLabel())
+			continue
+		}
+		ca.compileInto(a, isDist, varID)
+		al := NewAtomLabel(relID, len(l.cat.byRel[relID-1]))
+		for i := range l.compiledFor(relID) {
+			s := &l.compiled[relID][i]
+			if s.nvars > len(sMap) {
+				sMap = make([]int32, s.nvars)
+				sMapConst = make([]string, s.nvars)
+			}
+			if ca.nvars > len(exOwner) {
+				exOwner = make([]int32, ca.nvars)
+			}
+			if rewritableCompiled(&ca, s, sMap, sMapConst, exOwner) {
+				al.SetBit(s.bit)
+			}
+		}
+		if al.Empty() {
+			al = TopAtomLabel()
+		}
+		lbl.Atoms = append(lbl.Atoms, al)
+	}
+	return lbl.Normalize(), nil
+}
+
+// countAtomOccurrences returns, per variable, the number of distinct body
+// atoms it appears in.
+func countAtomOccurrences(q *cq.Query) map[string]int8 {
+	occ := make(map[string]int8, 8)
+	epoch := make(map[string]int, 8)
+	for i, a := range q.Body {
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				continue
+			}
+			if e, ok := epoch[t.Value]; ok && e == i {
+				continue
+			}
+			epoch[t.Value] = i
+			occ[t.Value]++
+		}
+	}
+	return occ
+}
+
+// compileInto fills the receiver with the compiled form of a dissected
+// atom, reusing its slices and the caller's varID scratch map.
+func (ca *compiledAtom) compileInto(a cq.Atom, isDist func(string) bool, varID map[string]int32) {
+	ca.rel = a.Rel
+	n := len(a.Args)
+	if cap(ca.kinds) < n {
+		ca.kinds = make([]int8, n)
+		ca.consts = make([]string, n)
+		ca.varIDs = make([]int32, n)
+	}
+	ca.kinds = ca.kinds[:n]
+	ca.consts = ca.consts[:n]
+	ca.varIDs = ca.varIDs[:n]
+	clear(varID)
+	next := int32(0)
+	for i, t := range a.Args {
+		if t.IsConst() {
+			ca.kinds[i] = kConst
+			ca.consts[i] = t.Value
+			ca.varIDs[i] = -1
+			continue
+		}
+		id, ok := varID[t.Value]
+		if !ok {
+			id = next
+			next++
+			varID[t.Value] = id
+		}
+		ca.varIDs[i] = id
+		if isDist(t.Value) {
+			ca.kinds[i] = kDist
+		} else {
+			ca.kinds[i] = kExist
+		}
+	}
+	ca.nvars = int(next)
+}
+
+// LabelViews computes the label of an explicit set of single-atom views —
+// used to label policy partitions, whose W_i are security-view sets rather
+// than queries.
+func LabelViews(c *Catalog, views []*cq.Query) (Label, error) {
+	lbl := Label{Atoms: make([]AtomLabel, 0, len(views))}
+	for _, v := range views {
+		if !v.IsSingleAtom() {
+			return Label{}, fmt.Errorf("label: %s is not a single-atom view", v.Name)
+		}
+		lbl.Atoms = append(lbl.Atoms, c.atomLabelFor(v))
+	}
+	return lbl.Normalize(), nil
+}
+
+// NaiveLabelSets implements the NaïveLabel procedure of Section 3.3 at the
+// catalog level, for diagnostics and tests: given a family F of security-
+// view subsets (by view name) it returns the name-set of the first family
+// element (in increasing disclosure order) whose information dominates the
+// query's, or nil when only ⊤ qualifies.
+func NaiveLabelSets(c *Catalog, family [][]string, q *cq.Query) ([]string, error) {
+	lbl, err := NewLabeler(c).Label(q)
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		names []string
+		lbl   Label
+	}
+	entries := make([]entry, 0, len(family))
+	for _, names := range family {
+		views := make([]*cq.Query, 0, len(names))
+		for _, n := range names {
+			v := c.ViewByName(n)
+			if v == nil {
+				return nil, fmt.Errorf("label: unknown security view %q in family", n)
+			}
+			views = append(views, v)
+		}
+		fl, err := LabelViews(c, views)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, entry{names: names, lbl: fl})
+	}
+	// Linear extension of increasing disclosure: sort by how many family
+	// members dominate each entry (more dominators = lower disclosure).
+	dominators := func(e entry) int {
+		n := 0
+		for _, o := range entries {
+			if e.lbl.BelowEq(o.lbl) {
+				n++
+			}
+		}
+		return n
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return dominators(entries[i]) > dominators(entries[j])
+	})
+	for _, e := range entries {
+		if lbl.BelowEq(e.lbl) {
+			out := append([]string(nil), e.names...)
+			sort.Strings(out)
+			return out, nil
+		}
+	}
+	return nil, nil
+}
+
+// Rewritable re-exports the generic single-atom rewritability decision for
+// callers that hold plain queries (tests, tools).
+func Rewritable(v, s *cq.Query) bool { return rewrite.SingleAtomRewritable(v, s) }

@@ -1,0 +1,34 @@
+package label_test
+
+import (
+	"testing"
+
+	"repro/internal/fb"
+	"repro/internal/label"
+	"repro/internal/workload"
+)
+
+func fbCatalog(b *testing.B) *label.Catalog {
+	views, err := fb.SecurityViews(fb.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := label.NewCatalog(fb.Schema(), views...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkBitvecLabel(b *testing.B) {
+	c := fbCatalog(b)
+	l := label.NewLabeler(c)
+	g := workload.MustNew(fb.Schema(), workload.Options{Seed: 1, MaxSubqueries: 1, FriendScopesMarkIsFriend: true})
+	qs := g.Batch(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Label(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package lattice
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Bits is a fixed-capacity bitset used to represent ⇓-sets over a finite
+// view universe. The zero value of a given length is the empty set; all
+// operands of binary operations must come from the same universe (same
+// length).
+type Bits []uint64
+
+// NewBits returns an empty bitset able to hold n bits.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bits) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b Bits) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Get reports whether bit i is set.
+func (b Bits) Get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Clone returns a copy.
+func (b Bits) Clone() Bits { return append(Bits(nil), b...) }
+
+// And returns the intersection b ∩ o as a new bitset.
+func (b Bits) And(o Bits) Bits {
+	out := b.Clone()
+	for i := range out {
+		out[i] &= o[i]
+	}
+	return out
+}
+
+// Or returns the union b ∪ o as a new bitset.
+func (b Bits) Or(o Bits) Bits {
+	out := b.Clone()
+	for i := range out {
+		out[i] |= o[i]
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (b Bits) Equal(o Bits) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports b ⊆ o.
+func (b Bits) SubsetOf(o Bits) bool {
+	for i := range b {
+		if b[i]&^o[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Indices returns the set bits in increasing order.
+func (b Bits) Indices() []int {
+	var out []int
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			out = append(out, wi*64+i)
+			w &^= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// Key returns a map-key string identifying the set.
+func (b Bits) Key() string {
+	var s strings.Builder
+	for _, w := range b {
+		s.WriteString(strconv.FormatUint(w, 16))
+		s.WriteByte(',')
+	}
+	return s.String()
+}

@@ -1,0 +1,106 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d, want 4", b.Count())
+	}
+	got := b.Indices()
+	want := []int{0, 63, 64, 129}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+	b.Clear(63)
+	if b.Get(63) || b.Count() != 3 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestBitsSetOps(t *testing.T) {
+	a, b := NewBits(70), NewBits(70)
+	a.Set(1)
+	a.Set(65)
+	b.Set(65)
+	b.Set(2)
+	and := a.And(b)
+	if and.Count() != 1 || !and.Get(65) {
+		t.Errorf("And = %v", and.Indices())
+	}
+	or := a.Or(b)
+	if or.Count() != 3 {
+		t.Errorf("Or = %v", or.Indices())
+	}
+	if !and.SubsetOf(a) || !and.SubsetOf(b) || !a.SubsetOf(or) {
+		t.Error("subset relations wrong")
+	}
+	if a.SubsetOf(b) {
+		t.Error("a ⊄ b expected")
+	}
+	if a.Equal(b) || !a.Equal(a.Clone()) {
+		t.Error("Equal wrong")
+	}
+	if a.Equal(NewBits(200)) {
+		t.Error("different lengths must not be equal")
+	}
+}
+
+func TestBitsCloneIndependent(t *testing.T) {
+	a := NewBits(10)
+	a.Set(3)
+	c := a.Clone()
+	c.Set(4)
+	if a.Get(4) {
+		t.Error("Clone shares storage")
+	}
+}
+
+// TestBitsLatticeLawsQuick property-tests the boolean-lattice laws that the
+// disclosure lattice construction relies on.
+func TestBitsLatticeLawsQuick(t *testing.T) {
+	const n = 128
+	rng := rand.New(rand.NewSource(42))
+	gen := func() Bits {
+		b := NewBits(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		return b
+	}
+	f := func() bool {
+		a, b, c := gen(), gen(), gen()
+		// De Morgan-ish distributivity for set ops.
+		lhs := a.And(b.Or(c))
+		rhs := a.And(b).Or(a.And(c))
+		if !lhs.Equal(rhs) {
+			return false
+		}
+		// Key semantics.
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			return false
+		}
+		// Subset antisymmetry.
+		if a.SubsetOf(b) && b.SubsetOf(a) && !a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package lattice
+
+// This file implements full generating sets (Section 4.2 of the paper):
+// when the universe is decomposable and the labeler is precise, a family F
+// can be reconstructed as unions of GLBs of a much smaller generating set
+// Fgen. The analogues of Theorems 4.3 and 4.5 hold: a minimal generating
+// set exists and is unique up to equivalence, and any family containing ⊤
+// extends to one inducing a precise labeler.
+
+// ExpressibleClosure returns every lattice element expressible from the
+// generator ⇓-sets by greatest lower bounds followed by least upper bounds
+// (unions closed by ⇓) — including ⊥ as the empty union. The result is
+// keyed by Bits.Key.
+func ExpressibleClosure(u *Universe, gens []Bits) map[string]Bits {
+	out := map[string]Bits{}
+	add := func(b Bits) bool {
+		k := b.Key()
+		if _, ok := out[k]; ok {
+			return false
+		}
+		out[k] = b
+		return true
+	}
+	add(u.Bottom()) // the empty union
+	for _, g := range gens {
+		add(g.Clone())
+	}
+	// Close under pairwise GLB, then pairwise LUB, to fixpoint. In a
+	// finite lattice pairwise closure yields all finite meets and joins.
+	for {
+		changed := false
+		var elems []Bits
+		for _, b := range out {
+			elems = append(elems, b)
+		}
+		for i := 0; i < len(elems); i++ {
+			for j := i + 1; j < len(elems); j++ {
+				if add(u.GLB(elems[i], elems[j])) {
+					changed = true
+				}
+				if add(u.LUB(elems[i], elems[j])) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return out
+		}
+	}
+}
+
+// MinimalGenerating computes a minimal generating set for the family
+// (Section 4.2): the indices of entries that cannot be expressed as unions
+// of GLBs of the remaining entries. F should induce a precise labeler for
+// the result to generate all of F.
+func (f *LabelFamily) MinimalGenerating() []int {
+	alive := make([]bool, len(f.Downs))
+	for i := range alive {
+		alive[i] = true
+	}
+	// Dedupe equivalent entries first.
+	for i := range f.Downs {
+		if !alive[i] {
+			continue
+		}
+		for j := i + 1; j < len(f.Downs); j++ {
+			if alive[j] && f.Downs[j].Equal(f.Downs[i]) {
+				alive[j] = false
+			}
+		}
+	}
+	for {
+		removed := false
+		for i := range f.Downs {
+			if !alive[i] {
+				continue
+			}
+			var rest []Bits
+			for j := range f.Downs {
+				if j != i && alive[j] {
+					rest = append(rest, f.Downs[j])
+				}
+			}
+			closure := ExpressibleClosure(f.U, rest)
+			if _, ok := closure[f.Downs[i].Key()]; ok {
+				alive[i] = false
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	var out []int
+	for i, a := range alive {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Generates reports whether the generator entries express every entry of
+// the family (Definition 4.9).
+func (f *LabelFamily) Generates(gen []int) bool {
+	gens := make([]Bits, 0, len(gen))
+	for _, i := range gen {
+		gens = append(gens, f.Downs[i])
+	}
+	closure := ExpressibleClosure(f.U, gens)
+	for _, d := range f.Downs {
+		if _, ok := closure[d.Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,276 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements disclosure labelers over explicitly represented
+// label sets F ⊆ ℘(U) (Sections 3.3 and 4 of the paper): the naïve labeling
+// algorithm, labeler existence (Theorem 3.7), GLB-based labeling with
+// downward generating sets (Section 4.1), and generating-set labeling
+// (Section 4.2).
+//
+// Throughout, an element W ∈ F is represented by its ⇓-set over the
+// universe, as computed by Universe.Down; the lattice of disclosure labels
+// (Theorem 3.6) is the family K = {⇓W : W ∈ F} ordered by inclusion.
+
+// LabelFamily is a family F of candidate disclosure labels. Each entry
+// pairs the label's view indices (into the universe) with its ⇓-set.
+type LabelFamily struct {
+	U     *Universe
+	Sets  [][]int // view indices of each W ∈ F
+	Downs []Bits  // ⇓W for each W ∈ F
+}
+
+// NewLabelFamily builds a LabelFamily from view-index sets.
+func NewLabelFamily(u *Universe, sets [][]int) *LabelFamily {
+	f := &LabelFamily{U: u, Sets: make([][]int, len(sets)), Downs: make([]Bits, len(sets))}
+	for i, s := range sets {
+		f.Sets[i] = append([]int(nil), s...)
+		f.Downs[i] = u.DownIdx(s)
+	}
+	return f
+}
+
+// PowerSetFamily builds F = ℘(S) for the given security-view indices.
+// The family has 2^|S| entries; callers must keep S small.
+func PowerSetFamily(u *Universe, viewIdx []int) *LabelFamily {
+	n := len(viewIdx)
+	sets := make([][]int, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var s []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s = append(s, viewIdx[i])
+			}
+		}
+		sets = append(sets, s)
+	}
+	return NewLabelFamily(u, sets)
+}
+
+// InducesLabeler checks Theorem 3.7: F induces a disclosure labeler
+// precisely when K = {⇓W : W ∈ F} is closed under pairwise GLB
+// (intersection) and contains ⊤ = ⇓U. It returns a descriptive error when
+// the check fails, naming a witness.
+func (f *LabelFamily) InducesLabeler() error {
+	top := f.U.Top()
+	hasTop := false
+	keys := make(map[string]struct{}, len(f.Downs))
+	for _, d := range f.Downs {
+		keys[d.Key()] = struct{}{}
+		if d.Equal(top) {
+			hasTop = true
+		}
+	}
+	if !hasTop {
+		return fmt.Errorf("lattice: F does not contain the top element ⇓U")
+	}
+	for i := range f.Downs {
+		for j := i + 1; j < len(f.Downs); j++ {
+			glb := f.Downs[i].And(f.Downs[j])
+			if _, ok := keys[glb.Key()]; !ok {
+				return fmt.Errorf("lattice: F is not closed under GLB: ⇓%v ⊓ ⇓%v = %v is missing",
+					f.U.NamesOf(f.Downs[i]), f.U.NamesOf(f.Downs[j]), f.U.NamesOf(glb))
+			}
+		}
+	}
+	return nil
+}
+
+// InducesPreciseLabeler checks Definition 4.6: F must contain ∅ (the ⇓-set
+// of the empty view set) and K must be closed under the lattice LUB.
+func (f *LabelFamily) InducesPreciseLabeler() error {
+	if err := f.InducesLabeler(); err != nil {
+		return err
+	}
+	bottom := f.U.Bottom()
+	keys := make(map[string]struct{}, len(f.Downs))
+	hasBottom := false
+	for _, d := range f.Downs {
+		keys[d.Key()] = struct{}{}
+		if d.Equal(bottom) {
+			hasBottom = true
+		}
+	}
+	if !hasBottom {
+		return fmt.Errorf("lattice: F does not contain ⊥ = ⇓∅")
+	}
+	for i := range f.Downs {
+		for j := i + 1; j < len(f.Downs); j++ {
+			lub := f.U.LUB(f.Downs[i], f.Downs[j])
+			if _, ok := keys[lub.Key()]; !ok {
+				return fmt.Errorf("lattice: F is not closed under LUB: ⇓%v ⊔ ⇓%v = %v is missing",
+					f.U.NamesOf(f.Downs[i]), f.U.NamesOf(f.Downs[j]), f.U.NamesOf(lub))
+			}
+		}
+	}
+	return nil
+}
+
+// NaiveLabel implements the paper's NaïveLabel procedure (Section 3.3): sort
+// F in increasing disclosure order and return the index (into f.Sets) of the
+// first element that reveals at least as much as W. When no element of F is
+// above W, the index of ⊤ is returned if present, else -1. The input W is
+// given by its ⇓-set.
+func (f *LabelFamily) NaiveLabel(downW Bits) int {
+	order := make([]int, len(f.Downs))
+	for i := range order {
+		order[i] = i
+	}
+	// Topological sort by ⊆ on ⇓-sets: fewer bits first is a linear
+	// extension of the inclusion order.
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := f.Downs[order[a]].Count(), f.Downs[order[b]].Count()
+		if ca != cb {
+			return ca < cb
+		}
+		return f.Downs[order[a]].Key() < f.Downs[order[b]].Key()
+	})
+	for _, i := range order {
+		if downW.SubsetOf(f.Downs[i]) {
+			return i
+		}
+	}
+	top := f.U.Top()
+	for i, d := range f.Downs {
+		if d.Equal(top) {
+			return i
+		}
+	}
+	return -1
+}
+
+// GLBLabel implements the GLBLabel procedure of Section 4.1 against a
+// downward generating set: the result is the intersection (running GLB) of
+// all family elements whose disclosure dominates W, starting from ⊤.
+// It returns the ⇓-set of the computed label.
+func (f *LabelFamily) GLBLabel(downW Bits) Bits {
+	label := f.U.Top()
+	for _, d := range f.Downs {
+		if downW.SubsetOf(d) {
+			label = label.And(d)
+		}
+	}
+	return label
+}
+
+// LabelGen implements the LabelGen procedure of Section 4.2: it labels a
+// set of views one view at a time against a generating set and combines the
+// per-view labels with the lattice LUB. It returns the ⇓-set of the
+// combined label. The views are given by universe indices.
+func (f *LabelFamily) LabelGen(viewIdx []int) Bits {
+	result := NewBits(f.U.Size())
+	for _, vi := range viewIdx {
+		d := f.U.DownIdx([]int{vi})
+		result = result.Or(f.GLBLabel(d))
+	}
+	// The union of ⇓-sets is not necessarily downward closed; close it to
+	// obtain the lattice element it denotes.
+	return f.U.DownIdx(result.Indices())
+}
+
+// MinimalDownwardGenerating computes the minimal downward generating set of
+// F (Theorem 4.3): elements equivalent to the GLB of other elements are
+// redundant and removed. It returns the indices (into f.Sets) that remain.
+// F must induce a labeler.
+func (f *LabelFamily) MinimalDownwardGenerating() []int {
+	alive := make([]bool, len(f.Downs))
+	for i := range alive {
+		alive[i] = true
+	}
+	// Dedupe equivalent elements first (keep the earliest).
+	for i := range f.Downs {
+		if !alive[i] {
+			continue
+		}
+		for j := i + 1; j < len(f.Downs); j++ {
+			if alive[j] && f.Downs[j].Equal(f.Downs[i]) {
+				alive[j] = false
+			}
+		}
+	}
+	// An element is redundant iff it equals the intersection of its strict
+	// supersets among the remaining elements (meet-reducibility).
+	for {
+		removed := false
+		for i := range f.Downs {
+			if !alive[i] {
+				continue
+			}
+			inter := f.U.Top()
+			hasStrictSuperset := false
+			for j := range f.Downs {
+				if j == i || !alive[j] {
+					continue
+				}
+				if f.Downs[i].SubsetOf(f.Downs[j]) && !f.Downs[j].Equal(f.Downs[i]) {
+					inter = inter.And(f.Downs[j])
+					hasStrictSuperset = true
+				}
+			}
+			if hasStrictSuperset && inter.Equal(f.Downs[i]) {
+				alive[i] = false
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	var out []int
+	for i, a := range alive {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CloseUnderGLB extends a family G to the F of Theorem 4.5 by closing its
+// ⇓-sets under pairwise intersection. G must contain the top element; the
+// result induces a disclosure labeler with G as a downward generating set.
+// Returned entries that were synthesized by closure carry the view indices
+// of their ⇓-sets.
+func CloseUnderGLB(g *LabelFamily) (*LabelFamily, error) {
+	top := g.U.Top()
+	hasTop := false
+	for _, d := range g.Downs {
+		if d.Equal(top) {
+			hasTop = true
+			break
+		}
+	}
+	if !hasTop {
+		return nil, fmt.Errorf("lattice: generating family must contain the top element ⇓U")
+	}
+	known := make(map[string]Bits)
+	for _, d := range g.Downs {
+		known[d.Key()] = d
+	}
+	queue := append([]Bits(nil), g.Downs...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range known {
+			glb := cur.And(d)
+			if _, ok := known[glb.Key()]; !ok {
+				known[glb.Key()] = glb
+				queue = append(queue, glb)
+			}
+		}
+	}
+	keys := make([]string, 0, len(known))
+	for k := range known {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := &LabelFamily{U: g.U}
+	for _, k := range keys {
+		d := known[k]
+		out.Sets = append(out.Sets, d.Indices())
+		out.Downs = append(out.Downs, d)
+	}
+	return out, nil
+}

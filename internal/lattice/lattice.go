@@ -1,0 +1,328 @@
+// Package lattice implements the paper's disclosure lattices (Section 3.2)
+// over a finite universe of views: the ⇓ operator, least upper and greatest
+// lower bounds (Theorem 3.3), disclosure labelers over explicit label sets
+// (Section 3.3), labeler-existence checking (Theorem 3.7), downward
+// generating sets (Section 4.1) and full generating sets (Section 4.2).
+//
+// Elements of the disclosure lattice are ⇓-sets — downward closures of view
+// sets under a disclosure order — represented as bitsets over the universe.
+// The construction here is exact and intended for universes of moderate size
+// (policy vocabularies, examples, tests); the scalable labeler in
+// internal/label never materializes a lattice.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/order"
+)
+
+// Universe is a finite, indexed set of views together with a disclosure
+// order. ⇓-sets are computed relative to it.
+type Universe struct {
+	views []*cq.Query
+	ord   order.Order
+	memo  map[string]Bits // Down-set memo keyed by sorted view indices
+}
+
+// NewUniverse builds a universe from the given views under the given order.
+// View names must be distinct; they identify views in rendered output.
+func NewUniverse(ord order.Order, views ...*cq.Query) (*Universe, error) {
+	seen := make(map[string]struct{}, len(views))
+	for _, v := range views {
+		if _, dup := seen[v.Name]; dup {
+			return nil, fmt.Errorf("lattice: duplicate view name %q in universe", v.Name)
+		}
+		seen[v.Name] = struct{}{}
+	}
+	return &Universe{views: views, ord: ord, memo: make(map[string]Bits)}, nil
+}
+
+// MustUniverse is like NewUniverse but panics on error.
+func MustUniverse(ord order.Order, views ...*cq.Query) *Universe {
+	u, err := NewUniverse(ord, views...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Size returns the number of views in the universe.
+func (u *Universe) Size() int { return len(u.views) }
+
+// Views returns the universe's views in index order.
+func (u *Universe) Views() []*cq.Query { return append([]*cq.Query(nil), u.views...) }
+
+// View returns the view at index i.
+func (u *Universe) View(i int) *cq.Query { return u.views[i] }
+
+// Order returns the disclosure order of the universe.
+func (u *Universe) Order() order.Order { return u.ord }
+
+// IndexOf returns the index of the view with the given name, or -1.
+func (u *Universe) IndexOf(name string) int {
+	for i, v := range u.views {
+		if v.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Down computes (⇓ W) = {V ∈ U : {V} ≼ W} as a bitset over the universe
+// (Definition 3.2). W may mention views outside the universe.
+func (u *Universe) Down(w []*cq.Query) Bits {
+	out := NewBits(len(u.views))
+	for i, v := range u.views {
+		if u.ord.Below([]*cq.Query{v}, w) {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+// DownIdx computes (⇓ W) for a W given as universe indices, with memoization.
+func (u *Universe) DownIdx(idx []int) Bits {
+	sorted := append([]int(nil), idx...)
+	sort.Ints(sorted)
+	var key strings.Builder
+	for _, i := range sorted {
+		fmt.Fprintf(&key, "%d,", i)
+	}
+	if b, ok := u.memo[key.String()]; ok {
+		return b.Clone()
+	}
+	w := make([]*cq.Query, len(sorted))
+	for i, j := range sorted {
+		w[i] = u.views[j]
+	}
+	b := u.Down(w)
+	u.memo[key.String()] = b.Clone()
+	return b
+}
+
+// ViewsOf maps a bitset back to the corresponding views.
+func (u *Universe) ViewsOf(b Bits) []*cq.Query {
+	idx := b.Indices()
+	out := make([]*cq.Query, len(idx))
+	for i, j := range idx {
+		out[i] = u.views[j]
+	}
+	return out
+}
+
+// NamesOf renders a bitset as a sorted list of view names.
+func (u *Universe) NamesOf(b Bits) []string {
+	idx := b.Indices()
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = u.views[j].Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Top returns ⊤ = (⇓ U).
+func (u *Universe) Top() Bits {
+	all := make([]int, len(u.views))
+	for i := range all {
+		all[i] = i
+	}
+	return u.DownIdx(all)
+}
+
+// Bottom returns ⊥ = (⇓ ∅).
+func (u *Universe) Bottom() Bits { return u.Down(nil) }
+
+// GLB returns the greatest lower bound of two ⇓-sets: their intersection
+// (Theorem 3.3(b)).
+func (u *Universe) GLB(a, b Bits) Bits { return a.And(b) }
+
+// LUB returns the least upper bound of two ⇓-sets: ⇓ of their union
+// (Theorem 3.3(a)). The union of two ⇓-sets is generally not itself
+// downward closed, so a further closure is required.
+func (u *Universe) LUB(a, b Bits) Bits {
+	return u.DownIdx(a.Or(b).Indices())
+}
+
+// IsDownSet reports whether b is downward closed, i.e. b = ⇓(views of b).
+// Every element of the disclosure lattice satisfies this.
+func (u *Universe) IsDownSet(b Bits) bool {
+	return u.DownIdx(b.Indices()).Equal(b)
+}
+
+// Element is a node of an explicitly constructed disclosure lattice.
+type Element struct {
+	Set Bits
+	// Covers lists indices (into Lattice.Elements) of elements directly
+	// below this one in the Hasse diagram.
+	Covers []int
+}
+
+// Lattice is an explicitly materialized disclosure lattice: all distinct
+// ⇓-sets ordered by inclusion, with Hasse-diagram cover edges. Only
+// feasible for small universes (|U| ≲ 20).
+type Lattice struct {
+	U        *Universe
+	Elements []Element // sorted by (popcount, key) — bottom first, top last
+}
+
+// Build materializes the disclosure lattice of the universe by enumerating
+// every subset of U (Theorem 3.3: I = {⇓W : W ⊆ U}). It returns an error if
+// the universe exceeds maxViews (guarding against 2^n blowup); pass 0 for
+// the default limit of 20.
+func Build(u *Universe, maxViews int) (*Lattice, error) {
+	if maxViews <= 0 {
+		maxViews = 20
+	}
+	n := u.Size()
+	if n > maxViews {
+		return nil, fmt.Errorf("lattice: universe has %d views, exceeding the limit of %d", n, maxViews)
+	}
+	distinct := make(map[string]Bits)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var idx []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				idx = append(idx, i)
+			}
+		}
+		d := u.DownIdx(idx)
+		distinct[d.Key()] = d
+	}
+	elems := make([]Bits, 0, len(distinct))
+	for _, b := range distinct {
+		elems = append(elems, b)
+	}
+	sort.Slice(elems, func(i, j int) bool {
+		ci, cj := elems[i].Count(), elems[j].Count()
+		if ci != cj {
+			return ci < cj
+		}
+		return elems[i].Key() < elems[j].Key()
+	})
+	l := &Lattice{U: u, Elements: make([]Element, len(elems))}
+	for i, b := range elems {
+		l.Elements[i] = Element{Set: b}
+	}
+	// Cover edges: j covers i when Set[i] ⊂ Set[j] with nothing between.
+	for j := range l.Elements {
+		for i := 0; i < j; i++ {
+			si, sj := l.Elements[i].Set, l.Elements[j].Set
+			if !si.SubsetOf(sj) || si.Equal(sj) {
+				continue
+			}
+			covered := true
+			for k := range l.Elements {
+				if k == i || k == j {
+					continue
+				}
+				sk := l.Elements[k].Set
+				if si.SubsetOf(sk) && sk.SubsetOf(sj) && !sk.Equal(si) && !sk.Equal(sj) {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				l.Elements[j].Covers = append(l.Elements[j].Covers, i)
+			}
+		}
+	}
+	return l, nil
+}
+
+// Bottom returns the index of ⊥ in Elements.
+func (l *Lattice) Bottom() int { return 0 }
+
+// Top returns the index of ⊤ in Elements.
+func (l *Lattice) Top() int { return len(l.Elements) - 1 }
+
+// Find returns the index of the element equal to b, or -1.
+func (l *Lattice) Find(b Bits) int {
+	for i, e := range l.Elements {
+		if e.Set.Equal(b) {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsDistributive checks the distributive law a ⊓ (b ⊔ c) = (a ⊓ b) ⊔ (a ⊓ c)
+// over every element triple. Theorem 4.8: if U is decomposable under the
+// order, the disclosure lattice is distributive.
+func (l *Lattice) IsDistributive() bool {
+	u := l.U
+	for _, a := range l.Elements {
+		for _, b := range l.Elements {
+			for _, c := range l.Elements {
+				lhs := u.GLB(a.Set, u.LUB(b.Set, c.Set))
+				rhs := u.LUB(u.GLB(a.Set, b.Set), u.GLB(a.Set, c.Set))
+				if !lhs.Equal(rhs) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// String renders the lattice bottom-up, one element per line, with cover
+// edges, using view names.
+func (l *Lattice) String() string {
+	var b strings.Builder
+	for i, e := range l.Elements {
+		names := l.U.NamesOf(e.Set)
+		label := "∅"
+		if len(names) > 0 {
+			label = "{" + strings.Join(names, ", ") + "}"
+		}
+		switch i {
+		case l.Bottom():
+			fmt.Fprintf(&b, "[%d] ⊥ = ⇓%s", i, label)
+		case l.Top():
+			fmt.Fprintf(&b, "[%d] ⊤ = ⇓%s", i, label)
+		default:
+			fmt.Fprintf(&b, "[%d] ⇓%s", i, label)
+		}
+		if len(e.Covers) > 0 {
+			fmt.Fprintf(&b, "  covers %v", e.Covers)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Decomposable checks Definition 4.7 on the universe exhaustively: for every
+// pair of subsets W1, W2 ⊆ U and every view V with {V} ≼ W1 ∪ W2, either
+// {V} ≼ W1 or {V} ≼ W2. Exponential in |U|; use only on small universes.
+func Decomposable(u *Universe) bool {
+	n := u.Size()
+	subsets := make([][]int, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var idx []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				idx = append(idx, i)
+			}
+		}
+		subsets = append(subsets, idx)
+	}
+	downs := make([]Bits, len(subsets))
+	for i, s := range subsets {
+		downs[i] = u.DownIdx(s)
+	}
+	for i, w1 := range subsets {
+		for j, w2 := range subsets {
+			union := append(append([]int(nil), w1...), w2...)
+			du := u.DownIdx(union)
+			either := downs[i].Or(downs[j])
+			if !du.SubsetOf(either) {
+				return false
+			}
+		}
+	}
+	return true
+}

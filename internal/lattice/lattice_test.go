@@ -1,0 +1,385 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/order"
+)
+
+// meetingsUniverse returns the Figure-3 universe: the four projections of
+// the binary Meetings relation under the single-atom rewriting order.
+func meetingsUniverse(t *testing.T) *Universe {
+	t.Helper()
+	return MustUniverse(order.SingleAtom{},
+		cq.MustParse("V1(x, y) :- Meetings(x, y)"),
+		cq.MustParse("V2(x) :- Meetings(x, y)"),
+		cq.MustParse("V4(y) :- Meetings(x, y)"),
+		cq.MustParse("V5() :- Meetings(x, y)"),
+	)
+}
+
+func TestFigure3Lattice(t *testing.T) {
+	u := meetingsUniverse(t)
+	l, err := Build(u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3 shows exactly six elements:
+	// ⊥, ⇓{V5}, ⇓{V2}, ⇓{V4}, ⇓{V2,V4}, ⊤ = ⇓{V1}.
+	if len(l.Elements) != 6 {
+		t.Fatalf("lattice has %d elements, want 6:\n%s", len(l.Elements), l)
+	}
+	v1 := u.IndexOf("V1")
+	v2 := u.IndexOf("V2")
+	v4 := u.IndexOf("V4")
+	v5 := u.IndexOf("V5")
+
+	// GLB of ⇓{V2} and ⇓{V4} is ⇓{V5}.
+	glb := u.GLB(u.DownIdx([]int{v2}), u.DownIdx([]int{v4}))
+	if !glb.Equal(u.DownIdx([]int{v5})) {
+		t.Errorf("GLB(⇓V2, ⇓V4) = %v, want ⇓{V5}", u.NamesOf(glb))
+	}
+	// LUB of ⇓{V2} and ⇓{V4} is ⇓{V2,V4}, strictly below ⊤.
+	lub := u.LUB(u.DownIdx([]int{v2}), u.DownIdx([]int{v4}))
+	if !lub.Equal(u.DownIdx([]int{v2, v4})) {
+		t.Errorf("LUB(⇓V2, ⇓V4) = %v, want ⇓{V2,V4}", u.NamesOf(lub))
+	}
+	top := u.Top()
+	if lub.Equal(top) {
+		t.Error("LUB(⇓V2, ⇓V4) must be strictly below ⊤ (cannot reconstitute Meetings from its projections)")
+	}
+	if !u.DownIdx([]int{v1}).Equal(top) {
+		t.Error("⇓{V1} must be ⊤")
+	}
+	// Bottom is the empty down-set: nothing in this universe is derivable
+	// from no views.
+	if u.Bottom().Count() != 0 {
+		t.Errorf("⊥ = %v, want ∅", u.NamesOf(u.Bottom()))
+	}
+}
+
+func TestDownSetContents(t *testing.T) {
+	u := meetingsUniverse(t)
+	v1, v2, v4, v5 := u.IndexOf("V1"), u.IndexOf("V2"), u.IndexOf("V4"), u.IndexOf("V5")
+	down := u.DownIdx([]int{v2})
+	if !down.Get(v2) || !down.Get(v5) {
+		t.Errorf("⇓{V2} = %v, want {V2, V5}", u.NamesOf(down))
+	}
+	if down.Get(v1) || down.Get(v4) {
+		t.Errorf("⇓{V2} = %v contains too much", u.NamesOf(down))
+	}
+	if !u.IsDownSet(down) {
+		t.Error("⇓{V2} should be downward closed")
+	}
+}
+
+func TestLatticeLaws(t *testing.T) {
+	u := meetingsUniverse(t)
+	l, err := Build(u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := l.Elements
+	for _, a := range elems {
+		// Idempotence.
+		if !u.GLB(a.Set, a.Set).Equal(a.Set) || !u.LUB(a.Set, a.Set).Equal(a.Set) {
+			t.Fatalf("idempotence fails at %v", u.NamesOf(a.Set))
+		}
+		for _, b := range elems {
+			// Commutativity.
+			if !u.GLB(a.Set, b.Set).Equal(u.GLB(b.Set, a.Set)) {
+				t.Fatalf("GLB not commutative")
+			}
+			if !u.LUB(a.Set, b.Set).Equal(u.LUB(b.Set, a.Set)) {
+				t.Fatalf("LUB not commutative")
+			}
+			// Absorption.
+			if !u.GLB(a.Set, u.LUB(a.Set, b.Set)).Equal(a.Set) {
+				t.Fatalf("absorption (GLB∘LUB) fails at %v, %v", u.NamesOf(a.Set), u.NamesOf(b.Set))
+			}
+			if !u.LUB(a.Set, u.GLB(a.Set, b.Set)).Equal(a.Set) {
+				t.Fatalf("absorption (LUB∘GLB) fails at %v, %v", u.NamesOf(a.Set), u.NamesOf(b.Set))
+			}
+			for _, c := range elems {
+				// Associativity.
+				if !u.GLB(a.Set, u.GLB(b.Set, c.Set)).Equal(u.GLB(u.GLB(a.Set, b.Set), c.Set)) {
+					t.Fatalf("GLB not associative")
+				}
+				if !u.LUB(a.Set, u.LUB(b.Set, c.Set)).Equal(u.LUB(u.LUB(a.Set, b.Set), c.Set)) {
+					t.Fatalf("LUB not associative")
+				}
+			}
+		}
+	}
+}
+
+func TestExample35NoLabeler(t *testing.T) {
+	// Example 3.5: F = ℘({V2, V4}) does not induce a labeler over the
+	// Figure-3 universe because ⇓{V2} ∩ ⇓{V4} = ⇓{V5} ∉ K.
+	u := meetingsUniverse(t)
+	v2, v4 := u.IndexOf("V2"), u.IndexOf("V4")
+	f := NewLabelFamily(u, [][]int{
+		nil, {v2}, {v4}, {v2, v4}, {u.IndexOf("V1"), v2, v4, u.IndexOf("V5")}, // ℘({V2,V4}) ∪ {⊤}
+	})
+	if err := f.InducesLabeler(); err == nil {
+		t.Error("℘({V2,V4}) must not induce a labeler (Example 3.5)")
+	}
+	// Adding V5 fixes it.
+	v5 := u.IndexOf("V5")
+	f2 := NewLabelFamily(u, [][]int{
+		nil, {v5}, {v2}, {v4}, {v2, v4}, {u.IndexOf("V1")},
+	})
+	if err := f2.InducesLabeler(); err != nil {
+		t.Errorf("family with V5 should induce a labeler: %v", err)
+	}
+}
+
+func TestNaiveLabel(t *testing.T) {
+	u := meetingsUniverse(t)
+	v1, v2, v4, v5 := u.IndexOf("V1"), u.IndexOf("V2"), u.IndexOf("V4"), u.IndexOf("V5")
+	f := NewLabelFamily(u, [][]int{nil, {v5}, {v2}, {v4}, {v2, v4}, {v1}})
+	if err := f.InducesLabeler(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		w    []int
+		want int // index into f.Sets
+	}{
+		{[]int{v5}, 1},
+		{[]int{v2}, 2},
+		{[]int{v4}, 3},
+		{[]int{v2, v4}, 4},
+		{[]int{v1}, 5},
+		{[]int{v2, v5}, 2}, // V5 adds nothing beyond V2
+		{nil, 0},
+	}
+	for _, tc := range cases {
+		got := f.NaiveLabel(u.DownIdx(tc.w))
+		if got != tc.want {
+			t.Errorf("NaiveLabel(%v) = set %d (%v), want set %d", tc.w, got, f.Sets[got], tc.want)
+		}
+	}
+}
+
+func TestGLBLabelMatchesNaive(t *testing.T) {
+	// When F induces a labeler, GLBLabel against F (its own downward
+	// generating set) must agree with NaiveLabel.
+	u := meetingsUniverse(t)
+	v1, v2, v4, v5 := u.IndexOf("V1"), u.IndexOf("V2"), u.IndexOf("V4"), u.IndexOf("V5")
+	f := NewLabelFamily(u, [][]int{nil, {v5}, {v2}, {v4}, {v2, v4}, {v1}})
+	for _, w := range [][]int{nil, {v5}, {v2}, {v4}, {v2, v4}, {v1}, {v2, v5}, {v4, v5}, {v1, v2}} {
+		down := u.DownIdx(w)
+		naive := f.Downs[f.NaiveLabel(down)]
+		glb := f.GLBLabel(down)
+		if !naive.Equal(glb) {
+			t.Errorf("labels disagree for W=%v: naive=%v glb=%v", w, u.NamesOf(naive), u.NamesOf(glb))
+		}
+	}
+}
+
+func TestMinimalDownwardGenerating(t *testing.T) {
+	u := meetingsUniverse(t)
+	v1, v2, v4, v5 := u.IndexOf("V1"), u.IndexOf("V2"), u.IndexOf("V4"), u.IndexOf("V5")
+	f := NewLabelFamily(u, [][]int{nil, {v5}, {v2}, {v4}, {v2, v4}, {v1}})
+	kept := f.MinimalDownwardGenerating()
+	// ⇓{V5} = ⇓{V2} ∩ ⇓{V4} is redundant; ⊥ = ⇓{V5} ∩ ... is it? ⊥ = ∅ is
+	// the GLB of nothing above it other than everything... ⊥ has strict
+	// supersets whose intersection is ⇓{V5} ≠ ⊥, so ⊥ is irreducible and
+	// must stay. Expect to drop exactly {V5}.
+	keptSets := make(map[int]bool)
+	for _, k := range kept {
+		keptSets[k] = true
+	}
+	if keptSets[1] {
+		t.Errorf("⇓{V5} should be removed as GLB(⇓{V2}, ⇓{V4}); kept %v", kept)
+	}
+	for _, idx := range []int{0, 2, 3, 4, 5} {
+		if !keptSets[idx] {
+			t.Errorf("set %d (%v) should be kept; kept %v", idx, f.Sets[idx], kept)
+		}
+	}
+	// Labeling with the downward generating set agrees with the full F.
+	fd := NewLabelFamily(u, [][]int{nil, {v2}, {v4}, {v2, v4}, {v1}})
+	for _, w := range [][]int{nil, {v5}, {v2}, {v4}, {v2, v4}, {v1}} {
+		down := u.DownIdx(w)
+		if !fd.GLBLabel(down).Equal(f.GLBLabel(down)) {
+			t.Errorf("GLBLabel disagrees on %v after removing redundant elements", w)
+		}
+	}
+}
+
+func TestCloseUnderGLB(t *testing.T) {
+	// Theorem 4.5: closing G = {⊤, {V2}, {V4}} under GLB yields an F that
+	// induces a labeler and has G as a downward generating set.
+	u := meetingsUniverse(t)
+	v1, v2, v4 := u.IndexOf("V1"), u.IndexOf("V2"), u.IndexOf("V4")
+	g := NewLabelFamily(u, [][]int{{v1}, {v2}, {v4}})
+	f, err := CloseUnderGLB(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InducesLabeler(); err != nil {
+		t.Errorf("closure does not induce a labeler: %v", err)
+	}
+	// The closure adds ⇓{V5} = ⇓{V2} ∩ ⇓{V4}.
+	v5down := u.DownIdx([]int{u.IndexOf("V5")})
+	found := false
+	for _, d := range f.Downs {
+		if d.Equal(v5down) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("closure is missing ⇓{V5}")
+	}
+	// Without ⊤, closure must be rejected.
+	if _, err := CloseUnderGLB(NewLabelFamily(u, [][]int{{v2}, {v4}})); err == nil {
+		t.Error("closure without ⊤ accepted")
+	}
+}
+
+func TestContactsGeneratingSets(t *testing.T) {
+	// Examples 4.1/4.4/4.10: the eight projections of the ternary Contacts
+	// relation. The downward generating set ℘({V3,V6,V7,V8}) reconstructs
+	// the remaining projections via GLBs, and the singleton family
+	// {{V3},{V6},{V7},{V8}} is a generating set for a precise labeler.
+	views := []*cq.Query{
+		cq.MustParse("V3(x, y, z) :- C(x, y, z)"),
+		cq.MustParse("V6(x, y) :- C(x, y, z)"),
+		cq.MustParse("V7(x, z) :- C(x, y, z)"),
+		cq.MustParse("V8(y, z) :- C(x, y, z)"),
+		cq.MustParse("V9(x) :- C(x, y, z)"),
+		cq.MustParse("V10(y) :- C(x, y, z)"),
+		cq.MustParse("V11(z) :- C(x, y, z)"),
+		cq.MustParse("V12() :- C(x, y, z)"),
+	}
+	u := MustUniverse(order.SingleAtom{}, views...)
+	idx := func(n string) int { return u.IndexOf(n) }
+	glbOf := func(names ...string) Bits {
+		out := u.Top()
+		for _, n := range names {
+			out = out.And(u.DownIdx([]int{idx(n)}))
+		}
+		return out
+	}
+	// Example 4.4's GLB table.
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"V6", "V7"}, "V9"},
+		{[]string{"V6", "V8"}, "V10"},
+		{[]string{"V7", "V8"}, "V11"},
+		{[]string{"V6", "V7", "V8"}, "V12"},
+	}
+	for _, tc := range cases {
+		got := glbOf(tc.args...)
+		want := u.DownIdx([]int{idx(tc.want)})
+		if !got.Equal(want) {
+			t.Errorf("GLB(%v) = %v, want ⇓{%s}", tc.args, u.NamesOf(got), tc.want)
+		}
+	}
+	// The universe of single-atom projections is decomposable, so the
+	// disclosure lattice is distributive (Theorem 4.8).
+	l, err := Build(u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsDistributive() {
+		t.Error("Contacts projection lattice should be distributive")
+	}
+}
+
+func TestDecomposable(t *testing.T) {
+	// A universe of single-atom views is decomposable (Section 5.1)...
+	u := MustUniverse(order.SingleAtom{},
+		cq.MustParse("V1(x, y) :- M(x, y)"),
+		cq.MustParse("V2(x) :- M(x, y)"),
+		cq.MustParse("V4(y) :- M(x, y)"),
+		cq.MustParse("V5() :- M(x, y)"),
+	)
+	if !Decomposable(u) {
+		t.Error("single-atom universe should be decomposable")
+	}
+	// ...but adding a join view breaks decomposability: the join is
+	// derivable from {V1, W3} jointly (under the general rewriting order)
+	// yet from neither alone.
+	uj := MustUniverse(order.Rewriting{},
+		cq.MustParse("V1(x, y) :- M(x, y)"),
+		cq.MustParse("W3(x, y, z) :- C(x, y, z)"),
+		cq.MustParse("J(x, w) :- M(x, y), C(y, w, z)"),
+	)
+	if Decomposable(uj) {
+		t.Error("universe with a join view should not be decomposable")
+	}
+}
+
+func TestTheorem48Distributivity(t *testing.T) {
+	u := meetingsUniverse(t)
+	if !Decomposable(u) {
+		t.Fatal("precondition: universe must be decomposable")
+	}
+	l, err := Build(u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsDistributive() {
+		t.Error("decomposable universe must yield a distributive lattice (Theorem 4.8)")
+	}
+}
+
+func TestBuildGuardsUniverseSize(t *testing.T) {
+	views := make([]*cq.Query, 21)
+	for i := range views {
+		views[i] = cq.MustParse(
+			"W" + string(rune('A'+i)) + "(x) :- R(x, y)")
+	}
+	u := MustUniverse(order.SingleAtom{}, views...)
+	if _, err := Build(u, 20); err == nil {
+		t.Error("Build should reject oversized universes")
+	}
+}
+
+func TestUniverseDuplicateNames(t *testing.T) {
+	if _, err := NewUniverse(order.SingleAtom{},
+		cq.MustParse("V(x) :- R(x, y)"),
+		cq.MustParse("V(y) :- R(x, y)"),
+	); err == nil {
+		t.Error("duplicate view names accepted")
+	}
+}
+
+func TestPowerSetFamily(t *testing.T) {
+	u := meetingsUniverse(t)
+	f := PowerSetFamily(u, []int{u.IndexOf("V2"), u.IndexOf("V4")})
+	if len(f.Sets) != 4 {
+		t.Errorf("power set of 2 views has %d entries, want 4", len(f.Sets))
+	}
+}
+
+func TestInducesPreciseLabeler(t *testing.T) {
+	// Definition 4.6 on the Figure-3 universe: the full six-element family
+	// (all distinct ⇓-sets) is precise; dropping ⇓{V2,V4} breaks LUB
+	// closure, and dropping ∅ breaks the ⊥ requirement.
+	u := meetingsUniverse(t)
+	v1, v2, v4, v5 := u.IndexOf("V1"), u.IndexOf("V2"), u.IndexOf("V4"), u.IndexOf("V5")
+	precise := NewLabelFamily(u, [][]int{nil, {v5}, {v2}, {v4}, {v2, v4}, {v1}})
+	if err := precise.InducesPreciseLabeler(); err != nil {
+		t.Errorf("full family should be precise: %v", err)
+	}
+	noLUB := NewLabelFamily(u, [][]int{nil, {v5}, {v2}, {v4}, {v1}})
+	if err := noLUB.InducesPreciseLabeler(); err == nil {
+		t.Error("family without ⇓{V2,V4} must not be precise (LUB missing)")
+	}
+	noBottom := NewLabelFamily(u, [][]int{{v5}, {v2}, {v4}, {v2, v4}, {v1}})
+	if err := noBottom.InducesPreciseLabeler(); err == nil {
+		t.Error("family without ∅ must not be precise")
+	}
+	// Not even a labeler → also not precise.
+	notLabeler := NewLabelFamily(u, [][]int{nil, {v2}, {v4}, {v2, v4}, {v1}})
+	if err := notLabeler.InducesPreciseLabeler(); err == nil {
+		t.Error("non-GLB-closed family must not be precise")
+	}
+}

@@ -1,0 +1,100 @@
+package lattice
+
+import (
+	"fmt"
+)
+
+// This file implements Section 3.4 of the paper at the lattice level: a
+// security policy as an explicit subset of the lattice of disclosure
+// labels, and the reference-monitor algorithm that processes queries one at
+// a time while tracking cumulative disclosure Lcum.
+//
+// The scalable production path lives in internal/policy (partitioned
+// policies with bit-vector consistency tracking); this explicit version
+// exists for small policy vocabularies, for verifying the partitioned
+// implementation against the definition, and for tests.
+
+// Policy is a security policy in the sense of Definition 3.9: a set of
+// elements of the disclosure lattice (each given by its ⇓-set). A set of
+// queries whose cumulative label is one of these elements may be answered.
+type Policy struct {
+	U        *Universe
+	Elements []Bits
+}
+
+// NewPolicy builds a policy from view-index sets; each set's ⇓-closure
+// becomes a permitted lattice element.
+func NewPolicy(u *Universe, permitted [][]int) *Policy {
+	p := &Policy{U: u}
+	for _, w := range permitted {
+		p.Elements = append(p.Elements, u.DownIdx(w))
+	}
+	return p
+}
+
+// Consistent checks the internal-consistency requirement of Section 3.4:
+// if W ≼ W′ and ⇓W′ ∈ P then ⇓W ∈ P (the policy is downward closed within
+// the lattice restricted to its elements' lower bounds). It returns an
+// error naming a violation: an element of the lattice below a permitted
+// element that is not itself permitted.
+//
+// Consistency is checked against the materialized lattice, so it is only
+// feasible for small universes.
+func (p *Policy) Consistent(maxViews int) error {
+	l, err := Build(p.U, maxViews)
+	if err != nil {
+		return err
+	}
+	permitted := make(map[string]bool, len(p.Elements))
+	for _, e := range p.Elements {
+		permitted[e.Key()] = true
+	}
+	for _, e := range p.Elements {
+		for _, le := range l.Elements {
+			if le.Set.SubsetOf(e) && !permitted[le.Set.Key()] {
+				return fmt.Errorf("lattice: policy is inconsistent: ⇓%v is below permitted ⇓%v but not itself permitted",
+					p.U.NamesOf(le.Set), p.U.NamesOf(e))
+			}
+		}
+	}
+	return nil
+}
+
+// Allows reports whether the lattice element b is permitted.
+func (p *Policy) Allows(b Bits) bool {
+	for _, e := range p.Elements {
+		if b.Equal(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReferenceMonitor is the Section 3.4 algorithm: it accumulates the
+// cumulative disclosure of answered queries and accepts a new query only
+// when the combined disclosure stays within the policy.
+type ReferenceMonitor struct {
+	policy *Policy
+	lcum   Bits
+}
+
+// NewReferenceMonitor creates a monitor with empty cumulative disclosure.
+func NewReferenceMonitor(p *Policy) *ReferenceMonitor {
+	return &ReferenceMonitor{policy: p, lcum: NewBits(p.U.Size())}
+}
+
+// Cumulative returns the current cumulative disclosure ⇓Lcum.
+func (m *ReferenceMonitor) Cumulative() Bits { return m.lcum.Clone() }
+
+// Submit labels the query-set (given by the ⇓-set of its label) combined
+// with the history, accepts it if the result is permitted, and updates the
+// cumulative disclosure on acceptance — lines 3–9 of the Section 3.4
+// algorithm.
+func (m *ReferenceMonitor) Submit(queryDown Bits) bool {
+	lnew := m.policy.U.DownIdx(m.lcum.Or(queryDown).Indices())
+	if !m.policy.Allows(lnew) {
+		return false
+	}
+	m.lcum = lnew
+	return true
+}

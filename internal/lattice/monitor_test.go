@@ -1,0 +1,178 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/order"
+)
+
+func TestSection34ChineseWallPolicy(t *testing.T) {
+	// The Section 3.4 example: U = the four Meetings projections, trivial
+	// labeler, P = {⊥, ⇓{V5}, ⇓{V2}, ⇓{V4}} — either attribute of Meetings
+	// may be disclosed, but not both.
+	u := meetingsUniverse(t)
+	v2, v4, v5 := u.IndexOf("V2"), u.IndexOf("V4"), u.IndexOf("V5")
+	p := NewPolicy(u, [][]int{nil, {v5}, {v2}, {v4}})
+	if err := p.Consistent(0); err != nil {
+		t.Fatalf("policy should be consistent: %v", err)
+	}
+
+	m := NewReferenceMonitor(p)
+	// V5 (emptiness) is fine.
+	if !m.Submit(u.DownIdx([]int{v5})) {
+		t.Fatal("V5 refused")
+	}
+	// V2 is fine (cumulative {V5, V2} ≡ {V2}).
+	if !m.Submit(u.DownIdx([]int{v2})) {
+		t.Fatal("V2 refused")
+	}
+	// V4 now pushes cumulative disclosure to ⇓{V2,V4} ∉ P → refused.
+	if m.Submit(u.DownIdx([]int{v4})) {
+		t.Fatal("V4 accepted; Chinese Wall violated")
+	}
+	// Cumulative state unchanged by the refusal; V2 still fine.
+	if !m.Submit(u.DownIdx([]int{v2})) {
+		t.Fatal("V2 refused after refusal of V4")
+	}
+	if got := u.NamesOf(m.Cumulative()); strings.Join(got, ",") != "V2,V5" {
+		t.Errorf("cumulative = %v, want [V2 V5]", got)
+	}
+}
+
+func TestPolicyConsistencyViolation(t *testing.T) {
+	// Permitting ⇓{V2} without permitting ⊥ and ⇓{V5} is inconsistent: a
+	// principal allowed the projection must be allowed everything below it.
+	u := meetingsUniverse(t)
+	p := NewPolicy(u, [][]int{{u.IndexOf("V2")}})
+	if err := p.Consistent(0); err == nil {
+		t.Error("inconsistent policy accepted")
+	}
+}
+
+func TestReferenceMonitorMatchesPartitionedMonitor(t *testing.T) {
+	// The explicit Section-3.4 monitor and the partitioned Section-6.2
+	// scheme must agree on a two-partition Chinese Wall over the Meetings
+	// projections. Partitions: W1 = {V2}, W2 = {V4}. The explicit policy
+	// permits every lattice element below W1 or below W2.
+	u := meetingsUniverse(t)
+	v2, v4, v5 := u.IndexOf("V2"), u.IndexOf("V4"), u.IndexOf("V5")
+	explicit := NewPolicy(u, [][]int{nil, {v5}, {v2}, {v4}})
+	if err := explicit.Consistent(0); err != nil {
+		t.Fatal(err)
+	}
+
+	type partitioned struct {
+		parts []Bits
+		live  []bool
+	}
+	newPart := func() *partitioned {
+		return &partitioned{
+			parts: []Bits{u.DownIdx([]int{v2}), u.DownIdx([]int{v4})},
+			live:  []bool{true, true},
+		}
+	}
+	submitPart := func(p *partitioned, cum *Bits, q Bits) bool {
+		joined := u.DownIdx((*cum).Or(q).Indices())
+		any := false
+		next := make([]bool, len(p.live))
+		for i, part := range p.parts {
+			if p.live[i] && joined.SubsetOf(part) {
+				next[i] = true
+				any = true
+			}
+		}
+		if !any {
+			return false
+		}
+		p.live = next
+		*cum = joined
+		return true
+	}
+
+	sequences := [][]int{
+		{v5, v2, v4, v2},
+		{v4, v2, v4},
+		{v5, v5, v5},
+		{v2, v2, v4, v5},
+		{v4, v5, v2},
+	}
+	for _, seq := range sequences {
+		m := NewReferenceMonitor(explicit)
+		pm := newPart()
+		cum := NewBits(u.Size())
+		for step, vi := range seq {
+			q := u.DownIdx([]int{vi})
+			a := m.Submit(q)
+			b := submitPart(pm, &cum, q)
+			if a != b {
+				t.Fatalf("sequence %v step %d: explicit=%v partitioned=%v", seq, step, a, b)
+			}
+		}
+	}
+}
+
+// TestDefinition34Axioms verifies that GLBLabel over a generating family
+// satisfies the disclosure-labeler axioms of Definition 3.4 on the
+// Contacts-projection universe.
+func TestDefinition34Axioms(t *testing.T) {
+	views := []*cq.Query{
+		cq.MustParse("V3(x, y, z) :- C(x, y, z)"),
+		cq.MustParse("V6(x, y) :- C(x, y, z)"),
+		cq.MustParse("V7(x, z) :- C(x, y, z)"),
+		cq.MustParse("V8(y, z) :- C(x, y, z)"),
+		cq.MustParse("V9(x) :- C(x, y, z)"),
+		cq.MustParse("V10(y) :- C(x, y, z)"),
+		cq.MustParse("V11(z) :- C(x, y, z)"),
+		cq.MustParse("V12() :- C(x, y, z)"),
+	}
+	u := MustUniverse(order.SingleAtom{}, views...)
+	// F = closure under GLB of the ⇓-sets of all subsets of the four
+	// generating views {V3, V6, V7, V8} (Example 4.10's catalog).
+	g := NewLabelFamily(u, [][]int{{0}, {1}, {2}, {3}})
+	// Ensure top is present: ⇓{V3} is ⊤ for this universe.
+	f, err := CloseUnderGLB(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InducesLabeler(); err != nil {
+		t.Fatal(err)
+	}
+	ell := func(w []int) Bits { return f.GLBLabel(u.DownIdx(w)) }
+
+	subsets := [][]int{nil, {0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {1, 2}, {4, 5}, {1, 7}, {0, 4}}
+	inF := func(b Bits) bool {
+		for _, d := range f.Downs {
+			if d.Equal(b) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range subsets {
+		lbl := ell(w)
+		// (a) ℓ(W) is (equivalent to) an element of F.
+		if !inF(lbl) {
+			t.Errorf("ℓ(%v) = %v not in F", w, u.NamesOf(lbl))
+		}
+		// (c) W ≼ ℓ(W): the labeler never underestimates disclosure.
+		if !u.DownIdx(w).SubsetOf(lbl) {
+			t.Errorf("axiom (c) fails: %v ⋠ ℓ(%v)", w, w)
+		}
+		// (d) monotonicity.
+		for _, w2 := range subsets {
+			if u.DownIdx(w).SubsetOf(u.DownIdx(w2)) {
+				if !ell(w).SubsetOf(ell(w2)) {
+					t.Errorf("axiom (d) fails: %v ≼ %v but labels not ordered", w, w2)
+				}
+			}
+		}
+	}
+	// (b) fixpoints: ℓ(W) ≡ W for W ∈ F.
+	for i, d := range f.Downs {
+		if !f.GLBLabel(d).Equal(d) {
+			t.Errorf("axiom (b) fails for F[%d] = %v", i, u.NamesOf(d))
+		}
+	}
+}

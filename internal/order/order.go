@@ -1,0 +1,142 @@
+// Package order defines disclosure orders (Definition 3.1 of the paper):
+// preorders on sets of views that rank relative information disclosure.
+// W1 ≼ W2 means all information revealed by W1 is also revealed by W2.
+//
+// A disclosure order must satisfy:
+//
+//	(a) If W1 ⊆ W2 then W1 ≼ W2.
+//	(b) If every W in a family φ satisfies W ≼ W0, then ⋃φ ≼ W0.
+//
+// Three instantiations are provided: the subset order, the general
+// equivalent-view-rewriting order, and the single-atom rewriting order used
+// by the scalable labeler.
+package order
+
+import (
+	"repro/internal/cq"
+	"repro/internal/rewrite"
+)
+
+// Order is a disclosure order on sets of views.
+type Order interface {
+	// Below reports whether w1 ≼ w2.
+	Below(w1, w2 []*cq.Query) bool
+	// Name identifies the order in diagnostics.
+	Name() string
+}
+
+// Subset is the usual set order: W1 ≼ W2 iff every view of W1 is equivalent
+// (as a query) to some view of W2. Query equivalence rather than syntactic
+// identity keeps the order well-defined on renamed views.
+type Subset struct{}
+
+// Name implements Order.
+func (Subset) Name() string { return "subset" }
+
+// Below implements Order.
+func (Subset) Below(w1, w2 []*cq.Query) bool {
+	for _, v := range w1 {
+		found := false
+		for _, w := range w2 {
+			if cq.Equivalent(v, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Rewriting is the equivalent-view-rewriting order: W1 ≼ W2 iff every view
+// in W1 has an equivalent rewriting in terms of the views in W2. It is a
+// conservative (sound) approximation of the determinacy order that is
+// tractable for conjunctive queries (Section 3.1).
+type Rewriting struct {
+	// Opts bounds the rewriting search; the zero value uses the
+	// Levy–Mendelzon–Sagiv atom bound.
+	Opts rewrite.Options
+}
+
+// Name implements Order.
+func (Rewriting) Name() string { return "equivalent-view-rewriting" }
+
+// Below implements Order.
+func (r Rewriting) Below(w1, w2 []*cq.Query) bool {
+	for _, v := range w1 {
+		if _, ok, err := rewrite.Equivalent(v, w2, r.Opts); err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SingleAtom is the equivalent-view-rewriting order restricted to
+// single-atom views, decided by the complete polynomial-time criterion of
+// Section 5.1. All views on both sides must be single-atom queries; Below
+// returns false when they are not.
+type SingleAtom struct{}
+
+// Name implements Order.
+func (SingleAtom) Name() string { return "single-atom-rewriting" }
+
+// Below implements Order.
+func (SingleAtom) Below(w1, w2 []*cq.Query) bool {
+	for _, v := range w1 {
+		if !v.IsSingleAtom() {
+			return false
+		}
+		if !rewrite.SingleAtomBelowSet(v, w2) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports W1 ≡ W2 under ord: both W1 ≼ W2 and W2 ≼ W1. This is
+// the equivalence relation of Section 3.1 under which disclosure labelers
+// are unique.
+func Equivalent(ord Order, w1, w2 []*cq.Query) bool {
+	return ord.Below(w1, w2) && ord.Below(w2, w1)
+}
+
+// CheckAxiomA verifies Definition 3.1(a) on a concrete pair: w1 ⊆ w2 (as
+// syntactic sets) must imply w1 ≼ w2. It returns true if the axiom holds
+// for this instance. Intended for property tests.
+func CheckAxiomA(ord Order, w1, w2 []*cq.Query) bool {
+	if !isSyntacticSubset(w1, w2) {
+		return true // antecedent false; axiom vacuously holds
+	}
+	return ord.Below(w1, w2)
+}
+
+// CheckAxiomB verifies Definition 3.1(b) on a concrete family: if every
+// member of phi is ≼ w0, the union of phi must be ≼ w0.
+func CheckAxiomB(ord Order, phi [][]*cq.Query, w0 []*cq.Query) bool {
+	var union []*cq.Query
+	for _, w := range phi {
+		if !ord.Below(w, w0) {
+			return true // antecedent false
+		}
+		union = append(union, w...)
+	}
+	return ord.Below(union, w0)
+}
+
+func isSyntacticSubset(w1, w2 []*cq.Query) bool {
+	for _, v := range w1 {
+		found := false
+		for _, w := range w2 {
+			if v.Equal(w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func views(srcs ...string) []*cq.Query {
+	out := make([]*cq.Query, len(srcs))
+	for i, s := range srcs {
+		out[i] = cq.MustParse(s)
+	}
+	return out
+}
+
+var (
+	v1 = "V1(x, y) :- M(x, y)"
+	v2 = "V2(x) :- M(x, y)"
+	v4 = "V4(y) :- M(x, y)"
+	v5 = "V5() :- M(x, y)"
+)
+
+func TestSubsetOrder(t *testing.T) {
+	ord := Subset{}
+	if !ord.Below(views(v2), views(v2, v4)) {
+		t.Error("subset should hold")
+	}
+	if ord.Below(views(v2), views(v1)) {
+		t.Error("subset order must not see rewritings")
+	}
+	// Equivalence up to renaming counts as membership.
+	if !ord.Below(views("W(a) :- M(a, b)"), views(v2)) {
+		t.Error("renamed view should be below under subset order")
+	}
+	if ord.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestRewritingOrders(t *testing.T) {
+	for _, ord := range []Order{Rewriting{}, SingleAtom{}} {
+		if !ord.Below(views(v2, v4, v5), views(v1)) {
+			t.Errorf("%s: projections should be below the full view", ord.Name())
+		}
+		if ord.Below(views(v1), views(v2, v4)) {
+			t.Errorf("%s: full view must not be below its projections", ord.Name())
+		}
+		if !ord.Below(views(v5), views(v4)) {
+			t.Errorf("%s: V5 ≼ V4 expected", ord.Name())
+		}
+		if !ord.Below(nil, nil) {
+			t.Errorf("%s: ∅ ≼ ∅ expected", ord.Name())
+		}
+	}
+}
+
+func TestSingleAtomRejectsJoins(t *testing.T) {
+	join := views("J(x) :- M(x, y), C(y, w, z)")
+	if (SingleAtom{}).Below(join, views(v1)) {
+		t.Error("single-atom order must reject multi-atom left operands")
+	}
+	// The general rewriting order handles it.
+	full := views(v1, "V3(x, y, z) :- C(x, y, z)")
+	if !(Rewriting{}).Below(join, full) {
+		t.Error("general order should rewrite the join from full views")
+	}
+}
+
+func TestEquivalentViews(t *testing.T) {
+	// {V1} and the column-swapped {V1'} reveal equivalent information
+	// (Section 3.1's example of non-antisymmetry).
+	v1p := "V1p(y, x) :- M(x, y)"
+	for _, ord := range []Order{Rewriting{}, SingleAtom{}} {
+		if !Equivalent(ord, views(v1), views(v1p)) {
+			t.Errorf("%s: {V1} ≡ {V1'} expected", ord.Name())
+		}
+		if Equivalent(ord, views(v1), views(v2)) {
+			t.Errorf("%s: {V1} ≢ {V2} expected", ord.Name())
+		}
+	}
+}
+
+func TestDisclosureOrderAxioms(t *testing.T) {
+	all := [][]*cq.Query{
+		nil,
+		views(v1), views(v2), views(v4), views(v5),
+		views(v2, v4), views(v2, v5), views(v1, v2),
+	}
+	for _, ord := range []Order{Subset{}, Rewriting{}, SingleAtom{}} {
+		for _, w1 := range all {
+			for _, w2 := range all {
+				if !CheckAxiomA(ord, w1, w2) {
+					t.Errorf("%s: axiom (a) fails for %v ⊆ %v", ord.Name(), w1, w2)
+				}
+			}
+		}
+		// Axiom (b) over small families.
+		for _, w0 := range all {
+			for i := range all {
+				for j := range all {
+					if !CheckAxiomB(ord, [][]*cq.Query{all[i], all[j]}, w0) {
+						t.Errorf("%s: axiom (b) fails for φ={%d,%d}, W0=%v", ord.Name(), i, j, w0)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPreorderProperties(t *testing.T) {
+	all := [][]*cq.Query{
+		nil, views(v1), views(v2), views(v4), views(v5), views(v2, v4),
+	}
+	for _, ord := range []Order{Subset{}, Rewriting{}, SingleAtom{}} {
+		// Reflexivity.
+		for _, w := range all {
+			if !ord.Below(w, w) {
+				t.Errorf("%s: not reflexive at %v", ord.Name(), w)
+			}
+		}
+		// Transitivity.
+		for _, a := range all {
+			for _, b := range all {
+				if !ord.Below(a, b) {
+					continue
+				}
+				for _, c := range all {
+					if ord.Below(b, c) && !ord.Below(a, c) {
+						t.Errorf("%s: transitivity fails %v ≼ %v ≼ %v", ord.Name(), a, b, c)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/label"
+)
+
+// ConcurrentStore is a thread-safe multi-principal policy store: the
+// concurrency wrapper a platform front end would put in front of Store.
+// Each principal's monitor is guarded by its own mutex (decisions mutate
+// per-principal liveness bits), so submissions for different principals
+// proceed in parallel.
+type ConcurrentStore struct {
+	mu       sync.RWMutex // guards the principal map itself
+	monitors map[string]*lockedMonitor
+}
+
+type lockedMonitor struct {
+	mu  sync.Mutex
+	mon *Monitor
+}
+
+// NewConcurrentStore creates an empty concurrent store.
+func NewConcurrentStore() *ConcurrentStore {
+	return &ConcurrentStore{monitors: make(map[string]*lockedMonitor)}
+}
+
+// SetPolicy installs (or replaces) a principal's policy, resetting its
+// session state.
+func (s *ConcurrentStore) SetPolicy(principal string, p *Policy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.monitors[principal] = &lockedMonitor{mon: NewMonitor(p)}
+}
+
+// Remove deletes a principal.
+func (s *ConcurrentStore) Remove(principal string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.monitors, principal)
+}
+
+// Len returns the number of principals.
+func (s *ConcurrentStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.monitors)
+}
+
+// Submit decides a label for a principal.
+func (s *ConcurrentStore) Submit(principal string, l label.Label) (Decision, error) {
+	s.mu.RLock()
+	lm, ok := s.monitors[principal]
+	s.mu.RUnlock()
+	if !ok {
+		return Decision{}, fmt.Errorf("policy: unknown principal %q", principal)
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.mon.Submit(l), nil
+}
+
+// Check reports admissibility without mutating state.
+func (s *ConcurrentStore) Check(principal string, l label.Label) (bool, error) {
+	s.mu.RLock()
+	lm, ok := s.monitors[principal]
+	s.mu.RUnlock()
+	if !ok {
+		return false, fmt.Errorf("policy: unknown principal %q", principal)
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.mon.Check(l), nil
+}
+
+// Snapshot returns the principal's live partitions and session statistics.
+func (s *ConcurrentStore) Snapshot(principal string) (live []string, accepted, refused int, err error) {
+	s.mu.RLock()
+	lm, ok := s.monitors[principal]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("policy: unknown principal %q", principal)
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	accepted, refused = lm.mon.Stats()
+	return lm.mon.LiveNames(), accepted, refused, nil
+}

@@ -1,0 +1,191 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/label"
+)
+
+// Decision is the outcome of a reference-monitor check.
+type Decision struct {
+	Allowed bool
+	// Partition names still consistent after the query (when allowed) or
+	// the names that were live before the refusal (when refused).
+	Live []string
+}
+
+// Monitor is a stateful reference monitor for one principal: it enforces
+// the invariant that the cumulative disclosure of all answered queries
+// remains below some policy partition. Consistency is tracked with one bit
+// per partition (Example 6.3); the monitor never re-examines query history.
+//
+// Monitor is not safe for concurrent use; wrap it or shard per principal.
+type Monitor struct {
+	policy *Policy
+	live   []uint64 // one bit per partition
+	nlive  int
+	// cum is the join of all accepted labels — the session's cumulative
+	// disclosure, maintained for reporting (Section 2.2's "keep track of
+	// cumulative information disclosure across multiple queries"). It is
+	// not consulted for decisions; the liveness bits already encode
+	// everything the policy needs (Section 6.2).
+	cum      label.Label
+	accepted int
+	refused  int
+}
+
+// NewMonitor creates a monitor with every partition initially consistent.
+func NewMonitor(p *Policy) *Monitor {
+	m := &Monitor{policy: p, live: make([]uint64, (p.Len()+63)/64), nlive: p.Len()}
+	for i := 0; i < p.Len(); i++ {
+		m.live[i/64] |= 1 << (uint(i) % 64)
+	}
+	return m
+}
+
+// Policy returns the monitor's policy.
+func (m *Monitor) Policy() *Policy { return m.policy }
+
+// LiveCount returns the number of partitions still consistent with the
+// answered queries.
+func (m *Monitor) LiveCount() int { return m.nlive }
+
+// LiveNames returns the names of the live partitions.
+func (m *Monitor) LiveNames() []string {
+	var out []string
+	for i, part := range m.policy.parts {
+		if m.isLive(i) {
+			out = append(out, part.Name)
+		}
+	}
+	return out
+}
+
+func (m *Monitor) isLive(i int) bool { return m.live[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Check reports whether answering a query with the given label would keep
+// the policy invariant, without mutating monitor state.
+func (m *Monitor) Check(l label.Label) bool {
+	for i := range m.policy.parts {
+		if m.isLive(i) && l.BelowEq(m.policy.parts[i].Label) {
+			return true
+		}
+	}
+	return false
+}
+
+// Submit decides a query with the given label. If some live partition
+// dominates the label, the query is allowed and partitions inconsistent
+// with it are retired; otherwise the query is refused and the state is left
+// unchanged (the refusal algorithm of Section 6.2).
+func (m *Monitor) Submit(l label.Label) Decision {
+	var next []uint64
+	count := 0
+	for i := range m.policy.parts {
+		if !m.isLive(i) {
+			continue
+		}
+		if l.BelowEq(m.policy.parts[i].Label) {
+			if next == nil {
+				next = make([]uint64, len(m.live))
+			}
+			next[i/64] |= 1 << (uint(i) % 64)
+			count++
+		}
+	}
+	if count == 0 {
+		m.refused++
+		return Decision{Allowed: false, Live: m.LiveNames()}
+	}
+	m.live = next
+	m.nlive = count
+	m.cum = m.cum.Join(l)
+	m.accepted++
+	return Decision{Allowed: true, Live: m.LiveNames()}
+}
+
+// Cumulative returns the join of all labels accepted so far — the
+// session's total disclosure.
+func (m *Monitor) Cumulative() label.Label { return m.cum }
+
+// Stats returns the number of accepted and refused submissions.
+func (m *Monitor) Stats() (accepted, refused int) { return m.accepted, m.refused }
+
+// Report renders a session summary: counts, cumulative disclosure and the
+// surviving partitions.
+func (m *Monitor) Report(c *label.Catalog) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accepted %d, refused %d\n", m.accepted, m.refused)
+	fmt.Fprintf(&b, "cumulative disclosure: %s\n", m.cum.Render(c))
+	fmt.Fprintf(&b, "live partitions: %s\n", strings.Join(m.LiveNames(), ", "))
+	return b.String()
+}
+
+// Reset restores every partition to the live state and clears the
+// cumulative-disclosure record (a new session).
+func (m *Monitor) Reset() {
+	for i := range m.live {
+		m.live[i] = 0
+	}
+	for i := 0; i < m.policy.Len(); i++ {
+		m.live[i/64] |= 1 << (uint(i) % 64)
+	}
+	m.nlive = m.policy.Len()
+	m.cum = label.BottomLabel()
+	m.accepted, m.refused = 0, 0
+}
+
+// QueryMonitor couples a monitor with a labeler, implementing the
+// end-to-end reference monitor of Section 3.4: it labels each incoming
+// conjunctive query and accepts or refuses it under the policy.
+type QueryMonitor struct {
+	labeler label.Labeler
+	mon     *Monitor
+	// Trace, when non-nil, receives one line per decision.
+	Trace func(q *cq.Query, lbl label.Label, d Decision)
+}
+
+// NewQueryMonitor builds a query-level reference monitor.
+func NewQueryMonitor(l label.Labeler, p *Policy) *QueryMonitor {
+	return &QueryMonitor{labeler: l, mon: NewMonitor(p)}
+}
+
+// Monitor exposes the underlying label-level monitor.
+func (qm *QueryMonitor) Monitor() *Monitor { return qm.mon }
+
+// Submit labels the query and decides it. Labeling errors refuse the query
+// and are returned.
+func (qm *QueryMonitor) Submit(q *cq.Query) (Decision, error) {
+	lbl, err := qm.labeler.Label(q)
+	if err != nil {
+		return Decision{Allowed: false}, fmt.Errorf("policy: labeling %s: %w", q.Name, err)
+	}
+	d := qm.mon.Submit(lbl)
+	if qm.Trace != nil {
+		qm.Trace(q, lbl, d)
+	}
+	return d, nil
+}
+
+// Explain renders a human-readable account of why a label is or is not
+// currently admissible.
+func (qm *QueryMonitor) Explain(q *cq.Query) (string, error) {
+	lbl, err := qm.labeler.Label(q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %s\n  label: %s\n", q.Name, lbl.Render(qm.labeler.Catalog()))
+	for i, part := range qm.mon.policy.parts {
+		status := "retired"
+		if qm.mon.isLive(i) {
+			status = "live"
+		}
+		ok := lbl.BelowEq(part.Label)
+		fmt.Fprintf(&b, "  partition %s (%s): label ≼ %v → %v\n", part.Name, status, part.Views, ok)
+	}
+	fmt.Fprintf(&b, "  decision: %v\n", qm.mon.Check(lbl))
+	return b.String(), nil
+}

@@ -1,0 +1,121 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/label"
+)
+
+// randomAtomLabel builds an arbitrary packed atom label over a small
+// relation/view vocabulary.
+func randomAtomLabel(rng *rand.Rand) label.AtomLabel {
+	a := label.NewAtomLabel(uint32(1+rng.Intn(3)), 8)
+	for b := 0; b < 8; b++ {
+		if rng.Intn(3) == 0 {
+			a.SetBit(b)
+		}
+	}
+	if a.Empty() {
+		a.SetBit(rng.Intn(8))
+	}
+	return a
+}
+
+func randomLabel(rng *rand.Rand) label.Label {
+	n := 1 + rng.Intn(3)
+	l := label.Label{}
+	for i := 0; i < n; i++ {
+		l.Atoms = append(l.Atoms, randomAtomLabel(rng))
+	}
+	return l.Normalize()
+}
+
+// TestMonitorInvariants property-checks the reference monitor against its
+// specification on random policies and label streams:
+//
+//  1. Soundness: after any accepted prefix, the join of all accepted
+//     labels is below some partition (the Section 6.2 invariant).
+//  2. Refusals never change observable state.
+//  3. The liveness set never grows.
+//  4. A stateless (1-partition) monitor's decisions are history-free.
+func TestMonitorInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nPart := 1 + rng.Intn(4)
+		labels := make([]label.Label, nPart)
+		for i := range labels {
+			labels[i] = randomLabel(rng)
+		}
+		pol, err := FromLabels(labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMonitor(pol)
+		cum := label.BottomLabel()
+		prevLive := m.LiveCount()
+		stateless := NewMonitor(pol)
+
+		for step := 0; step < 30; step++ {
+			q := randomLabel(rng)
+			liveBefore := m.LiveNames()
+			d := m.Submit(q)
+			if d.Allowed {
+				cum = cum.Join(q)
+				ok := false
+				for _, p := range pol.Partitions() {
+					if cum.BelowEq(p.Label) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d step %d: invariant violated: cumulative label above every partition", trial, step)
+				}
+			} else {
+				after := m.LiveNames()
+				if len(after) != len(liveBefore) {
+					t.Fatalf("refusal changed live set: %v -> %v", liveBefore, after)
+				}
+				for i := range after {
+					if after[i] != liveBefore[i] {
+						t.Fatalf("refusal changed live set: %v -> %v", liveBefore, after)
+					}
+				}
+			}
+			if m.LiveCount() > prevLive {
+				t.Fatal("liveness set grew")
+			}
+			prevLive = m.LiveCount()
+
+			if pol.Stateless() {
+				// History-free: Check on a fresh monitor agrees.
+				if stateless.Check(q) != d.Allowed {
+					t.Fatalf("stateless monitor decision depends on history")
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorAcceptedImpliesCheck: Submit accepts exactly when Check
+// reports admissibility.
+func TestMonitorAcceptedImpliesCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		labels := []label.Label{randomLabel(rng), randomLabel(rng)}
+		pol, err := FromLabels(labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMonitor(pol)
+		for step := 0; step < 20; step++ {
+			q := randomLabel(rng)
+			want := m.Check(q)
+			got := m.Submit(q).Allowed
+			if want != got {
+				t.Fatalf("Check=%v but Submit=%v", want, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package policy
+
+import "fmt"
+
+// Store holds the reference-monitor state for many principals, as in the
+// paper's policy-checker experiment (Section 7.2, Figure 6): each principal
+// has its own policy and per-partition consistency bits. The store is the
+// component a platform would consult on every incoming API query.
+type Store struct {
+	monitors []*Monitor
+}
+
+// NewStore creates a store with one monitor per policy; the principal id is
+// the index into the slice.
+func NewStore(policies []*Policy) *Store {
+	s := &Store{monitors: make([]*Monitor, len(policies))}
+	for i, p := range policies {
+		s.monitors[i] = NewMonitor(p)
+	}
+	return s
+}
+
+// Len returns the number of principals.
+func (s *Store) Len() int { return len(s.monitors) }
+
+// Monitor returns the monitor for a principal.
+func (s *Store) Monitor(principal int) (*Monitor, error) {
+	if principal < 0 || principal >= len(s.monitors) {
+		return nil, fmt.Errorf("policy: unknown principal %d", principal)
+	}
+	return s.monitors[principal], nil
+}
+
+// MustMonitor is the unchecked hot-path accessor used by benchmarks.
+func (s *Store) MustMonitor(principal int) *Monitor { return s.monitors[principal] }
+
+// ResetAll restores every principal's monitor to the initial state.
+func (s *Store) ResetAll() {
+	for _, m := range s.monitors {
+		m.Reset()
+	}
+}

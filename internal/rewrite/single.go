@@ -1,0 +1,232 @@
+// Package rewrite implements equivalent view rewriting for conjunctive
+// queries, the engine behind the paper's disclosure order (Section 3.1):
+// W1 ≼ W2 precisely when every view in W1 has an equivalent rewriting in
+// terms of the views in W2.
+//
+// Two decision procedures are provided:
+//
+//   - SingleAtom: a complete, polynomial-time positionwise criterion for
+//     rewriting one single-atom view in terms of another single-atom view.
+//     This is the hot path used by the disclosure labeler (Section 5.1) and
+//     it returns a witness rewriting that can be executed against a database
+//     to validate the decision semantically.
+//
+//   - Equivalent: a bounded search for equivalent rewritings of arbitrary
+//     conjunctive queries in terms of arbitrary conjunctive views, used on
+//     the small universes that arise when constructing disclosure lattices
+//     (Figure 3) and in tests.
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+)
+
+// Rewriting is a witness that a view is computable from other views. Head
+// matches the rewritten view's head; each body atom references a view by
+// name (Rel is the view's query name) with arguments over the head
+// variables, fresh existentials and constants. Expanding the body atoms with
+// the view definitions yields a query equivalent to the rewritten view.
+type Rewriting struct {
+	Head []cq.Term
+	Body []cq.Atom
+}
+
+// String renders the rewriting in datalog form with view names as relations.
+func (r *Rewriting) String() string {
+	q := &cq.Query{Name: "Rew", Head: r.Head, Body: r.Body}
+	return q.String()
+}
+
+// SingleAtom decides whether the single-atom view v has an equivalent
+// rewriting in terms of the single-atom view s, and if so returns a witness
+// rewriting using a single occurrence of s.
+//
+// A single occurrence is sufficient: with set semantics and no integrity
+// constraints, a join of two σπ-views of the same relation over non-key
+// attributes admits spurious tuples and therefore cannot be equivalent to a
+// single σπ-view unless one conjunct alone already is (this is the same
+// fact that places the LUB of ⇓{V2} and ⇓{V4} strictly below ⊤ in the
+// paper's Figure 3).
+//
+// The criterion, with u_j the j-th body term of s and t_j the j-th body term
+// of v, is:
+//
+//  1. The atoms must be over the same relation with the same arity.
+//  2. If u_j is a constant, t_j must be the same constant.
+//  3. If u_j is an existential variable, t_j must be an existential
+//     variable of v.
+//  4. Each variable of s must map to a single term of v across all its
+//     positions (the map m below).
+//  5. For each existential variable y of v, if any position of y carries an
+//     existential variable u of s, then every position of y must carry that
+//     same u (a fresh expansion variable cannot be equated with anything by
+//     the rewriting).
+//
+// Rules 2–5 exactly characterize the existence of a pair of containment
+// mappings between v and the expansion of a candidate rewriting
+// R(head(v)) :- s(m(w1), ..., m(wr)).
+func SingleAtom(v, s *cq.Query) (*Rewriting, bool, error) {
+	if !v.IsSingleAtom() {
+		return nil, false, fmt.Errorf("rewrite: %s is not a single-atom view", v.Name)
+	}
+	if !s.IsSingleAtom() {
+		return nil, false, fmt.Errorf("rewrite: %s is not a single-atom view", s.Name)
+	}
+	va, sa := v.Body[0], s.Body[0]
+	if va.Rel != sa.Rel || len(va.Args) != len(sa.Args) {
+		return nil, false, nil
+	}
+	vroles, sroles := v.VarRoles(), s.VarRoles()
+
+	m := make(map[string]cq.Term) // s-variable → v-term
+	for j := range sa.Args {
+		su, tv := sa.Args[j], va.Args[j]
+		if su.IsConst() {
+			if !tv.IsConst() || tv.Value != su.Value {
+				return nil, false, nil
+			}
+			continue
+		}
+		if prev, ok := m[su.Value]; ok {
+			if prev != tv {
+				return nil, false, nil
+			}
+		} else {
+			m[su.Value] = tv
+		}
+		if sroles[su.Value] == cq.Existential {
+			if !tv.IsVar() || vroles[tv.Value] != cq.Existential {
+				return nil, false, nil
+			}
+		}
+	}
+	// Rule 5: for each existential variable y of v, look at the s-terms in
+	// y's positions. If any of them is an existential variable u of s, then
+	// *all* of them must be that same u: the expansion replaces u with a
+	// fresh variable that the rewriting cannot equate with anything else,
+	// so a second s-existential or an s-distinguished variable in another
+	// y-position would leave the expansion strictly more general than v.
+	exOwner := make(map[string]string) // v-existential → required s-existential
+	for j := range sa.Args {
+		su, tv := sa.Args[j], va.Args[j]
+		if !su.IsConst() && sroles[su.Value] == cq.Existential {
+			if prev, ok := exOwner[tv.Value]; ok && prev != su.Value {
+				return nil, false, nil
+			}
+			exOwner[tv.Value] = su.Value
+		}
+	}
+	for j := range sa.Args {
+		su, tv := sa.Args[j], va.Args[j]
+		if su.IsConst() || !tv.IsVar() {
+			continue
+		}
+		if owner, ok := exOwner[tv.Value]; ok {
+			if sroles[su.Value] != cq.Existential || su.Value != owner {
+				return nil, false, nil
+			}
+		}
+	}
+
+	// Build the witness rewriting R(head(v)) :- S(m(w1), ..., m(wr)).
+	// Head variables of s are guaranteed to be in m by query safety.
+	headVars := v.DistinguishedVars()
+	args := make([]cq.Term, len(s.Head))
+	for i, w := range s.Head {
+		if w.IsConst() {
+			args[i] = w
+			continue
+		}
+		vt := m[w.Value]
+		// A projected-away binding: s exposes w but v only constrains it
+		// existentially, so the rewriting projects it away through a fresh
+		// variable. Equal v-terms must keep equal names (they encode a
+		// forced equality), so the fresh name is derived per v-variable.
+		if vt.IsVar() && vroles[vt.Value] == cq.Existential {
+			name := "p_" + vt.Value
+			for _, clash := headVars[name]; clash; _, clash = headVars[name] {
+				name += "_"
+			}
+			args[i] = cq.V(name)
+		} else {
+			args[i] = vt
+		}
+	}
+	rw := &Rewriting{
+		Head: append([]cq.Term(nil), v.Head...),
+		Body: []cq.Atom{{Rel: s.Name, Args: args}},
+	}
+	return rw, true, nil
+}
+
+// SingleAtomRewritable reports whether {v} ≼ {s} for single-atom views,
+// i.e. whether v has an equivalent rewriting in terms of s alone.
+func SingleAtomRewritable(v, s *cq.Query) bool {
+	_, ok, err := SingleAtom(v, s)
+	return err == nil && ok
+}
+
+// SingleAtomBelowSet reports whether the single-atom view v is rewritable in
+// terms of the view set ws, all of whose members must be single-atom views.
+// Because the universe of single-atom views is decomposable under the
+// equivalent-view-rewriting order (Section 5.1), v is rewritable from the
+// set precisely when it is rewritable from some single member.
+func SingleAtomBelowSet(v *cq.Query, ws []*cq.Query) bool {
+	for _, s := range ws {
+		if SingleAtomRewritable(v, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Expand replaces every view atom of the rewriting with the body of the
+// corresponding view definition, renaming existentials apart, and returns
+// the resulting conjunctive query. The views map is keyed by view name.
+// Expand is used to verify witnesses: Expand(rw) must be equivalent to the
+// original view.
+func Expand(rw *Rewriting, views map[string]*cq.Query) (*cq.Query, error) {
+	var body []cq.Atom
+	freshID := 0
+	for _, atom := range rw.Body {
+		def, ok := views[atom.Rel]
+		if !ok {
+			return nil, fmt.Errorf("rewrite: unknown view %q in rewriting", atom.Rel)
+		}
+		if len(def.Head) != len(atom.Args) {
+			return nil, fmt.Errorf("rewrite: view %q has head arity %d, used with %d arguments",
+				atom.Rel, len(def.Head), len(atom.Args))
+		}
+		// Substitution: head variables of the definition map to the atom's
+		// arguments; existentials map to fresh variables.
+		sub := make(cq.Subst)
+		for i, h := range def.Head {
+			if h.IsVar() {
+				if prev, ok := sub[h.Value]; ok {
+					if prev != atom.Args[i] {
+						// A repeated head variable used with conflicting
+						// arguments denotes an equality the expansion cannot
+						// express with plain substitution; reject.
+						return nil, fmt.Errorf("rewrite: conflicting bindings for repeated head variable %s of view %q", h.Value, atom.Rel)
+					}
+				}
+				sub[h.Value] = atom.Args[i]
+			} else if h != atom.Args[i] {
+				return nil, fmt.Errorf("rewrite: constant head term %s of view %q used with %s", h, atom.Rel, atom.Args[i])
+			}
+		}
+		roles := def.VarRoles()
+		for _, v := range def.Vars() {
+			if roles[v] == cq.Existential {
+				sub[v] = cq.V(fmt.Sprintf("f%d_%s", freshID, v))
+			}
+		}
+		freshID++
+		for _, a := range def.Body {
+			body = append(body, sub.ApplyAtom(a))
+		}
+	}
+	return cq.NewQuery("Expansion", rw.Head, body)
+}

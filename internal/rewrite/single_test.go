@@ -1,0 +1,204 @@
+package rewrite
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func mustSingle(t *testing.T, v, s string) (*Rewriting, bool) {
+	t.Helper()
+	rw, ok, err := SingleAtom(cq.MustParse(v), cq.MustParse(s))
+	if err != nil {
+		t.Fatalf("SingleAtom(%s, %s): %v", v, s, err)
+	}
+	return rw, ok
+}
+
+func TestSingleAtomProjections(t *testing.T) {
+	cases := []struct {
+		v, s string
+		want bool
+	}{
+		// Projections of Meetings (Figure 3 views).
+		{"V2(x) :- M(x, y)", "V1(x, y) :- M(x, y)", true},  // π1 from full
+		{"V4(y) :- M(x, y)", "V1(x, y) :- M(x, y)", true},  // π2 from full
+		{"V5() :- M(x, y)", "V1(x, y) :- M(x, y)", true},   // ∃ from full
+		{"V5() :- M(x, y)", "V2(x) :- M(x, y)", true},      // ∃ from π1
+		{"V5() :- M(x, y)", "V4(y) :- M(x, y)", true},      // ∃ from π2
+		{"V1(x, y) :- M(x, y)", "V2(x) :- M(x, y)", false}, // full from π1
+		{"V2(x) :- M(x, y)", "V4(y) :- M(x, y)", false},    // π1 from π2
+		{"V4(y) :- M(x, y)", "V2(x) :- M(x, y)", false},    // π2 from π1
+		{"V2(x) :- M(x, y)", "V5() :- M(x, y)", false},     // π1 from ∃
+		// Column-swapped full view: equivalent information, rewritable both
+		// ways even though the queries are not equivalent.
+		{"V1(x, y) :- M(x, y)", "V1p(y, x) :- M(x, y)", true},
+		{"V1p(y, x) :- M(x, y)", "V1(x, y) :- M(x, y)", true},
+		// Contacts projections (Figure 4).
+		{"V9(x) :- C(x, y, z)", "V6(x, y) :- C(x, y, z)", true},
+		{"V9(x) :- C(x, y, z)", "V7(x, z) :- C(x, y, z)", true},
+		{"V9(x) :- C(x, y, z)", "V8(y, z) :- C(x, y, z)", false},
+		{"V6(x, y) :- C(x, y, z)", "V3(x, y, z) :- C(x, y, z)", true},
+		{"V3(x, y, z) :- C(x, y, z)", "V6(x, y) :- C(x, y, z)", false},
+	}
+	for _, tc := range cases {
+		if _, got := mustSingle(t, tc.v, tc.s); got != tc.want {
+			t.Errorf("SingleAtom(%s ≼ %s) = %v, want %v", tc.v, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestSingleAtomConstants(t *testing.T) {
+	cases := []struct {
+		v, s string
+		want bool
+	}{
+		// Point queries from the full view: selection is expressible.
+		{"Q() :- M(9, 'Jim')", "V1(x, y) :- M(x, y)", true},
+		{"Q(x) :- M(x, 'Cathy')", "V1(x, y) :- M(x, y)", true},
+		// Selection on a projected-away attribute is not expressible.
+		{"Q(x) :- M(x, 'Cathy')", "V2(x) :- M(x, y)", false},
+		// Emptiness from a point view: not derivable (Example 5.1's point).
+		{"V14() :- M(x, y)", "V13() :- M(9, 'Jim')", false},
+		{"V13() :- M(9, 'Jim')", "V14() :- M(x, y)", false},
+		// A view that already fixes the same constant.
+		{"Q(x) :- M(x, 'Cathy')", "S(x) :- M(x, 'Cathy')", true},
+		{"Q() :- M(9, 'Cathy')", "S(x) :- M(x, 'Cathy')", true},
+		// Mismatched constants.
+		{"Q(x) :- M(x, 'Bob')", "S(x) :- M(x, 'Cathy')", false},
+	}
+	for _, tc := range cases {
+		if _, got := mustSingle(t, tc.v, tc.s); got != tc.want {
+			t.Errorf("SingleAtom(%s ≼ %s) = %v, want %v", tc.v, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestSingleAtomRepeatedVariables(t *testing.T) {
+	cases := []struct {
+		v, s string
+		want bool
+	}{
+		// Diagonal from the full view: select x=y.
+		{"D(x) :- M(x, x)", "V1(x, y) :- M(x, y)", true},
+		// Full view from the diagonal: impossible.
+		{"V1(x, y) :- M(x, y)", "D(x) :- M(x, x)", false},
+		// π1 from the diagonal: impossible.
+		{"V2(x) :- M(x, y)", "D(x) :- M(x, x)", false},
+		// Diagonal from π1: impossible.
+		{"D(x) :- M(x, x)", "V2(x) :- M(x, y)", false},
+		// Diagonal existence from the diagonal.
+		{"E() :- M(x, x)", "D(x) :- M(x, x)", true},
+		// Repeated existential in the security view (Example 5.3's V15):
+		// nothing nontrivial is rewritable from it except itself.
+		{"V14() :- M(x, y)", "V15() :- M(z, z)", false},
+		{"V15() :- M(z, z)", "V15b() :- M(w, w)", true},
+		{"V15() :- M(z, z)", "V14() :- M(x, y)", false},
+	}
+	for _, tc := range cases {
+		if _, got := mustSingle(t, tc.v, tc.s); got != tc.want {
+			t.Errorf("SingleAtom(%s ≼ %s) = %v, want %v", tc.v, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestSingleAtomDifferentRelations(t *testing.T) {
+	if _, ok := mustSingle(t, "A(x) :- R(x, y)", "B(x) :- S(x, y)"); ok {
+		t.Error("views over different relations must not be rewritable")
+	}
+	if _, ok := mustSingle(t, "A(x) :- R(x)", "B(x) :- R(x, y)"); ok {
+		t.Error("views over different arities must not be rewritable")
+	}
+}
+
+func TestSingleAtomErrors(t *testing.T) {
+	multi := cq.MustParse("Q(x) :- R(x, y), S(y)")
+	single := cq.MustParse("V(x) :- R(x, y)")
+	if _, _, err := SingleAtom(multi, single); err == nil {
+		t.Error("multi-atom v accepted")
+	}
+	if _, _, err := SingleAtom(single, multi); err == nil {
+		t.Error("multi-atom s accepted")
+	}
+}
+
+// TestWitnessExpansion verifies that every positive SingleAtom decision
+// comes with a witness whose expansion is equivalent to the original view —
+// the formal definition of an equivalent rewriting.
+func TestWitnessExpansion(t *testing.T) {
+	pairs := [][2]string{
+		{"V2(x) :- M(x, y)", "V1(x, y) :- M(x, y)"},
+		{"V5() :- M(x, y)", "V4(y) :- M(x, y)"},
+		{"Q(x) :- M(x, 'Cathy')", "V1(x, y) :- M(x, y)"},
+		{"D(x) :- M(x, x)", "V1(x, y) :- M(x, y)"},
+		{"V9(x) :- C(x, y, z)", "V6(x, y) :- C(x, y, z)"},
+		{"V1(x, y) :- M(x, y)", "V1p(y, x) :- M(x, y)"},
+		{"Q() :- M(9, 'Jim')", "V1(x, y) :- M(x, y)"},
+		{"V15(z) :- M(z, z)", "V15b(w) :- M(w, w)"},
+	}
+	for _, p := range pairs {
+		v, s := cq.MustParse(p[0]), cq.MustParse(p[1])
+		rw, ok, err := SingleAtom(v, s)
+		if err != nil || !ok {
+			t.Fatalf("SingleAtom(%s, %s): ok=%v err=%v", p[0], p[1], ok, err)
+		}
+		exp, err := Expand(rw, map[string]*cq.Query{s.Name: s})
+		if err != nil {
+			t.Fatalf("Expand(%s): %v", rw, err)
+		}
+		if !cq.Equivalent(exp, v) {
+			t.Errorf("witness %s expands to %s, not equivalent to %s", rw, exp, v)
+		}
+	}
+}
+
+// TestSingleAtomAgreesWithGeneralSearch cross-validates the fast positionwise
+// criterion against the bounded general search on an exhaustive family of
+// small views.
+func TestSingleAtomAgreesWithGeneralSearch(t *testing.T) {
+	views := []string{
+		"A0(x, y) :- R(x, y)",
+		"A1(x) :- R(x, y)",
+		"A2(y) :- R(x, y)",
+		"A3() :- R(x, y)",
+		"A4(x) :- R(x, x)",
+		"A5() :- R(x, x)",
+		"A6(x) :- R(x, 'c')",
+		"A7() :- R(x, 'c')",
+		"A8() :- R('a', 'c')",
+		"A9(y, x) :- R(x, y)",
+	}
+	for _, vs := range views {
+		for _, ss := range views {
+			v, s := cq.MustParse(vs), cq.MustParse(ss)
+			_, fast, err := SingleAtom(v, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, slow, err := Equivalent(v, []*cq.Query{s}, Options{MaxAtoms: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast != slow {
+				t.Errorf("disagreement for %s ≼ %s: fast=%v general=%v", vs, ss, fast, slow)
+			}
+		}
+	}
+}
+
+func TestSingleAtomBelowSet(t *testing.T) {
+	v := cq.MustParse("V9(x) :- C(x, y, z)")
+	set := []*cq.Query{
+		cq.MustParse("V8(y, z) :- C(x, y, z)"),
+		cq.MustParse("V7(x, z) :- C(x, y, z)"),
+	}
+	if !SingleAtomBelowSet(v, set) {
+		t.Error("V9 should be below {V8, V7} via V7")
+	}
+	if SingleAtomBelowSet(v, set[:1]) {
+		t.Error("V9 should not be below {V8}")
+	}
+	if SingleAtomBelowSet(v, nil) {
+		t.Error("nothing is below the empty set")
+	}
+}

@@ -1,0 +1,157 @@
+// Package schema defines the relational schema catalog used throughout the
+// disclosure-control system.
+//
+// A Schema is a set of named relations; each relation has a fixed list of
+// named attributes. Schemas are immutable after construction, which makes
+// them safe to share between the parser, the labeler, the policy checker and
+// the workload generator without synchronization.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation describes a single database relation: its name and its ordered
+// attribute list. Attribute names are unique within a relation.
+type Relation struct {
+	name  string
+	attrs []string
+	index map[string]int
+}
+
+// NewRelation constructs a relation with the given name and attributes.
+// It returns an error if the name is empty, there are no attributes, or an
+// attribute name is duplicated.
+func NewRelation(name string, attrs ...string) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation name must be nonempty")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("schema: relation %q must have at least one attribute", name)
+	}
+	idx := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("schema: relation %q has an empty attribute name at position %d", name, i)
+		}
+		if _, dup := idx[a]; dup {
+			return nil, fmt.Errorf("schema: relation %q has duplicate attribute %q", name, a)
+		}
+		idx[a] = i
+	}
+	return &Relation{name: name, attrs: append([]string(nil), attrs...), index: idx}, nil
+}
+
+// MustRelation is like NewRelation but panics on error. It is intended for
+// statically-known schemas (tests, built-in catalogs).
+func MustRelation(name string, attrs ...string) *Relation {
+	r, err := NewRelation(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Attrs returns a copy of the ordered attribute list.
+func (r *Relation) Attrs() []string { return append([]string(nil), r.attrs...) }
+
+// Attr returns the attribute name at position i.
+func (r *Relation) Attr(i int) string { return r.attrs[i] }
+
+// AttrIndex returns the position of the named attribute, or -1 if the
+// relation has no such attribute.
+func (r *Relation) AttrIndex(name string) int {
+	if i, ok := r.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasAttr reports whether the relation has an attribute with the given name.
+func (r *Relation) HasAttr(name string) bool { return r.AttrIndex(name) >= 0 }
+
+// String renders the relation as "Name(attr1, attr2, ...)".
+func (r *Relation) String() string {
+	return r.name + "(" + strings.Join(r.attrs, ", ") + ")"
+}
+
+// Schema is an immutable catalog of relations keyed by name.
+type Schema struct {
+	rels  map[string]*Relation
+	names []string // sorted, for deterministic iteration
+}
+
+// New builds a schema from the given relations. Relation names must be
+// unique.
+func New(rels ...*Relation) (*Schema, error) {
+	s := &Schema{rels: make(map[string]*Relation, len(rels))}
+	for _, r := range rels {
+		if r == nil {
+			return nil, fmt.Errorf("schema: nil relation")
+		}
+		if _, dup := s.rels[r.name]; dup {
+			return nil, fmt.Errorf("schema: duplicate relation %q", r.name)
+		}
+		s.rels[r.name] = r
+		s.names = append(s.names, r.name)
+	}
+	sort.Strings(s.names)
+	return s, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(rels ...*Relation) *Schema {
+	s, err := New(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Relation returns the named relation, or nil if the schema has none.
+func (s *Schema) Relation(name string) *Relation {
+	if s == nil {
+		return nil
+	}
+	return s.rels[name]
+}
+
+// Relations returns all relations in name order.
+func (s *Schema) Relations() []*Relation {
+	out := make([]*Relation, 0, len(s.names))
+	for _, n := range s.names {
+		out = append(out, s.rels[n])
+	}
+	return out
+}
+
+// Names returns the sorted relation names.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Len returns the number of relations.
+func (s *Schema) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rels)
+}
+
+// String renders the schema, one relation per line, in name order.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, n := range s.names {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(s.rels[n].String())
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRelation(t *testing.T) {
+	r, err := NewRelation("Contacts", "person", "email", "position")
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	if r.Name() != "Contacts" || r.Arity() != 3 {
+		t.Errorf("got %s arity %d", r.Name(), r.Arity())
+	}
+	if r.AttrIndex("email") != 1 {
+		t.Errorf("AttrIndex(email) = %d", r.AttrIndex("email"))
+	}
+	if r.AttrIndex("missing") != -1 {
+		t.Error("AttrIndex(missing) should be -1")
+	}
+	if !r.HasAttr("position") || r.HasAttr("nope") {
+		t.Error("HasAttr wrong")
+	}
+	if r.Attr(0) != "person" {
+		t.Errorf("Attr(0) = %s", r.Attr(0))
+	}
+	if got := r.String(); got != "Contacts(person, email, position)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNewRelationErrors(t *testing.T) {
+	if _, err := NewRelation(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRelation("R"); err == nil {
+		t.Error("zero attributes accepted")
+	}
+	if _, err := NewRelation("R", "a", "a"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewRelation("R", "a", ""); err == nil {
+		t.Error("empty attribute accepted")
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s, err := New(
+		MustRelation("B", "x"),
+		MustRelation("A", "y", "z"),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.Names(); got[0] != "A" || got[1] != "B" {
+		t.Errorf("Names = %v, want sorted", got)
+	}
+	if s.Relation("A") == nil || s.Relation("C") != nil {
+		t.Error("Relation lookup wrong")
+	}
+	rels := s.Relations()
+	if len(rels) != 2 || rels[0].Name() != "A" {
+		t.Errorf("Relations = %v", rels)
+	}
+	if !strings.Contains(s.String(), "A(y, z)") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := New(MustRelation("A", "x"), MustRelation("A", "y")); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("nil relation accepted")
+	}
+}
+
+func TestAttrsIsCopy(t *testing.T) {
+	r := MustRelation("R", "a", "b")
+	attrs := r.Attrs()
+	attrs[0] = "mutated"
+	if r.Attr(0) != "a" {
+		t.Error("Attrs leaked internal slice")
+	}
+}
+
+func TestNilSchema(t *testing.T) {
+	var s *Schema
+	if s.Relation("x") != nil {
+		t.Error("nil schema Relation should be nil")
+	}
+	if s.Len() != 0 {
+		t.Error("nil schema Len should be 0")
+	}
+}

@@ -1,0 +1,123 @@
+// Package store (de)serializes a complete disclosure-control configuration
+// — schema, security views and per-principal policies — as JSON, so a
+// deployment can version, audit and ship its policy vocabulary as a single
+// artifact. Views are stored in their datalog source form, which is the
+// stable public syntax of this library.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/label"
+	"repro/internal/policy"
+	"repro/internal/schema"
+)
+
+// RelationDef is the serialized form of one relation.
+type RelationDef struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+}
+
+// Config is a complete serializable configuration.
+type Config struct {
+	// Schema lists the relations.
+	Schema []RelationDef `json:"schema"`
+	// Views holds the security views in datalog syntax.
+	Views []string `json:"views"`
+	// Policies maps principal → partition name → security-view names.
+	Policies map[string]map[string][]string `json:"policies,omitempty"`
+}
+
+// Load parses a configuration from JSON.
+func Load(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	cfg := &Config{}
+	if err := dec.Decode(cfg); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return cfg, nil
+}
+
+// Save writes the configuration as indented JSON.
+func Save(w io.Writer, cfg *Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cfg); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Build materializes the configuration: the schema, the security-view
+// catalog, and one policy per principal. Every component is validated; an
+// error names the offending entry.
+func (cfg *Config) Build() (*schema.Schema, *label.Catalog, map[string]*policy.Policy, error) {
+	rels := make([]*schema.Relation, 0, len(cfg.Schema))
+	for _, rd := range cfg.Schema {
+		r, err := schema.NewRelation(rd.Name, rd.Attrs...)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("store: relation %q: %w", rd.Name, err)
+		}
+		rels = append(rels, r)
+	}
+	s, err := schema.New(rels...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	views := make([]*cq.Query, 0, len(cfg.Views))
+	for i, src := range cfg.Views {
+		v, err := cq.ParseQuery(src)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("store: view %d: %w", i, err)
+		}
+		views = append(views, v)
+	}
+	cat, err := label.NewCatalog(s, views...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pols := make(map[string]*policy.Policy, len(cfg.Policies))
+	for principal, parts := range cfg.Policies {
+		p, err := policy.New(cat, parts)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("store: principal %q: %w", principal, err)
+		}
+		pols[principal] = p
+	}
+	return s, cat, pols, nil
+}
+
+// Snapshot captures a running configuration back into its serialized form.
+// Policies are passed explicitly (the catalog does not know about
+// principals).
+func Snapshot(s *schema.Schema, cat *label.Catalog, pols map[string]*policy.Policy) *Config {
+	cfg := &Config{}
+	for _, r := range s.Relations() {
+		cfg.Schema = append(cfg.Schema, RelationDef{Name: r.Name(), Attrs: r.Attrs()})
+	}
+	for _, v := range cat.Views() {
+		cfg.Views = append(cfg.Views, v.String())
+	}
+	if len(pols) > 0 {
+		cfg.Policies = make(map[string]map[string][]string, len(pols))
+		principals := make([]string, 0, len(pols))
+		for p := range pols {
+			principals = append(principals, p)
+		}
+		sort.Strings(principals)
+		for _, principal := range principals {
+			parts := make(map[string][]string)
+			for _, part := range pols[principal].Partitions() {
+				parts[part.Name] = append([]string(nil), part.Views...)
+			}
+			cfg.Policies[principal] = parts
+		}
+	}
+	return cfg
+}

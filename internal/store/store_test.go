@@ -1,0 +1,143 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/label"
+	"repro/internal/policy"
+	"repro/internal/schema"
+)
+
+func sampleConfig() *Config {
+	return &Config{
+		Schema: []RelationDef{
+			{Name: "Meetings", Attrs: []string{"time", "person"}},
+			{Name: "Contacts", Attrs: []string{"person", "email", "position"}},
+		},
+		Views: []string{
+			"V1(t, p) :- Meetings(t, p)",
+			"V2(t) :- Meetings(t, p)",
+			"V3(p, e, r) :- Contacts(p, e, r)",
+		},
+		Policies: map[string]map[string][]string{
+			"scheduler": {"times": {"V2"}},
+			"crm":       {"W1": {"V1"}, "W2": {"V3"}},
+		},
+	}
+}
+
+func TestBuild(t *testing.T) {
+	s, cat, pols, err := sampleConfig().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || cat.Len() != 3 || len(pols) != 2 {
+		t.Fatalf("built %d relations, %d views, %d policies", s.Len(), cat.Len(), len(pols))
+	}
+	if pols["crm"].Len() != 2 {
+		t.Errorf("crm policy has %d partitions", pols["crm"].Len())
+	}
+	// The built system actually works.
+	qm := policy.NewQueryMonitor(label.NewLabeler(cat), pols["scheduler"])
+	d, err := qm.Submit(cq.MustParse("Q(t) :- Meetings(t, p)"))
+	if err != nil || !d.Allowed {
+		t.Errorf("scheduler times query: %+v %v", d, err)
+	}
+	d, _ = qm.Submit(cq.MustParse("Q(t, p) :- Meetings(t, p)"))
+	if d.Allowed {
+		t.Error("full view admitted under times-only policy")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleConfig()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, cat, pols, err := loaded.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot of the rebuilt system matches the original shape.
+	snap := Snapshot(s, cat, pols)
+	if len(snap.Schema) != 2 || len(snap.Views) != 3 || len(snap.Policies) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Second round trip is stable.
+	var buf2 bytes.Buffer
+	if err := Save(&buf2, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded2, err := Load(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := loaded2.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded2.Policies["crm"]["W1"]) != 1 || loaded2.Policies["crm"]["W1"][0] != "V1" {
+		t.Errorf("policies corrupted: %+v", loaded2.Policies)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"{",
+		`{"unknown_field": 1}`,
+	}
+	for _, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	bad := sampleConfig()
+	bad.Schema[0].Attrs = nil
+	if _, _, _, err := bad.Build(); err == nil {
+		t.Error("relation without attributes accepted")
+	}
+
+	bad = sampleConfig()
+	bad.Views = append(bad.Views, "not a view")
+	if _, _, _, err := bad.Build(); err == nil {
+		t.Error("malformed view accepted")
+	}
+
+	bad = sampleConfig()
+	bad.Views = append(bad.Views, "J(t, e) :- Meetings(t, p), Contacts(p, e, r)")
+	if _, _, _, err := bad.Build(); err == nil {
+		t.Error("multi-atom security view accepted")
+	}
+
+	bad = sampleConfig()
+	bad.Policies["scheduler"]["times"] = []string{"NoSuchView"}
+	if _, _, _, err := bad.Build(); err == nil {
+		t.Error("unknown policy view accepted")
+	}
+}
+
+func TestSnapshotWithoutPolicies(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "a"))
+	cat := label.MustCatalog(s, cq.MustParse("V(x) :- R(x)"))
+	snap := Snapshot(s, cat, nil)
+	if snap.Policies != nil {
+		t.Error("empty policy map should serialize as absent")
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "policies") {
+		t.Errorf("serialized form mentions policies:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,227 @@
+// Package unify implements the generalized most-general-unifier (GenMGU)
+// computation from Section 5.1 of the paper and the GLBSingleton procedure
+// built on it, which computes the greatest lower bound of two single-atom
+// views in the disclosure lattice under the equivalent-view-rewriting order.
+//
+// GenMGU differs from standard unification in three ways (Section 5.1):
+//
+//  1. Unifying a constant with an existential variable fails (Example 5.1).
+//  2. Unifying an existential variable with any variable yields an
+//     existential variable (Example 5.2).
+//  3. Unifying two distinguished variables yields a distinguished variable.
+//
+// After unification, a post-check rejects results where unification forced a
+// new equality between two distinct terms of the same original atom and at
+// least one of those terms was existential (Example 5.3). On rejection the
+// GLB is ⊥ (no common information), represented as a nil query.
+package unify
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+)
+
+// GLBSingleton computes a single-atom view whose disclosure is the greatest
+// lower bound of the two given single-atom views under the equivalent-view-
+// rewriting order, per Section 5.1. The returned query's name is set to
+// name. It returns nil when the GLB is the bottom of the disclosure lattice
+// (the views share no information): different relations, failed unification,
+// or the intra-atom equality post-check.
+//
+// GLBSingleton returns an error only when an input is not a single-atom
+// query.
+func GLBSingleton(v1, v2 *cq.Query, name string) (*cq.Query, error) {
+	if !v1.IsSingleAtom() {
+		return nil, fmt.Errorf("unify: %s is not a single-atom view", v1.Name)
+	}
+	if !v2.IsSingleAtom() {
+		return nil, fmt.Errorf("unify: %s is not a single-atom view", v2.Name)
+	}
+	a1, a2 := v1.Body[0], v2.Body[0]
+	if a1.Rel != a2.Rel || len(a1.Args) != len(a2.Args) {
+		return nil, nil // different relations share no information
+	}
+	u := newUnifier()
+	roles1, roles2 := v1.VarRoles(), v2.VarRoles()
+	for i := range a1.Args {
+		n1 := u.node(0, a1.Args[i], roles1)
+		n2 := u.node(1, a2.Args[i], roles2)
+		if !u.union(n1, n2) {
+			return nil, nil
+		}
+	}
+	if u.forcedExistentialEquality() {
+		return nil, nil
+	}
+	return u.buildResult(a1, roles1, name), nil
+}
+
+// node identity: variables are qualified by which input atom they came from;
+// constants are shared by value.
+type nodeKey struct {
+	side int    // 0 or 1 for variables; -1 for constants
+	name string // variable name or constant value
+}
+
+type class struct {
+	parent   int
+	rank     int
+	constVal string
+	hasConst bool
+	hasExist bool
+	hasDist  bool
+	// members records distinct variable terms per input side, used by the
+	// Example-5.3 post-check. Constants count as members too (side -1).
+	members []member
+}
+
+type member struct {
+	side  int
+	name  string
+	exist bool
+}
+
+type unifier struct {
+	keys    map[nodeKey]int
+	classes []*class
+}
+
+func newUnifier() *unifier {
+	return &unifier{keys: make(map[nodeKey]int)}
+}
+
+func (u *unifier) node(side int, t cq.Term, roles map[string]cq.VarRole) int {
+	var k nodeKey
+	if t.IsConst() {
+		k = nodeKey{side: -1, name: t.Value}
+	} else {
+		k = nodeKey{side: side, name: t.Value}
+	}
+	if id, ok := u.keys[k]; ok {
+		return id
+	}
+	c := &class{parent: len(u.classes)}
+	if t.IsConst() {
+		c.hasConst = true
+		c.constVal = t.Value
+		c.members = []member{{side: -1, name: t.Value}}
+	} else {
+		exist := roles[t.Value] == cq.Existential
+		c.hasExist = exist
+		c.hasDist = !exist
+		c.members = []member{{side: side, name: t.Value, exist: exist}}
+	}
+	u.classes = append(u.classes, c)
+	u.keys[k] = c.parent
+	return c.parent
+}
+
+func (u *unifier) find(i int) int {
+	for u.classes[i].parent != i {
+		u.classes[i].parent = u.classes[u.classes[i].parent].parent
+		i = u.classes[i].parent
+	}
+	return i
+}
+
+// union merges the classes of a and b. It returns false when the merge is
+// inconsistent: two distinct constants, or a constant meeting an existential
+// variable (GenMGU rule 1).
+func (u *unifier) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return u.classOK(u.classes[ra])
+	}
+	ca, cb := u.classes[ra], u.classes[rb]
+	if ca.hasConst && cb.hasConst && ca.constVal != cb.constVal {
+		return false
+	}
+	if ca.rank < cb.rank {
+		ra, rb = rb, ra
+		ca, cb = cb, ca
+	}
+	cb.parent = ra
+	if ca.rank == cb.rank {
+		ca.rank++
+	}
+	if cb.hasConst {
+		ca.hasConst = true
+		ca.constVal = cb.constVal
+	}
+	ca.hasExist = ca.hasExist || cb.hasExist
+	ca.hasDist = ca.hasDist || cb.hasDist
+	ca.members = append(ca.members, cb.members...)
+	return u.classOK(ca)
+}
+
+func (u *unifier) classOK(c *class) bool {
+	// GenMGU rule 1: a constant may never be unified with an existential
+	// variable.
+	return !(c.hasConst && c.hasExist)
+}
+
+// forcedExistentialEquality implements the post-check of Example 5.3: it
+// reports true when some class contains two distinct variable terms from the
+// same original atom, at least one of which is existential. (A class with a
+// constant plus an existential has already failed in union.)
+func (u *unifier) forcedExistentialEquality() bool {
+	for i, c := range u.classes {
+		if u.find(i) != i {
+			continue
+		}
+		for x := 0; x < len(c.members); x++ {
+			for y := x + 1; y < len(c.members); y++ {
+				mx, my := c.members[x], c.members[y]
+				if mx.side < 0 || my.side < 0 {
+					continue // constants handled by classOK
+				}
+				if mx.side == my.side && mx.name != my.name && (mx.exist || my.exist) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// buildResult renders the unified atom. Class kinds follow GenMGU rules 2
+// and 3: a class containing any existential variable becomes existential; a
+// class with a constant becomes that constant; otherwise distinguished.
+func (u *unifier) buildResult(a1 cq.Atom, roles1 map[string]cq.VarRole, name string) *cq.Query {
+	classVar := make(map[int]cq.Term)
+	next := 0
+	var head []cq.Term
+	args := make([]cq.Term, len(a1.Args))
+	for i, t := range a1.Args {
+		var k nodeKey
+		if t.IsConst() {
+			k = nodeKey{side: -1, name: t.Value}
+		} else {
+			k = nodeKey{side: 0, name: t.Value}
+		}
+		root := u.find(u.keys[k])
+		c := u.classes[root]
+		if c.hasConst {
+			args[i] = cq.C(c.constVal)
+			continue
+		}
+		v, ok := classVar[root]
+		if !ok {
+			v = cq.V(fmt.Sprintf("u%d", next))
+			next++
+			classVar[root] = v
+			if !c.hasExist {
+				head = append(head, v)
+			}
+		}
+		args[i] = v
+	}
+	q, err := cq.NewQuery(name, head, []cq.Atom{{Rel: a1.Rel, Args: args}})
+	if err != nil {
+		// Unreachable: every head variable is drawn from the body by
+		// construction and the body is a single nonempty atom.
+		panic(err)
+	}
+	return q
+}

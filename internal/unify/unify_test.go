@@ -1,0 +1,175 @@
+package unify
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func glb(t *testing.T, v1, v2 string) *cq.Query {
+	t.Helper()
+	q, err := GLBSingleton(cq.MustParse(v1), cq.MustParse(v2), "G")
+	if err != nil {
+		t.Fatalf("GLBSingleton(%s, %s): %v", v1, v2, err)
+	}
+	return q
+}
+
+func TestExample52ProjectionOverlap(t *testing.T) {
+	// V6(x,y) :- C(x,y,z) ⊓ V7(x,z) :- C(x,y,z) = V9(x) :- C(x,y,z),
+	// the projection on the first attribute (paper Example 5.2).
+	g := glb(t, "V6(x, y) :- C(x, y, z)", "V7(x, z) :- C(x, y, z)")
+	if g == nil {
+		t.Fatal("GLB is ⊥, want V9")
+	}
+	want := cq.MustParse("V9(x) :- C(x, y, z)")
+	if !cq.Equivalent(g, want) {
+		t.Errorf("GLB = %s, want equivalent of %s", g, want)
+	}
+}
+
+func TestExample51ConstantVsExistential(t *testing.T) {
+	// V13() :- M(9,'Jim') ⊓ V14() :- M(x,y) = ⊥ (paper Example 5.1).
+	if g := glb(t, "V13() :- M(9, 'Jim')", "V14() :- M(x, y)"); g != nil {
+		t.Errorf("GLB = %s, want ⊥", g)
+	}
+}
+
+func TestExample53ForcedEquality(t *testing.T) {
+	// V14() :- M(x,y) ⊓ V15() :- M(z,z) = ⊥ (paper Example 5.3): the mgu
+	// would be M(w,w) but that forces x=y, a new equality on existentials.
+	if g := glb(t, "V14() :- M(x, y)", "V15() :- M(z, z)"); g != nil {
+		t.Errorf("GLB = %s, want ⊥", g)
+	}
+}
+
+func TestContactsPairwiseGLBs(t *testing.T) {
+	// Example 4.4's table of GLBs among the 2-attribute projections of the
+	// 3-attribute Contacts relation.
+	v6 := "V6(x, y) :- C(x, y, z)"
+	v7 := "V7(x, z) :- C(x, y, z)"
+	v8 := "V8(y, z) :- C(x, y, z)"
+	cases := []struct {
+		a, b, want string
+	}{
+		{v6, v7, "V9(x) :- C(x, y, z)"},
+		{v6, v8, "V10(y) :- C(x, y, z)"},
+		{v7, v8, "V11(z) :- C(x, y, z)"},
+	}
+	for _, tc := range cases {
+		g := glb(t, tc.a, tc.b)
+		if g == nil {
+			t.Fatalf("GLB(%s, %s) = ⊥", tc.a, tc.b)
+		}
+		if !cq.Equivalent(g, cq.MustParse(tc.want)) {
+			t.Errorf("GLB(%s, %s) = %s, want %s", tc.a, tc.b, g, tc.want)
+		}
+	}
+}
+
+func TestGLBDifferentRelations(t *testing.T) {
+	if g := glb(t, "A(x) :- R(x, y)", "B(x) :- S(x, y)"); g != nil {
+		t.Errorf("GLB across relations = %s, want ⊥", g)
+	}
+	// Same name, different arity: also ⊥.
+	if g := glb(t, "A(x) :- R(x)", "B(x) :- R(x, y)"); g != nil {
+		t.Errorf("GLB across arities = %s, want ⊥", g)
+	}
+}
+
+func TestGLBWithConstants(t *testing.T) {
+	// Full view ⊓ point lookup = point lookup.
+	g := glb(t, "V1(x, y) :- M(x, y)", "V13() :- M(9, 'Jim')")
+	if g == nil {
+		t.Fatal("GLB = ⊥")
+	}
+	if !cq.Equivalent(g, cq.MustParse("W() :- M(9, 'Jim')")) {
+		t.Errorf("GLB = %s, want M(9,'Jim') lookup", g)
+	}
+	// Conflicting constants: ⊥.
+	if g := glb(t, "A() :- M(9, x)", "B() :- M(10, x)"); g != nil {
+		t.Errorf("GLB with conflicting constants = %s, want ⊥", g)
+	}
+	// Same constants: preserved.
+	g = glb(t, "A(x) :- M(9, x)", "B(x) :- M(9, x)")
+	if g == nil || !cq.Equivalent(g, cq.MustParse("W(x) :- M(9, x)")) {
+		t.Errorf("GLB = %v, want M(9, x) selection", g)
+	}
+}
+
+func TestGLBIdempotent(t *testing.T) {
+	views := []string{
+		"V1(x, y) :- M(x, y)",
+		"V2(x) :- M(x, y)",
+		"V4(y) :- M(x, y)",
+		"V5() :- M(x, y)",
+	}
+	for _, v := range views {
+		q := cq.MustParse(v)
+		g, err := GLBSingleton(q, q, "G")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g == nil || !cq.Equivalent(g, q) {
+			t.Errorf("GLB(%s, %s) = %v, want the view itself", v, v, g)
+		}
+	}
+}
+
+func TestGLBCommutative(t *testing.T) {
+	pairs := [][2]string{
+		{"V2(x) :- M(x, y)", "V4(y) :- M(x, y)"},
+		{"V6(x, y) :- C(x, y, z)", "V7(x, z) :- C(x, y, z)"},
+		{"V1(x, y) :- M(x, y)", "V13() :- M(9, 'Jim')"},
+		{"A(x) :- M(x, x)", "B(x, y) :- M(x, y)"},
+	}
+	for _, p := range pairs {
+		g1 := glb(t, p[0], p[1])
+		g2 := glb(t, p[1], p[0])
+		switch {
+		case g1 == nil && g2 == nil:
+		case g1 == nil || g2 == nil:
+			t.Errorf("GLB(%s,%s): one direction ⊥, other %v/%v", p[0], p[1], g1, g2)
+		case !cq.Equivalent(g1, g2):
+			t.Errorf("GLB not commutative for (%s, %s): %s vs %s", p[0], p[1], g1, g2)
+		}
+	}
+}
+
+func TestGLBProjectionsOfMeetings(t *testing.T) {
+	// Figure 3: GLB of ⇓{V2} and ⇓{V4} is ⇓{V5}.
+	g := glb(t, "V2(x) :- M(x, y)", "V4(y) :- M(x, y)")
+	if g == nil {
+		t.Fatal("GLB = ⊥, want V5")
+	}
+	if !cq.Equivalent(g, cq.MustParse("V5() :- M(x, y)")) {
+		t.Errorf("GLB = %s, want V5() :- M(x,y)", g)
+	}
+}
+
+func TestGLBDiagonal(t *testing.T) {
+	// Full table ⊓ diagonal = diagonal (σ computable from full M).
+	g := glb(t, "V1(x, y) :- M(x, y)", "D(z) :- M(z, z)")
+	if g == nil {
+		t.Fatal("GLB = ⊥")
+	}
+	if !cq.Equivalent(g, cq.MustParse("D(z) :- M(z, z)")) {
+		t.Errorf("GLB = %s, want diagonal", g)
+	}
+}
+
+func TestGLBRepeatedExistentialAcrossSides(t *testing.T) {
+	// Diagonal with existentials ⊓ full-projection: M(z,z) all existential
+	// vs M(x,y): forced x=y equality → ⊥.
+	if g := glb(t, "A() :- M(z, z)", "B(x) :- M(x, y)"); g != nil {
+		t.Errorf("GLB = %s, want ⊥", g)
+	}
+	// Distinguished diagonal ⊓ first-column projection is also ⊥: the
+	// diagonal {a : M(a,a)} and π1(M) share no single-atom view (π1 says
+	// nothing about the diagonal, and the diagonal says nothing about
+	// non-diagonal tuples). The unifier merges {z, x, y} into one class,
+	// forcing a new x=y equality on side 1 where y is existential.
+	if g := glb(t, "A(z) :- M(z, z)", "B(x) :- M(x, y)"); g != nil {
+		t.Errorf("GLB = %s, want ⊥", g)
+	}
+}

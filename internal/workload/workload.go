@@ -1,0 +1,216 @@
+// Package workload implements the random query workload of Section 7.2 of
+// the paper. Each query is assembled by repeating the following process
+// one or more times and joining the resulting subqueries on the uid
+// attribute (which appears in every relation of the Facebook schema):
+//
+//  1. Select a random relation from the schema.
+//  2. Select a random subset of its attributes.
+//  3. Request those attributes for (i) the current user, (ii) friends of
+//     the current user, (iii) friends of friends, or (iv) a non-friend.
+//
+// Scope (ii) adds one join with the friend relation and (iii) adds two, so
+// a subquery contributes between one and three body atoms and a query with
+// up to five subqueries has up to fifteen atoms — the x-axis of Figure 5.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/fb"
+	"repro/internal/schema"
+)
+
+// Scope is the principal-relative scope of a subquery.
+type Scope int
+
+const (
+	// Self requests the current user's tuples (uid = me).
+	Self Scope = iota
+	// Friends requests tuples owned by friends (one friend join).
+	Friends
+	// FriendsOfFriends requests tuples two hops away (two friend joins).
+	FriendsOfFriends
+	// NonFriend requests tuples of an unrelated user.
+	NonFriend
+	numScopes
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	switch s {
+	case Self:
+		return "self"
+	case Friends:
+		return "friends"
+	case FriendsOfFriends:
+		return "friends-of-friends"
+	default:
+		return "non-friend"
+	}
+}
+
+// Options configures the generator.
+type Options struct {
+	// Seed seeds the deterministic RNG.
+	Seed int64
+	// MaxSubqueries bounds the number of uid-joined subqueries per query
+	// (1..5 in the paper's stress test). Defaults to 1.
+	MaxSubqueries int
+	// FriendScopesMarkIsFriend, when set, additionally selects
+	// is_friend = '1' in friend-scoped relation atoms so that the
+	// generated queries fall under the friends_* security views of the
+	// Facebook catalog (the paper's denormalization device).
+	FriendScopesMarkIsFriend bool
+}
+
+// Generator produces random conjunctive queries over a schema. It is not
+// safe for concurrent use; create one per goroutine.
+type Generator struct {
+	rng  *rand.Rand
+	s    *schema.Schema
+	rels []*schema.Relation
+	opts Options
+	n    int
+}
+
+// New creates a generator over the given schema. Every relation must carry
+// a uid attribute; relations without one are skipped.
+func New(s *schema.Schema, opts Options) (*Generator, error) {
+	if opts.MaxSubqueries <= 0 {
+		opts.MaxSubqueries = 1
+	}
+	g := &Generator{rng: rand.New(rand.NewSource(opts.Seed)), s: s, opts: opts}
+	for _, r := range s.Relations() {
+		if r.Name() == "friend" {
+			continue // friend is the join relation, not a subquery target
+		}
+		if r.HasAttr("uid") {
+			g.rels = append(g.rels, r)
+		}
+	}
+	if len(g.rels) == 0 {
+		return nil, fmt.Errorf("workload: schema has no relations with a uid attribute")
+	}
+	return g, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(s *schema.Schema, opts Options) *Generator {
+	g, err := New(s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Next generates the next random query.
+func (g *Generator) Next() *cq.Query {
+	g.n++
+	nsub := 1 + g.rng.Intn(g.opts.MaxSubqueries)
+	var body []cq.Atom
+	var head []cq.Term
+	fresh := 0
+	v := func(prefix string) cq.Term {
+		fresh++
+		return cq.V(fmt.Sprintf("%s%d", prefix, fresh))
+	}
+
+	// All subqueries join on a shared uid term. If any subquery is
+	// self-scoped the join propagates the constant 'me'; decide scopes
+	// first.
+	scopes := make([]Scope, nsub)
+	anySelf := false
+	for i := range scopes {
+		scopes[i] = Scope(g.rng.Intn(int(numScopes)))
+		if scopes[i] == Self {
+			anySelf = true
+		}
+	}
+	var uid cq.Term
+	if anySelf {
+		uid = cq.C(fb.Me)
+	} else {
+		uid = cq.V("u0")
+	}
+
+	for _, scope := range scopes {
+		rel := g.rels[g.rng.Intn(len(g.rels))]
+		// Random nonempty attribute subset (excluding uid and is_friend,
+		// which are scope machinery).
+		var selected []string
+		for _, a := range rel.Attrs() {
+			if a == "uid" || a == "is_friend" {
+				continue
+			}
+			if g.rng.Intn(2) == 0 {
+				selected = append(selected, a)
+			}
+		}
+		if len(selected) == 0 {
+			for _, a := range rel.Attrs() {
+				if a != "uid" && a != "is_friend" {
+					selected = append(selected, a)
+					break
+				}
+			}
+		}
+		markFriend := g.opts.FriendScopesMarkIsFriend && (scope == Friends || scope == FriendsOfFriends)
+
+		// The term placed in this subquery's uid position, plus the friend
+		// joins the scope requires.
+		var owner cq.Term
+		switch scope {
+		case Self:
+			owner = cq.C(fb.Me)
+		case Friends:
+			owner = uid
+			body = append(body, cq.NewAtom("friend", cq.C(fb.Me), owner, v("s")))
+		case FriendsOfFriends:
+			owner = uid
+			hop := v("h")
+			body = append(body, cq.NewAtom("friend", cq.C(fb.Me), hop, v("s")))
+			body = append(body, cq.NewAtom("friend", hop, owner, v("s")))
+		default: // NonFriend: a specific unrelated user
+			owner = cq.C(fmt.Sprintf("u%d", 1000+g.rng.Intn(1000)))
+		}
+
+		args := make([]cq.Term, rel.Arity())
+		for i := 0; i < rel.Arity(); i++ {
+			a := rel.Attr(i)
+			switch {
+			case a == "uid":
+				args[i] = owner
+			case a == "is_friend" && markFriend:
+				args[i] = cq.C(fb.FriendTrue)
+			default:
+				args[i] = v("e")
+			}
+		}
+		for _, a := range selected {
+			i := rel.AttrIndex(a)
+			hv := v("x")
+			args[i] = hv
+			head = append(head, hv)
+		}
+		body = append(body, cq.NewAtom(rel.Name(), args...))
+	}
+
+	q, err := cq.NewQuery(fmt.Sprintf("Q%d", g.n), head, body)
+	if err != nil {
+		// Unreachable by construction: every head variable is placed in a
+		// body atom above.
+		panic(err)
+	}
+	return q
+}
+
+// Batch generates n queries.
+func (g *Generator) Batch(n int) []*cq.Query {
+	out := make([]*cq.Query, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

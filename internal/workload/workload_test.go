@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/fb"
+	"repro/internal/label"
+	"repro/internal/schema"
+)
+
+func TestGeneratorShape(t *testing.T) {
+	s := fb.Schema()
+	for _, maxSub := range []int{1, 2, 3, 4, 5} {
+		g := MustNew(s, Options{Seed: 1, MaxSubqueries: maxSub})
+		maxAtoms := 0
+		for i := 0; i < 500; i++ {
+			q := g.Next()
+			if err := q.ValidateAgainst(s); err != nil {
+				t.Fatalf("maxSub=%d: invalid query %s: %v", maxSub, q, err)
+			}
+			if n := len(q.Body); n > maxAtoms {
+				maxAtoms = n
+			}
+			if len(q.Head) == 0 {
+				t.Fatalf("query exposes nothing: %s", q)
+			}
+		}
+		// A subquery contributes 1..3 atoms, so the cap is 3*maxSub.
+		if maxAtoms > 3*maxSub {
+			t.Errorf("maxSub=%d: saw %d atoms, cap is %d", maxSub, maxAtoms, 3*maxSub)
+		}
+		// The stress workload should actually reach multi-atom queries.
+		if maxSub > 1 && maxAtoms < 4 {
+			t.Errorf("maxSub=%d: never exceeded %d atoms", maxSub, maxAtoms)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	s := fb.Schema()
+	g1 := MustNew(s, Options{Seed: 42, MaxSubqueries: 3})
+	g2 := MustNew(s, Options{Seed: 42, MaxSubqueries: 3})
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.String() != b.String() {
+			t.Fatalf("generation not deterministic at %d:\n%s\n%s", i, a, b)
+		}
+	}
+	g3 := MustNew(s, Options{Seed: 43, MaxSubqueries: 3})
+	same := 0
+	for i := 0; i < 100; i++ {
+		if g1.Next().String() == g3.Next().String() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGeneratedQueriesAreLabelable(t *testing.T) {
+	c, err := fb.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := label.NewLabeler(c)
+	g := MustNew(fb.Schema(), Options{Seed: 7, MaxSubqueries: 2, FriendScopesMarkIsFriend: true})
+	nonTop := 0
+	for i := 0; i < 300; i++ {
+		q := g.Next()
+		lbl, err := l.Label(q)
+		if err != nil {
+			t.Fatalf("labeling %s: %v", q, err)
+		}
+		if !lbl.HasTop() {
+			nonTop++
+		}
+	}
+	// A healthy share of the workload must fall under the security views —
+	// otherwise the Figure-5 measurements would not exercise mask
+	// construction.
+	if nonTop < 50 {
+		t.Errorf("only %d/300 queries are coverable by the catalog", nonTop)
+	}
+}
+
+func TestScopeString(t *testing.T) {
+	names := map[Scope]string{
+		Self:             "self",
+		Friends:          "friends",
+		FriendsOfFriends: "friends-of-friends",
+		NonFriend:        "non-friend",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("Scope(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestBatch(t *testing.T) {
+	g := MustNew(fb.Schema(), Options{Seed: 1, MaxSubqueries: 1})
+	qs := g.Batch(10)
+	if len(qs) != 10 {
+		t.Fatalf("Batch returned %d queries", len(qs))
+	}
+}
+
+func TestNewRequiresUIDRelations(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("nouid", "a", "b"))
+	if _, err := New(s, Options{}); err == nil {
+		t.Error("schema without uid relations accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package disclosure
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/label"
+	"repro/internal/policy"
+)
+
+// System is the end-to-end disclosure-control deployment of the paper's
+// Figure 2: a database, a security-view catalog, a labeler, and one
+// reference monitor per principal (app). Apps submit conjunctive queries;
+// the system labels each query, checks the principal's policy (including
+// cumulative disclosure across the session), and only evaluates admitted
+// queries.
+//
+// System is not safe for concurrent use; wrap it with your own
+// synchronization or shard by principal.
+type System struct {
+	db       *engine.Database
+	cat      *label.Catalog
+	labeler  label.Labeler
+	monitors map[string]*policy.QueryMonitor
+}
+
+// NewSystem wires a database, catalog and labeler over the given schema and
+// single-atom security views.
+func NewSystem(s *Schema, securityViews ...*Query) (*System, error) {
+	cat, err := label.NewCatalog(s, securityViews...)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		db:       engine.NewDatabase(s),
+		cat:      cat,
+		labeler:  label.NewLabeler(cat),
+		monitors: make(map[string]*policy.QueryMonitor),
+	}, nil
+}
+
+// Database returns the system's database for data loading.
+func (sys *System) Database() *Database { return sys.db }
+
+// Catalog returns the security-view catalog.
+func (sys *System) Catalog() *Catalog { return sys.cat }
+
+// Labeler returns the system's labeler.
+func (sys *System) Labeler() Labeler { return sys.labeler }
+
+// SetPolicy installs (or replaces) a principal's security policy; partition
+// values list security-view names. Replacing a policy resets the
+// principal's cumulative-disclosure state.
+func (sys *System) SetPolicy(principal string, partitions map[string][]string) error {
+	p, err := policy.New(sys.cat, partitions)
+	if err != nil {
+		return err
+	}
+	sys.monitors[principal] = policy.NewQueryMonitor(sys.labeler, p)
+	return nil
+}
+
+// Monitor returns the principal's reference monitor, or nil if the
+// principal has no policy.
+func (sys *System) Monitor(principal string) *QueryMonitor {
+	return sys.monitors[principal]
+}
+
+// Label computes the disclosure label of a query without submitting it.
+func (sys *System) Label(q *Query) (Label, error) { return sys.labeler.Label(q) }
+
+// Submit runs a query on behalf of a principal: the query is labeled and
+// checked against the principal's policy; if admitted, it is evaluated and
+// its answers returned. Refused queries return Allowed == false, nil rows
+// and no error. Principals without a policy are refused everything.
+func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error) {
+	qm, ok := sys.monitors[principal]
+	if !ok {
+		return Decision{Allowed: false}, nil, fmt.Errorf("disclosure: principal %q has no policy", principal)
+	}
+	dec, err := qm.Submit(q)
+	if err != nil {
+		return dec, nil, err
+	}
+	if !dec.Allowed {
+		return dec, nil, nil
+	}
+	rows, err := sys.db.Eval(q)
+	if err != nil {
+		return dec, nil, err
+	}
+	return dec, rows, nil
+}
+
+// Explain renders a human-readable account of a query's label and how it
+// compares against each policy partition of the principal.
+func (sys *System) Explain(principal string, q *Query) (string, error) {
+	qm, ok := sys.monitors[principal]
+	if !ok {
+		return "", fmt.Errorf("disclosure: principal %q has no policy", principal)
+	}
+	return qm.Explain(q)
+}
