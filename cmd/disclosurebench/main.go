@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	disclosurebench -exp figure5 [-queries N] [-seed S] [-tsv]
-//	disclosurebench -exp figure6 [-labels N] [-principals 1000,50000,1000000] [-tsv]
+//	disclosurebench -exp figure5 [-queries N] [-seed S] [-tsv|-json]
+//	disclosurebench -exp figure6 [-labels N] [-principals 1000,50000,1000000] [-tsv|-json]
+//	disclosurebench -exp cached [-queries N] [-pool N] [-goroutines 1,4,16] [-tsv|-json]
 //
 // The defaults use the paper's parameters (one million queries/labels per
-// point); use -queries/-labels to scale down for a quick run.
+// point); use -queries/-labels to scale down for a quick run. The cached
+// experiment replays the Figure-5 workload from a bounded template pool and
+// measures the canonical-fingerprint label cache against the uncached
+// labeler at several goroutine counts. -json emits a machine-readable
+// archive (redirect to BENCH_<exp>.json).
 package main
 
 import (
@@ -23,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6 or footnote3")
+	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6, footnote3 or cached")
 	queries := flag.Int("queries", 1_000_000, "figure5: queries per measurement point")
 	labels := flag.Int("labels", 1_000_000, "figure6: labels per measurement point")
 	labelPool := flag.Int("label-pool", 200_000, "figure6: distinct pre-labeled queries to draw from")
@@ -32,8 +37,26 @@ func main() {
 	maxAtoms := flag.String("max-atoms", "3,6,9,12,15", "figure5: comma-separated max atoms per query")
 	maxElems := flag.String("max-elems", "5,10,15,20,25,30,35,40,45,50", "figure6: comma-separated max elements per partition")
 	seed := flag.Int64("seed", 2013, "workload seed")
+	pool := flag.Int("pool", 5000, "cached: distinct queries per point (the template space)")
+	goroutines := flag.String("goroutines", "1,4,16", "cached: comma-separated goroutine counts")
+	cacheCap := flag.Int("cache-capacity", 0, "cached: label-cache entry bound (0 = 2×pool, the warm regime; set below pool to study eviction)")
 	tsv := flag.Bool("tsv", false, "emit tab-separated values instead of a table")
+	jsonOut := flag.Bool("json", false, "emit indented JSON instead of a table (for BENCH_*.json archives)")
 	flag.Parse()
+	format := func(series []bench.Series, title, xLabel string) {
+		switch {
+		case *jsonOut:
+			out, err := bench.FormatJSON(*exp, series)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+		case *tsv:
+			fmt.Print(bench.FormatTSV(series))
+		default:
+			fmt.Print(bench.FormatSeries(title, xLabel, series))
+		}
+	}
 
 	switch *exp {
 	case "figure5":
@@ -42,11 +65,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		emit(series, *tsv,
+		format(series,
 			fmt.Sprintf("Figure 5 — disclosure labeler performance (%d queries per point, seconds per 1M queries)", cfg.Queries),
 			"max atoms per query")
 		slow, fast := findSeries(series, "baseline"), findSeries(series, "bit vectors + hashing")
-		if slow != nil && fast != nil {
+		if slow != nil && fast != nil && !*jsonOut && !*tsv {
 			fmt.Printf("\nspeedup of bit vectors + hashing over baseline per point: %s\n",
 				floats(bench.Speedup(*slow, *fast)))
 		}
@@ -63,7 +86,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		emit(series, *tsv,
+		format(series,
 			fmt.Sprintf("Figure 6 — policy checker performance (%d labels per point, seconds per 1M labels)", cfg.Labels),
 			"max elements per partition")
 	case "footnote3":
@@ -74,20 +97,27 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		emit(series, *tsv,
+		format(series,
 			fmt.Sprintf("Footnote 3 — labeler throughput vs schema size (%d queries per point, seconds per 1M queries)", cfg.Queries),
 			"relations in schema")
+	case "cached":
+		cfg := bench.DefaultCachedConfig()
+		cfg.Queries = *queries
+		cfg.Pool = *pool
+		cfg.MaxAtoms = ints(*maxAtoms)
+		cfg.Goroutines = ints(*goroutines)
+		cfg.CacheCapacity = *cacheCap
+		cfg.Seed = *seed
+		series, err := bench.RunCached(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		format(series,
+			fmt.Sprintf("Memoized labeling — cached vs uncached over a %d-template pool (%d queries per point, seconds per 1M queries)", cfg.Pool, cfg.Queries),
+			"max atoms per query")
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6 or footnote3)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6, footnote3 or cached)", *exp))
 	}
-}
-
-func emit(series []bench.Series, tsv bool, title, xLabel string) {
-	if tsv {
-		fmt.Print(bench.FormatTSV(series))
-		return
-	}
-	fmt.Print(bench.FormatSeries(title, xLabel, series))
 }
 
 func findSeries(series []bench.Series, name string) *bench.Series {

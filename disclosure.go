@@ -17,6 +17,13 @@
 // support expressive policies, including Chinese-Wall policies ("either my
 // calendar or my contacts, but never both").
 //
+// System is safe for concurrent use and built for repetitive app-ecosystem
+// traffic: submissions are labeled through a sharded cache keyed by the
+// query's canonical form (isomorphic queries share one entry), decided
+// under per-principal locks, and evaluated under a database read lock.
+// SubmitBatch pipelines whole batches and Stats reports throughput and
+// cache-effectiveness counters.
+//
 // # Quick start
 //
 //	s := disclosure.MustSchema(
@@ -63,6 +70,10 @@ type (
 	Catalog = label.Catalog
 	// Labeler computes disclosure labels for conjunctive queries.
 	Labeler = label.Labeler
+	// CachedLabeler memoizes labels under canonical query fingerprints.
+	CachedLabeler = label.CachedLabeler
+	// CacheStats is a snapshot of label-cache effectiveness counters.
+	CacheStats = label.CacheStats
 	// Label is a compressed disclosure label (arrays of packed ℓ⁺ sets).
 	Label = label.Label
 	// AtomLabel is the packed label of one dissected single-atom view.
@@ -127,6 +138,13 @@ func NewLabeler(c *Catalog) Labeler { return label.NewLabeler(c) }
 // NewBaselineLabeler returns the unoptimized LabelGen adaptation (the
 // Figure-5 baseline); useful for differential testing.
 func NewBaselineLabeler(c *Catalog) Labeler { return label.NewBaselineLabeler(c) }
+
+// NewCachedLabeler wraps a labeler with a sharded, bounded canonical-form
+// memo (capacity ≤ 0 means the default). Isomorphic queries share one
+// entry, so repetitive app traffic is labeled once per template.
+func NewCachedLabeler(l Labeler, capacity int) *CachedLabeler {
+	return label.NewCachedLabeler(l, capacity)
+}
 
 // Dissect folds a conjunctive query and splits it into single-atom views,
 // promoting join variables (Section 5.2 of the paper).

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -47,6 +48,20 @@ func FormatTSV(series []Series) string {
 		}
 	}
 	return b.String()
+}
+
+// FormatJSON renders series as indented JSON, for archiving benchmark runs
+// (BENCH_*.json) and machine comparison across commits.
+func FormatJSON(experiment string, series []Series) (string, error) {
+	doc := struct {
+		Experiment string   `json:"experiment"`
+		Series     []Series `json:"series"`
+	}{Experiment: experiment, Series: series}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
 }
 
 // Speedup returns the ratio of the two series' SecondsPer1M at each shared

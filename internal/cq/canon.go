@@ -1,0 +1,483 @@
+package cq
+
+// This file implements the canonical form used by the labeling fast path:
+// a deterministic isomorph of a query (renaming-invariant atom order plus
+// variable renaming in first-occurrence order) and a 64-bit fingerprint of
+// its rendering. Two queries with equal canonical keys are isomorphic and
+// hence equivalent, so canonical equality is a sound constant-false-negative
+// fast path in front of the exponential homomorphism search, and the
+// fingerprint is a cache key for memoized labeling: app-ecosystem traffic is
+// dominated by a small template space (Section 7.2's workload generator), so
+// the same canonical form recurs millions of times under different variable
+// names and atom orders.
+//
+// The renaming-invariant atom order comes from color refinement: variables
+// start colored by their role (distinguished variables additionally by
+// their head positions), and each round recolors every variable with the
+// hash of its occurrences — (atom-hash, position) pairs — so structural
+// context propagates one join hop per round, disambiguating atoms that a
+// single-atom shape key would tie (e.g. the middle atoms of a path query).
+// Remaining ties (automorphic atoms, or hash collisions) keep their original
+// relative order — a false-negative source for the fast path, never a false
+// positive, since the canonical key always renders the actual atoms.
+//
+// The hot path resolves variable names to dense ids once, runs the
+// refinement on integer arrays, and builds exactly one string: the key.
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FNV-1a, inlined to avoid a hash.Hash64 allocation on the hot path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// FingerprintKey returns the 64-bit FNV-1a hash of a canonical key.
+func FingerprintKey(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// mixString folds a string into a running FNV-1a hash.
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// mix folds a 64-bit value into a running hash (xor-multiply-shift; full
+// avalanche is not required — hash ties only merge refinement classes,
+// which costs fast-path recall, never soundness).
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x9E3779B97F4A7C15
+	return h ^ h>>32
+}
+
+// canonizer holds the scratch state of one canonicalization. Variable names
+// are resolved to dense ids up front; every later pass is map-free. The
+// struct is pooled (canonPool) so the per-call allocations are the varID
+// map internals on first growth and the final key string.
+type canonizer struct {
+	q     *Query
+	nVars int
+	varID map[string]int32
+
+	headID []int32   // per head position: variable id, or -1 for a constant
+	argID  [][]int32 // per atom, per position: variable id, or -1
+	flat   []int32   // backing for argID
+	occCnt []int32   // per var id: occurrences across the body
+
+	color    []uint64 // per var id: current refinement color
+	atomHash []uint64 // per atom: hash under the current coloring
+	firstPos []int32  // per var id: packed (atom<<16 | pos) of first sight
+	order    []int    // atom indexes in canonical order
+
+	occFlat []uint64 // recolor scratch: occurrence hashes bucketed per var
+	occOffs []int32
+	occFill []int32
+	ren     []int32 // render scratch: var id → canonical number
+}
+
+var canonPool = sync.Pool{New: func() any { return new(canonizer) }}
+
+// growI32 returns s resliced to n, reallocating only when capacity is short.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func newCanonizer(q *Query) *canonizer {
+	c := canonPool.Get().(*canonizer)
+	c.q = q
+	nArgs := 0
+	for _, a := range q.Body {
+		nArgs += len(a.Args)
+	}
+	if c.varID == nil {
+		c.varID = make(map[string]int32, 16)
+	} else {
+		clear(c.varID)
+	}
+	id := func(name string) int32 {
+		i, ok := c.varID[name]
+		if !ok {
+			i = int32(len(c.varID))
+			c.varID[name] = i
+		}
+		return i
+	}
+	c.headID = growI32(c.headID, len(q.Head))
+	for i, t := range q.Head {
+		if t.IsVar() {
+			c.headID[i] = id(t.Value)
+		} else {
+			c.headID[i] = -1
+		}
+	}
+	if cap(c.argID) < len(q.Body) {
+		c.argID = make([][]int32, len(q.Body))
+	} else {
+		c.argID = c.argID[:len(q.Body)]
+	}
+	c.flat = growI32(c.flat, nArgs)
+	backing := c.flat
+	for ai, a := range q.Body {
+		ids := backing[:len(a.Args):len(a.Args)]
+		backing = backing[len(a.Args):]
+		for j, t := range a.Args {
+			if t.IsVar() {
+				ids[j] = id(t.Value)
+			} else {
+				ids[j] = -1
+			}
+		}
+		c.argID[ai] = ids
+	}
+	c.nVars = len(c.varID)
+	c.occCnt = growI32(c.occCnt, c.nVars)
+	for i := range c.occCnt {
+		c.occCnt[i] = 0
+	}
+	for _, ids := range c.argID {
+		for _, vid := range ids {
+			if vid >= 0 {
+				c.occCnt[vid]++
+			}
+		}
+	}
+	return c
+}
+
+// release returns the canonizer's buffers to the pool.
+func (c *canonizer) release() {
+	c.q = nil
+	canonPool.Put(c)
+}
+
+// refine computes the canonical atom order (see the file comment).
+func (c *canonizer) refine() {
+	n := len(c.q.Body)
+
+	// Initial colors: existential = 1; distinguished = hash of the head
+	// positions where the variable occurs (head order is significant).
+	c.color = growU64(c.color, c.nVars)
+	for i := range c.color {
+		c.color[i] = 1
+	}
+	for pos, vid := range c.headID {
+		if vid >= 0 {
+			if c.color[vid] == 1 {
+				c.color[vid] = fnvOffset64
+			}
+			c.color[vid] = mix(c.color[vid], uint64(pos)+2)
+		}
+	}
+
+	c.atomHash = growU64(c.atomHash, n)
+	c.firstPos = growI32(c.firstPos, c.nVars)
+	if cap(c.order) < n {
+		c.order = make([]int, n)
+	} else {
+		c.order = c.order[:n]
+	}
+	for i := range c.order {
+		c.order[i] = i
+	}
+	if n == 1 {
+		return
+	}
+	prevDistinct := 0
+	for round := 0; ; round++ {
+		c.hashAtoms()
+		d := c.distinctAtomHashes()
+		// Stop once every atom is distinguished, the refinement has
+		// plateaued, or after n rounds (context propagates at most one hop
+		// per round, so n rounds always reach the fixpoint partition).
+		if d == n || d == prevDistinct || round == n {
+			break
+		}
+		prevDistinct = d
+		c.recolor()
+	}
+	sort.SliceStable(c.order, func(i, j int) bool {
+		return c.atomHash[c.order[i]] < c.atomHash[c.order[j]]
+	})
+}
+
+// hashAtoms computes the per-atom hash under the current variable coloring:
+// relation, then per position the constant value or the variable color plus
+// its intra-atom repetition pattern. firstPos packs (atom index << 16 |
+// position), so a stored entry counts only for its own atom and the array
+// needs resetting just once per round.
+func (c *canonizer) hashAtoms() {
+	for i := range c.firstPos {
+		c.firstPos[i] = -1
+	}
+	for ai, a := range c.q.Body {
+		ids := c.argID[ai]
+		h := mixString(uint64(fnvOffset64), a.Rel)
+		for pos, t := range a.Args {
+			vid := ids[pos]
+			if vid < 0 {
+				h = mixString(mix(h, 0xC0), t.Value)
+				continue
+			}
+			h = mix(mix(h, 0x7A), c.color[vid])
+			if packed := c.firstPos[vid]; packed >= 0 && packed>>16 == int32(ai) {
+				h = mix(h, uint64(packed&0xFFFF)+1)
+			} else {
+				c.firstPos[vid] = int32(ai)<<16 | int32(pos)
+			}
+		}
+		c.atomHash[ai] = h
+	}
+}
+
+// distinctAtomHashes counts distinct atom hashes (n is small: quadratic).
+func (c *canonizer) distinctAtomHashes() int {
+	d := 0
+	for i, h := range c.atomHash {
+		dup := false
+		for j := 0; j < i; j++ {
+			if c.atomHash[j] == h {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			d++
+		}
+	}
+	return d
+}
+
+// recolor folds each variable's sorted occurrence multiset — (atom hash,
+// position) pairs — into its color.
+func (c *canonizer) recolor() {
+	// Bucket occurrence hashes per variable in one flat array.
+	offs := growI32(c.occOffs, c.nVars+1)
+	offs[0] = 0
+	for vid, cnt := range c.occCnt {
+		offs[vid+1] = offs[vid] + cnt
+	}
+	flat := growU64(c.occFlat, int(offs[c.nVars]))
+	fill := growI32(c.occFill, c.nVars)
+	for i := range fill {
+		fill[i] = 0
+	}
+	c.occOffs, c.occFlat, c.occFill = offs, flat, fill
+	for ai := range c.q.Body {
+		h := c.atomHash[ai]
+		for pos, vid := range c.argID[ai] {
+			if vid >= 0 {
+				flat[offs[vid]+fill[vid]] = mix(h, uint64(pos)+1)
+				fill[vid]++
+			}
+		}
+	}
+	for vid := 0; vid < c.nVars; vid++ {
+		os := flat[offs[vid]:offs[vid+1]]
+		if len(os) == 0 {
+			continue
+		}
+		sort.Slice(os, func(i, j int) bool { return os[i] < os[j] })
+		h := c.color[vid]
+		for _, o := range os {
+			h = mix(h, o)
+		}
+		c.color[vid] = h
+	}
+}
+
+// render writes the canonical key: head then body in canonical order, with
+// variables renamed v0, v1, ... in first-occurrence order (head first).
+func (c *canonizer) render() string {
+	ren := growI32(c.ren, c.nVars)
+	c.ren = ren
+	for i := range ren {
+		ren[i] = -1
+	}
+	next := int32(0)
+	var b strings.Builder
+	size := 8
+	for _, t := range c.q.Head {
+		size += len(t.Value) + 6
+	}
+	for _, a := range c.q.Body {
+		size += len(a.Rel) + 4
+		for _, t := range a.Args {
+			size += len(t.Value) + 6
+		}
+	}
+	b.Grow(size)
+	writeVar := func(vid int32) {
+		if ren[vid] < 0 {
+			ren[vid] = next
+			next++
+		}
+		n := ren[vid]
+		b.WriteByte('v')
+		if n < 10 {
+			b.WriteByte(byte('0' + n))
+		} else {
+			b.WriteString(strconv.Itoa(int(n)))
+		}
+	}
+	writeConst := func(v string) {
+		writeEscapedConst(&b, v)
+	}
+	b.WriteByte('(')
+	for i, t := range c.q.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if vid := c.headID[i]; vid >= 0 {
+			writeVar(vid)
+		} else {
+			writeConst(t.Value)
+		}
+	}
+	b.WriteString(") :- ")
+	for i, ai := range c.order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a := c.q.Body[ai]
+		ids := c.argID[ai]
+		writeRel(&b, a.Rel)
+		b.WriteByte('(')
+		for j, t := range a.Args {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			if vid := ids[j]; vid >= 0 {
+				writeVar(vid)
+			} else {
+				writeConst(t.Value)
+			}
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// CanonicalKey returns the canonical rendering of q: equal keys imply the
+// queries are isomorphic (equal up to variable renaming and body-atom
+// reordering) and therefore equivalent. The key excludes the query name.
+func CanonicalKey(q *Query) string {
+	c := newCanonizer(q)
+	c.refine()
+	key := c.render()
+	c.release()
+	return key
+}
+
+// Canonical returns the canonical isomorph of q: body atoms in canonical
+// order and variables renamed v0, v1, ... in first-occurrence order (head
+// first, then body). The query name is dropped (canonical queries are named
+// "Q"); q itself is not modified.
+func Canonical(q *Query) *Query {
+	c := newCanonizer(q)
+	c.refine()
+	ren := make(map[string]string, c.nVars)
+	mapTerm := func(t Term) Term {
+		if t.IsConst() {
+			return t
+		}
+		nv, ok := ren[t.Value]
+		if !ok {
+			nv = "v" + strconv.Itoa(len(ren))
+			ren[t.Value] = nv
+		}
+		return V(nv)
+	}
+	out := &Query{Name: "Q", Head: make([]Term, len(q.Head)), Body: make([]Atom, len(q.Body))}
+	for i, t := range q.Head {
+		out.Head[i] = mapTerm(t)
+	}
+	for i, ai := range c.order {
+		a := q.Body[ai]
+		args := make([]Term, len(a.Args))
+		for j, t := range a.Args {
+			args[j] = mapTerm(t)
+		}
+		out.Body[i] = Atom{Rel: a.Rel, Args: args}
+	}
+	c.release()
+	return out
+}
+
+// writeEscapedConst writes 'value' with backslash-escaped quotes and
+// backslashes, so the rendering is injective: a constant containing "', '"
+// cannot masquerade as an argument separator and collapse two distinct
+// queries onto one canonical key (the cache and the Equivalent fast path
+// both rely on key equality implying isomorphism).
+func writeEscapedConst(b *strings.Builder, v string) {
+	b.WriteByte('\'')
+	if !strings.ContainsAny(v, `'\`) {
+		b.WriteString(v)
+	} else {
+		for i := 0; i < len(v); i++ {
+			if c := v[i]; c == '\'' || c == '\\' {
+				b.WriteByte('\\')
+			}
+			b.WriteByte(v[i])
+		}
+	}
+	b.WriteByte('\'')
+}
+
+// writeRel writes a relation name, quoting it like a constant when it
+// contains key syntax characters: schema.NewRelation accepts arbitrary
+// non-empty names, so an atom whose relation is the crafted string
+// "S(v0), R" must not render byte-identically to two real atoms. Clean
+// names render bare and never contain a quote, so the two encodings cannot
+// collide.
+func writeRel(b *strings.Builder, rel string) {
+	if strings.ContainsAny(rel, `'\(), `) {
+		writeEscapedConst(b, rel)
+		return
+	}
+	b.WriteString(rel)
+}
+
+
+// CanonicallyEqual reports whether two queries have the same canonical form.
+// True implies Equivalent; false implies nothing (equivalent queries with
+// non-isomorphic minimal bodies, or tie-ordered atoms, may canonicalize
+// differently).
+func CanonicallyEqual(q1, q2 *Query) bool {
+	if len(q1.Head) != len(q2.Head) || len(q1.Body) != len(q2.Body) {
+		return false
+	}
+	return CanonicalKey(q1) == CanonicalKey(q2)
+}
+
+// Fingerprint returns a 64-bit fingerprint of q's canonical form. Isomorphic
+// queries always collide (by design: the fingerprint is a cache-shard key);
+// distinct canonical forms collide with probability ~2^-64, so callers that
+// cannot tolerate collisions must also compare CanonicalKey.
+func Fingerprint(q *Query) uint64 {
+	return FingerprintKey(CanonicalKey(q))
+}

@@ -1,0 +1,204 @@
+package cq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// shuffleRename returns a random isomorph of q: body atoms shuffled and
+// variables consistently renamed.
+func shuffleRename(t *testing.T, rng *rand.Rand, q *Query) *Query {
+	t.Helper()
+	c := q.Clone()
+	rng.Shuffle(len(c.Body), func(i, j int) { c.Body[i], c.Body[j] = c.Body[j], c.Body[i] })
+	ren := make(map[string]string)
+	for _, v := range q.Vars() {
+		ren[v] = fmt.Sprintf("r%d_%s", rng.Intn(1000), v)
+	}
+	mapTerm := func(t Term) Term {
+		if t.IsVar() {
+			return V(ren[t.Value])
+		}
+		return t
+	}
+	for i, h := range c.Head {
+		c.Head[i] = mapTerm(h)
+	}
+	for i := range c.Body {
+		for j, a := range c.Body[i].Args {
+			c.Body[i].Args[j] = mapTerm(a)
+		}
+	}
+	return c
+}
+
+func TestCanonicalKeyInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	queries := []*Query{
+		MustParse("Q(x) :- M(x, y)"),
+		MustParse("Q(x, w) :- M(x, y), C(y, w, 'Intern'), F('me', x, s)"),
+		MustParse("Q(a, b) :- R(a, b), R(b, c), R(c, a)"),
+		MustParse("Q() :- R(x, x, y), S(y, 'k')"),
+		MustParse("Q(x) :- R(x, y), R(y, z), R(z, w)"),
+	}
+	for _, q := range queries {
+		key := CanonicalKey(q)
+		fp := Fingerprint(q)
+		for i := 0; i < 25; i++ {
+			iso := shuffleRename(t, rng, q)
+			if got := CanonicalKey(iso); got != key {
+				t.Fatalf("canonical key of isomorph differs:\n  %s → %s\n  %s → %s", q, key, iso, got)
+			}
+			if got := Fingerprint(iso); got != fp {
+				t.Fatalf("fingerprint of isomorph differs for %s", iso)
+			}
+			if !CanonicallyEqual(q, iso) {
+				t.Fatalf("CanonicallyEqual(%s, %s) = false", q, iso)
+			}
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	pairs := [][2]string{
+		{"Q(x) :- M(x, y)", "Q(y) :- M(x, y)"},
+		{"Q(x) :- M(x, 'a')", "Q(x) :- M(x, 'b')"},
+		{"Q(x) :- R(x, y), R(y, z)", "Q(x) :- R(x, y), R(y, z), S(z)"},
+		{"Q(x, x) :- M(x, y)", "Q(x, y) :- M(x, y)"},
+	}
+	for _, p := range pairs {
+		a, b := MustParse(p[0]), MustParse(p[1])
+		if CanonicallyEqual(a, b) {
+			t.Errorf("CanonicallyEqual(%s, %s) = true, want false", a, b)
+		}
+		if Fingerprint(a) == Fingerprint(b) {
+			t.Errorf("fingerprints collide for %s vs %s", a, b)
+		}
+	}
+}
+
+// TestCanonicalKeyConstEscaping: constants containing quote characters must
+// not collapse distinct queries onto one canonical key — the key must stay
+// injective up to isomorphism (the label cache and the Equivalent fast path
+// both rely on it).
+func TestCanonicalKeyConstEscaping(t *testing.T) {
+	q1 := MustQuery("Q", nil, []Atom{NewAtom("R", C("a"), C("b', 'c"))})
+	q2 := MustQuery("Q", nil, []Atom{NewAtom("R", C("a', 'b"), C("c"))})
+	if CanonicalKey(q1) == CanonicalKey(q2) {
+		t.Fatalf("canonical keys collide for distinct constants: %q", CanonicalKey(q1))
+	}
+	if CanonicallyEqual(q1, q2) || Equivalent(q1, q2) {
+		t.Fatal("distinct queries reported equivalent via unescaped constants")
+	}
+	// Backslashes must not re-open the ambiguity the quote escaping closes.
+	q3 := MustQuery("Q", nil, []Atom{NewAtom("R", C(`a\`), C("b"))})
+	q4 := MustQuery("Q", nil, []Atom{NewAtom("R", C("a"), C(`\b`))})
+	if CanonicalKey(q3) == CanonicalKey(q4) {
+		t.Fatalf("canonical keys collide for backslashed constants: %q", CanonicalKey(q3))
+	}
+	// Relation names are unconstrained by the schema layer, so a crafted
+	// name containing key syntax must not render like extra atoms: the
+	// label cache matches on the key string alone.
+	legit := MustQuery("Q", []Term{V("x")}, []Atom{NewAtom("R", V("x")), NewAtom("S", V("x"))})
+	evil := MustQuery("Q", []Term{V("x")}, []Atom{NewAtom("S(v0), R", V("x"))})
+	if CanonicalKey(legit) == CanonicalKey(evil) {
+		t.Fatalf("crafted relation name collides with a two-atom query: %q", CanonicalKey(evil))
+	}
+}
+
+// TestCanonicalSoundness: canonical equality must imply Equivalent (the fast
+// path may miss equivalent queries but must never accept inequivalent ones).
+func TestCanonicalSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rels := []string{"R", "S"}
+	randomQuery := func() *Query {
+		n := 1 + rng.Intn(4)
+		body := make([]Atom, 0, n)
+		for i := 0; i < n; i++ {
+			args := make([]Term, 2)
+			for j := range args {
+				if rng.Intn(4) == 0 {
+					args[j] = C(fmt.Sprintf("c%d", rng.Intn(2)))
+				} else {
+					args[j] = V(fmt.Sprintf("x%d", rng.Intn(4)))
+				}
+			}
+			body = append(body, NewAtom(rels[rng.Intn(len(rels))], args...))
+		}
+		var head []Term
+		for _, a := range body {
+			for _, tm := range a.Args {
+				if tm.IsVar() && rng.Intn(3) == 0 {
+					head = append(head, tm)
+				}
+			}
+		}
+		q, err := NewQuery("Q", head, body)
+		if err != nil {
+			return nil
+		}
+		return q
+	}
+	checked := 0
+	for checked < 300 {
+		q1, q2 := randomQuery(), randomQuery()
+		if q1 == nil || q2 == nil {
+			continue
+		}
+		checked++
+		if CanonicallyEqual(q1, q2) {
+			// Verify with the raw homomorphism search (bypassing the fast
+			// path inside Equivalent).
+			if FindHomomorphism(q1, q2) == nil || FindHomomorphism(q2, q1) == nil {
+				t.Fatalf("canonically equal but not equivalent:\n  %s\n  %s", q1, q2)
+			}
+		}
+	}
+}
+
+// TestEquivalentFastPathAgrees: Equivalent (with the canonical fast path)
+// must agree with the pure homomorphism-based decision on random pairs.
+func TestEquivalentFastPathAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := []*Query{
+		MustParse("Q(x) :- R(x, y), R(y, z)"),
+		MustParse("Q(x) :- R(x, y), R(y, z), R(z, w)"),
+		MustParse("Q(x) :- R(x, y), S(y, 'k')"),
+		MustParse("Q(x, y) :- R(x, y)"),
+	}
+	for i := 0; i < 200; i++ {
+		q1 := shuffleRename(t, rng, base[rng.Intn(len(base))])
+		q2 := shuffleRename(t, rng, base[rng.Intn(len(base))])
+		want := FindHomomorphism(q2, q1) != nil && FindHomomorphism(q1, q2) != nil
+		if got := Equivalent(q1, q2); got != want {
+			t.Fatalf("Equivalent(%s, %s) = %v, hom-based decision = %v", q1, q2, got, want)
+		}
+		wantC := FindHomomorphism(q2, q1) != nil
+		if got := ContainedIn(q1, q2); got != wantC {
+			t.Fatalf("ContainedIn(%s, %s) = %v, hom-based decision = %v", q1, q2, got, wantC)
+		}
+	}
+}
+
+func BenchmarkCanonicalKey(b *testing.B) {
+	q := MustParse("Q(x, w) :- M(x, y), C(y, w, 'Intern'), F('me', x, s), M(y, z)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = CanonicalKey(q)
+	}
+}
+
+func BenchmarkEquivalentIsomorphic(b *testing.B) {
+	q1 := MustParse("Q(x) :- R(x, y), R(y, z), R(z, w), S(w, 'k')")
+	q2 := MustParse("Q(a) :- S(d, 'k'), R(c, d), R(b, c), R(a, b)")
+	if !Equivalent(q1, q2) {
+		b.Fatal("expected equivalence")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Equivalent(q1, q2) {
+			b.Fatal("equivalence broken")
+		}
+	}
+}

@@ -15,7 +15,6 @@ package cq
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/schema"
@@ -401,75 +400,8 @@ func (q *Query) RenameApart(others ...*Query) *Query {
 // CanonicalString returns a canonical rendering of the query that is
 // invariant under variable renaming and body-atom reordering. It is a
 // syntactic canonical form (two equivalent but non-isomorphic queries may
-// still differ); use Equivalent for semantic comparison.
+// still differ); use Equivalent for semantic comparison. It is exactly
+// CanonicalKey (see canon.go).
 func (q *Query) CanonicalString() string {
-	// Sort atoms by a renaming-invariant key first (relation, arity,
-	// const/var pattern with intra-atom variable-equality pattern), then
-	// rename variables in first-occurrence order and render.
-	type keyed struct {
-		key  string
-		atom Atom
-	}
-	ks := make([]keyed, 0, len(q.Body))
-	dist := q.DistinguishedVars()
-	for _, a := range q.Body {
-		var b strings.Builder
-		b.WriteString(a.Rel)
-		first := make(map[string]int)
-		for i, t := range a.Args {
-			b.WriteByte('|')
-			switch {
-			case t.IsConst():
-				b.WriteString("c:" + t.Value)
-			default:
-				if _, isDist := dist[t.Value]; isDist {
-					b.WriteString("d")
-				} else {
-					b.WriteString("e")
-				}
-				if f, ok := first[t.Value]; ok {
-					fmt.Fprintf(&b, "@%d", f)
-				} else {
-					first[t.Value] = i
-				}
-			}
-		}
-		ks = append(ks, keyed{key: b.String(), atom: a})
-	}
-	sort.SliceStable(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
-
-	ren := make(map[string]string)
-	next := 0
-	mapTerm := func(t Term) Term {
-		if t.IsConst() {
-			return t
-		}
-		if nv, ok := ren[t.Value]; ok {
-			return V(nv)
-		}
-		nv := fmt.Sprintf("v%d", next)
-		next++
-		ren[t.Value] = nv
-		return V(nv)
-	}
-	var b strings.Builder
-	b.WriteString("(")
-	for i, t := range q.Head {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString(mapTerm(t).String())
-	}
-	b.WriteString(") :- ")
-	for i, k := range ks {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		mapped := k.atom.Clone()
-		for j, t := range mapped.Args {
-			mapped.Args[j] = mapTerm(t)
-		}
-		b.WriteString(mapped.String())
-	}
-	return b.String()
+	return CanonicalKey(q)
 }

@@ -11,7 +11,9 @@ package cq
 //
 // Containment testing is NP-complete in general; the backtracking search
 // below is exponential in the number of body atoms of the source query,
-// which is small (≤ ~15) for every workload in the paper.
+// which is small (≤ ~15) for every workload in the paper. Containment and
+// equivalence first try two cheap sufficient checks — syntactic equality and
+// canonical-form equality (canon.go) — before falling back to the search.
 
 // FindHomomorphism searches for a homomorphism from `from` to `to` as
 // defined above (head mapped onto head). It returns the witness
@@ -59,6 +61,17 @@ func FindBodyHomomorphism(from, to []Atom, seed Subst) Subst {
 	return nil
 }
 
+// homSearch holds the scratch state of one backtracking search, shared
+// across recursion levels: a used-bit per source atom (instead of copying
+// the remaining-atoms slice at each level) and one shared undo stack for
+// variable bindings (each level unwinds only its own suffix).
+type homSearch struct {
+	from  []Atom
+	to    []Atom
+	used  []bool
+	added []string // bindings made so far, newest last
+}
+
 // homBody extends h so that every atom of from maps onto some atom of to.
 // It mutates h during the search; on failure h may contain leftover
 // bindings only if the function returns false at the top level, so callers
@@ -67,13 +80,31 @@ func homBody(from, to []Atom, h Subst) bool {
 	if len(from) == 0 {
 		return true
 	}
-	// Order atoms most-constrained-first: atoms with more bound arguments
-	// under the current h are matched earlier, which prunes the search.
-	best := 0
-	bestScore := -1
-	for i, a := range from {
+	s := homSearch{
+		from:  from,
+		to:    to,
+		used:  make([]bool, len(from)),
+		added: make([]string, 0, 16),
+	}
+	return s.search(len(from), h)
+}
+
+// search matches the `remaining` unused source atoms against target atoms,
+// extending h.
+func (s *homSearch) search(remaining int, h Subst) bool {
+	if remaining == 0 {
+		return true
+	}
+	// Order atoms most-constrained-first: among the unused atoms, the one
+	// with the most bound arguments under the current h is matched next,
+	// which prunes the search.
+	best, bestScore := -1, -1
+	for i := range s.from {
+		if s.used[i] {
+			continue
+		}
 		score := 0
-		for _, t := range a.Args {
+		for _, t := range s.from[i].Args {
 			if t.IsConst() {
 				score++
 			} else if _, ok := h[t.Value]; ok {
@@ -81,20 +112,17 @@ func homBody(from, to []Atom, h Subst) bool {
 			}
 		}
 		if score > bestScore {
-			bestScore, best = score, i
+			best, bestScore = i, score
 		}
 	}
-	atom := from[best]
-	rest := make([]Atom, 0, len(from)-1)
-	rest = append(rest, from[:best]...)
-	rest = append(rest, from[best+1:]...)
-
-	for _, target := range to {
+	atom := s.from[best]
+	s.used[best] = true
+	base := len(s.added)
+	for _, target := range s.to {
 		if target.Rel != atom.Rel || len(target.Args) != len(atom.Args) {
 			continue
 		}
 		// Try to extend h so that atom maps onto target.
-		added := make([]string, 0, len(atom.Args))
 		ok := true
 		for i, t := range atom.Args {
 			want := target.Args[i]
@@ -113,27 +141,40 @@ func homBody(from, to []Atom, h Subst) bool {
 				continue
 			}
 			h[t.Value] = want
-			added = append(added, t.Value)
+			s.added = append(s.added, t.Value)
 		}
-		if ok && homBody(rest, to, h) {
+		if ok && s.search(remaining-1, h) {
 			return true
 		}
-		for _, v := range added {
+		for _, v := range s.added[base:] {
 			delete(h, v)
 		}
+		s.added = s.added[:base]
 	}
+	s.used[best] = false
 	return false
 }
 
 // ContainedIn reports whether q1 ⊆ q2, i.e. the answers of q1 are a subset
 // of the answers of q2 on every database. By the Chandra–Merlin theorem this
-// holds precisely when there is a homomorphism from q2 to q1.
+// holds precisely when there is a homomorphism from q2 to q1. Syntactically
+// or canonically equal queries are equivalent, hence contained, without a
+// search.
 func ContainedIn(q1, q2 *Query) bool {
+	if q1 == q2 || q1.Equal(q2) || CanonicallyEqual(q1, q2) {
+		return true
+	}
 	return FindHomomorphism(q2, q1) != nil
 }
 
 // Equivalent reports whether the two queries return the same answers on
-// every database (containment in both directions).
+// every database (containment in both directions). Canonical equality
+// (canon.go) decides the common isomorphic case without the exponential
+// search; the two homomorphism searches run only for queries that are
+// equivalent-but-non-isomorphic or inequivalent.
 func Equivalent(q1, q2 *Query) bool {
-	return ContainedIn(q1, q2) && ContainedIn(q2, q1)
+	if q1 == q2 || q1.Equal(q2) || CanonicallyEqual(q1, q2) {
+		return true
+	}
+	return FindHomomorphism(q2, q1) != nil && FindHomomorphism(q1, q2) != nil
 }

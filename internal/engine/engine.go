@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cq"
 	"repro/internal/schema"
@@ -25,26 +27,49 @@ func (t Tuple) key() string { return strings.Join(t, "\x00") }
 // lazily built hash indexes per column. Indexes are dropped on insert and
 // rebuilt on demand, so bulk loading stays cheap and repeated evaluation
 // gets index speed.
+//
+// Concurrent evaluations (Eval from several goroutines) are safe: the index
+// set is an immutable map published through an atomic pointer, so probes are
+// lock-free and only the build path takes idxMu. Inserts are not safe
+// concurrently with anything; callers serialize writes against reads
+// (disclosure.System does so with an RWMutex).
 type Table struct {
 	rel     *schema.Relation
 	rows    []Tuple
 	keys    map[string]struct{}
-	indexes map[int]map[string][]int // column → value → row ids
+	idxMu   sync.Mutex                               // serializes index builds
+	indexes atomic.Pointer[map[int]map[string][]int] // column → value → row ids; copied on extend
 }
 
-// index returns (building if needed) the hash index for a column.
+// index returns (building if needed) the hash index for a column. Published
+// index sets are never mutated — extending with a new column copies the
+// map — so the lock-free fast path always sees a consistent snapshot.
 func (t *Table) index(col int) map[string][]int {
-	if t.indexes == nil {
-		t.indexes = make(map[int]map[string][]int)
+	if m := t.indexes.Load(); m != nil {
+		if idx, ok := (*m)[col]; ok {
+			return idx
+		}
 	}
-	if idx, ok := t.indexes[col]; ok {
-		return idx
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	cur := t.indexes.Load()
+	if cur != nil {
+		if idx, ok := (*cur)[col]; ok { // raced with another builder
+			return idx
+		}
 	}
 	idx := make(map[string][]int)
 	for i, row := range t.rows {
 		idx[row[col]] = append(idx[row[col]], i)
 	}
-	t.indexes[col] = idx
+	next := make(map[int]map[string][]int, 4)
+	if cur != nil {
+		for c, m := range *cur {
+			next[c] = m
+		}
+	}
+	next[col] = idx
+	t.indexes.Store(&next)
 	return idx
 }
 
@@ -102,7 +127,7 @@ func (db *Database) Insert(rel string, values ...string) error {
 	}
 	t.keys[k] = struct{}{}
 	t.rows = append(t.rows, tup)
-	t.indexes = nil // invalidate; rebuilt lazily on next evaluation
+	t.indexes.Store(nil) // invalidate; rebuilt lazily on next evaluation
 	return nil
 }
 

@@ -22,8 +22,20 @@ type Labeler interface {
 
 // NewLabeler returns the fully optimized labeler (hash partitioning by
 // relation plus packed bit-vector labels) — the variant a production
-// deployment would use.
-func NewLabeler(c *Catalog) Labeler { return &bitVectorLabeler{cat: c} }
+// deployment would use. All views are precompiled at construction, so the
+// returned labeler is read-only afterwards and safe for concurrent use.
+func NewLabeler(c *Catalog) Labeler {
+	l := &bitVectorLabeler{cat: c, compiled: make(map[uint32][]compiledView, len(c.byRel))}
+	for i := range c.byRel {
+		relID := uint32(i + 1)
+		var cvs []compiledView
+		for _, rv := range c.byRel[i] {
+			cvs = append(cvs, compileView(c.views[rv.global], rv.bit))
+		}
+		l.compiled[relID] = cvs
+	}
+	return l
+}
 
 // NewBaselineLabeler returns the baseline variant: a direct adaptation of
 // the LabelGen algorithm of Section 4.2 that scans every security view for
@@ -39,7 +51,7 @@ func NewHashedLabeler(c *Catalog) Labeler { return &hashedLabeler{cat: c} }
 // bitVectorLabeler: hashing + bit vectors + precompiled view matchers.
 type bitVectorLabeler struct {
 	cat      *Catalog
-	compiled map[uint32][]compiledView // lazily built per relation id
+	compiled map[uint32][]compiledView // built eagerly per relation id; read-only after construction
 }
 
 // baselineLabeler: full scan over all security views per atom.
@@ -138,18 +150,7 @@ func compileView(v *cq.Query, bit int) compiledView {
 }
 
 func (l *bitVectorLabeler) compiledFor(relID uint32) []compiledView {
-	if l.compiled == nil {
-		l.compiled = make(map[uint32][]compiledView)
-	}
-	if cvs, ok := l.compiled[relID]; ok {
-		return cvs
-	}
-	var cvs []compiledView
-	for _, rv := range l.cat.byRel[relID-1] {
-		cvs = append(cvs, compileView(l.cat.views[rv.global], rv.bit))
-	}
-	l.compiled[relID] = cvs
-	return cvs
+	return l.compiled[relID]
 }
 
 // compiledAtom is a dissected query atom preprocessed once per label call.

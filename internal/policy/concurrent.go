@@ -1,11 +1,16 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/label"
 )
+
+// ErrUnknownPrincipal is returned by ConcurrentStore operations on a
+// principal that has no installed policy; match it with errors.Is.
+var ErrUnknownPrincipal = errors.New("policy: unknown principal")
 
 // ConcurrentStore is a thread-safe multi-principal policy store: the
 // concurrency wrapper a platform front end would put in front of Store.
@@ -49,13 +54,30 @@ func (s *ConcurrentStore) Len() int {
 	return len(s.monitors)
 }
 
-// Submit decides a label for a principal.
-func (s *ConcurrentStore) Submit(principal string, l label.Label) (Decision, error) {
+// Has reports whether the principal has an installed policy.
+func (s *ConcurrentStore) Has(principal string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.monitors[principal]
+	return ok
+}
+
+// locked looks up a principal's monitor, or fails with ErrUnknownPrincipal.
+func (s *ConcurrentStore) locked(principal string) (*lockedMonitor, error) {
 	s.mu.RLock()
 	lm, ok := s.monitors[principal]
 	s.mu.RUnlock()
 	if !ok {
-		return Decision{}, fmt.Errorf("policy: unknown principal %q", principal)
+		return nil, fmt.Errorf("%w %q", ErrUnknownPrincipal, principal)
+	}
+	return lm, nil
+}
+
+// Submit decides a label for a principal.
+func (s *ConcurrentStore) Submit(principal string, l label.Label) (Decision, error) {
+	lm, err := s.locked(principal)
+	if err != nil {
+		return Decision{}, err
 	}
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
@@ -64,24 +86,35 @@ func (s *ConcurrentStore) Submit(principal string, l label.Label) (Decision, err
 
 // Check reports admissibility without mutating state.
 func (s *ConcurrentStore) Check(principal string, l label.Label) (bool, error) {
-	s.mu.RLock()
-	lm, ok := s.monitors[principal]
-	s.mu.RUnlock()
-	if !ok {
-		return false, fmt.Errorf("policy: unknown principal %q", principal)
+	lm, err := s.locked(principal)
+	if err != nil {
+		return false, err
 	}
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	return lm.mon.Check(l), nil
 }
 
+// Do runs f with the principal's monitor under its lock, for compound
+// operations (rendering explanations, coupled check-then-submit) that need
+// a consistent view of one principal's session state. f must not call back
+// into the store.
+func (s *ConcurrentStore) Do(principal string, f func(*Monitor)) error {
+	lm, err := s.locked(principal)
+	if err != nil {
+		return err
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	f(lm.mon)
+	return nil
+}
+
 // Snapshot returns the principal's live partitions and session statistics.
 func (s *ConcurrentStore) Snapshot(principal string) (live []string, accepted, refused int, err error) {
-	s.mu.RLock()
-	lm, ok := s.monitors[principal]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, 0, 0, fmt.Errorf("policy: unknown principal %q", principal)
+	lm, err := s.locked(principal)
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	lm.mu.Lock()
 	defer lm.mu.Unlock()

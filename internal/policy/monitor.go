@@ -176,16 +176,22 @@ func (qm *QueryMonitor) Explain(q *cq.Query) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return qm.mon.ExplainLabel(qm.labeler.Catalog(), q.Name, lbl), nil
+}
+
+// ExplainLabel renders a human-readable account of how a label compares
+// against each policy partition and whether it is currently admissible.
+func (m *Monitor) ExplainLabel(c *label.Catalog, name string, lbl label.Label) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "query %s\n  label: %s\n", q.Name, lbl.Render(qm.labeler.Catalog()))
-	for i, part := range qm.mon.policy.parts {
+	fmt.Fprintf(&b, "query %s\n  label: %s\n", name, lbl.Render(c))
+	for i, part := range m.policy.parts {
 		status := "retired"
-		if qm.mon.isLive(i) {
+		if m.isLive(i) {
 			status = "live"
 		}
 		ok := lbl.BelowEq(part.Label)
 		fmt.Fprintf(&b, "  partition %s (%s): label ≼ %v → %v\n", part.Name, status, part.Views, ok)
 	}
-	fmt.Fprintf(&b, "  decision: %v\n", qm.mon.Check(lbl))
-	return b.String(), nil
+	fmt.Fprintf(&b, "  decision: %v\n", m.Check(lbl))
+	return b.String()
 }

@@ -1,12 +1,21 @@
 package disclosure
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/label"
 	"repro/internal/policy"
 )
+
+// ErrNoPolicy is returned (wrapped, with the principal name) by Submit,
+// SubmitBatch and Explain when the principal has no installed policy; match
+// it with errors.Is. Principals without a policy are refused everything.
+var ErrNoPolicy = errors.New("disclosure: principal has no policy")
 
 // System is the end-to-end disclosure-control deployment of the paper's
 // Figure 2: a database, a security-view catalog, a labeler, and one
@@ -15,37 +24,69 @@ import (
 // cumulative disclosure across the session), and only evaluates admitted
 // queries.
 //
-// System is not safe for concurrent use; wrap it with your own
-// synchronization or shard by principal.
+// Concurrency contract: System is safe for concurrent use. Submissions are
+// labeled through a sharded canonical-form cache, decided under a
+// per-principal lock (submissions for different principals proceed in
+// parallel; submissions for one principal serialize, preserving the
+// cumulative-disclosure semantics), and evaluated under a read lock on the
+// database. SetPolicy and Insert may be called concurrently with
+// submissions. The one exception is Database(): loading data through the
+// returned handle bypasses the database lock, so restrict it to a setup
+// phase or use Insert.
 type System struct {
-	db       *engine.Database
-	cat      *label.Catalog
-	labeler  label.Labeler
-	monitors map[string]*policy.QueryMonitor
+	dbMu    sync.RWMutex
+	db      *engine.Database
+	cat     *label.Catalog
+	labeler *label.CachedLabeler
+	store   *policy.ConcurrentStore
+
+	queries  atomic.Uint64
+	admitted atomic.Uint64
+	refused  atomic.Uint64
 }
 
-// NewSystem wires a database, catalog and labeler over the given schema and
-// single-atom security views.
+// NewSystem wires a database, catalog and cached labeler over the given
+// schema and single-atom security views. The label cache holds
+// label.DefaultCacheCapacity canonical forms; tune it with SetCacheCapacity.
 func NewSystem(s *Schema, securityViews ...*Query) (*System, error) {
 	cat, err := label.NewCatalog(s, securityViews...)
 	if err != nil {
 		return nil, err
 	}
 	return &System{
-		db:       engine.NewDatabase(s),
-		cat:      cat,
-		labeler:  label.NewLabeler(cat),
-		monitors: make(map[string]*policy.QueryMonitor),
+		db:      engine.NewDatabase(s),
+		cat:     cat,
+		labeler: label.NewCachedLabeler(label.NewLabeler(cat), 0),
+		store:   policy.NewConcurrentStore(),
 	}, nil
 }
 
-// Database returns the system's database for data loading.
+// SetCacheCapacity replaces the label cache with an empty one bounded to
+// roughly the given number of canonical forms (non-positive restores the
+// default). Counters restart from zero. Call it during setup; it is not
+// safe concurrently with submissions.
+func (sys *System) SetCacheCapacity(capacity int) {
+	sys.labeler = label.NewCachedLabeler(sys.labeler.Unwrap(), capacity)
+}
+
+// Database returns the system's database for bulk loading. The handle
+// bypasses the database lock: do not use it concurrently with Submit (see
+// Insert for a lock-holding alternative).
 func (sys *System) Database() *Database { return sys.db }
+
+// Insert adds a tuple to the named relation under the database write lock;
+// unlike Database().Insert it is safe concurrently with submissions.
+func (sys *System) Insert(rel string, values ...string) error {
+	sys.dbMu.Lock()
+	defer sys.dbMu.Unlock()
+	return sys.db.Insert(rel, values...)
+}
 
 // Catalog returns the security-view catalog.
 func (sys *System) Catalog() *Catalog { return sys.cat }
 
-// Labeler returns the system's labeler.
+// Labeler returns the system's labeler (the caching wrapper used by
+// Submit).
 func (sys *System) Labeler() Labeler { return sys.labeler }
 
 // SetPolicy installs (or replaces) a principal's security policy; partition
@@ -56,14 +97,23 @@ func (sys *System) SetPolicy(principal string, partitions map[string][]string) e
 	if err != nil {
 		return err
 	}
-	sys.monitors[principal] = policy.NewQueryMonitor(sys.labeler, p)
+	sys.store.SetPolicy(principal, p)
 	return nil
 }
 
-// Monitor returns the principal's reference monitor, or nil if the
-// principal has no policy.
-func (sys *System) Monitor(principal string) *QueryMonitor {
-	return sys.monitors[principal]
+// RemovePolicy deletes a principal's policy and session state.
+func (sys *System) RemovePolicy(principal string) { sys.store.Remove(principal) }
+
+// Session returns a principal's live partitions and accept/refuse counts.
+func (sys *System) Session(principal string) (live []string, accepted, refused int, err error) {
+	live, accepted, refused, err = sys.store.Snapshot(principal)
+	if err != nil {
+		if errors.Is(err, policy.ErrUnknownPrincipal) {
+			err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+		}
+		return nil, 0, 0, err
+	}
+	return live, accepted, refused, nil
 }
 
 // Label computes the disclosure label of a query without submitting it.
@@ -71,33 +121,200 @@ func (sys *System) Label(q *Query) (Label, error) { return sys.labeler.Label(q) 
 
 // Submit runs a query on behalf of a principal: the query is labeled and
 // checked against the principal's policy; if admitted, it is evaluated and
-// its answers returned. Refused queries return Allowed == false, nil rows
-// and no error. Principals without a policy are refused everything.
+// its answers returned. Refusals are (Decision{Allowed: false}, nil, nil) —
+// refusal is a policy outcome, not an error. Principals without a policy
+// get (Decision{Allowed: false}, nil, err) with err wrapping ErrNoPolicy.
 func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error) {
-	qm, ok := sys.monitors[principal]
-	if !ok {
-		return Decision{Allowed: false}, nil, fmt.Errorf("disclosure: principal %q has no policy", principal)
+	sys.queries.Add(1)
+	// Fail before labeling: unauthenticated principals must not consume
+	// labeling work or label-cache capacity.
+	if !sys.store.Has(principal) {
+		return Decision{Allowed: false}, nil, fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 	}
-	dec, err := qm.Submit(q)
+	lbl, err := sys.labeler.Label(q)
 	if err != nil {
-		return dec, nil, err
+		return Decision{Allowed: false}, nil, fmt.Errorf("disclosure: labeling %s: %w", q.Name, err)
+	}
+	dec, err := sys.store.Submit(principal, lbl)
+	if err != nil {
+		if errors.Is(err, policy.ErrUnknownPrincipal) {
+			err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+		}
+		return Decision{Allowed: false}, nil, err
 	}
 	if !dec.Allowed {
+		sys.refused.Add(1)
 		return dec, nil, nil
 	}
+	sys.admitted.Add(1)
+	sys.dbMu.RLock()
 	rows, err := sys.db.Eval(q)
+	sys.dbMu.RUnlock()
 	if err != nil {
 		return dec, nil, err
 	}
 	return dec, rows, nil
 }
 
+// BatchResult is the outcome of one query of a SubmitBatch call.
+type BatchResult struct {
+	Decision Decision
+	Rows     []Tuple
+	Err      error
+}
+
+// SubmitBatch submits a batch of queries for one principal through a
+// three-stage pipeline: all queries are labeled concurrently (hitting the
+// canonical-form cache), the policy decisions are then applied sequentially
+// in slice order — so cumulative-disclosure semantics are exactly those of
+// calling Submit in a loop — and finally the admitted queries are evaluated
+// concurrently. Results are positionally aligned with qs.
+func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	labels := make([]Label, len(qs))
+
+	// Fail the whole batch before labeling if the principal is unknown
+	// (same rationale as Submit). A policy removed mid-batch is still
+	// caught per-query in stage 2.
+	if !sys.store.Has(principal) {
+		for i := range out {
+			sys.queries.Add(1)
+			out[i].Decision = Decision{Allowed: false}
+			out[i].Err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+		}
+		return out
+	}
+
+	// Stage 1: concurrent labeling.
+	sys.forEachConcurrent(len(qs), func(i int) {
+		sys.queries.Add(1)
+		lbl, err := sys.labeler.Label(qs[i])
+		if err != nil {
+			out[i].Decision = Decision{Allowed: false}
+			out[i].Err = fmt.Errorf("disclosure: labeling %s: %w", qs[i].Name, err)
+			return
+		}
+		labels[i] = lbl
+	})
+
+	// Stage 2: sequential decisions in slice order.
+	for i := range qs {
+		if out[i].Err != nil {
+			continue
+		}
+		dec, err := sys.store.Submit(principal, labels[i])
+		if err != nil {
+			if errors.Is(err, policy.ErrUnknownPrincipal) {
+				err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+			}
+			out[i].Decision = Decision{Allowed: false}
+			out[i].Err = err
+			continue
+		}
+		out[i].Decision = dec
+		if dec.Allowed {
+			sys.admitted.Add(1)
+		} else {
+			sys.refused.Add(1)
+		}
+	}
+
+	// Stage 3: concurrent evaluation of the admitted queries.
+	sys.forEachConcurrent(len(qs), func(i int) {
+		if out[i].Err != nil || !out[i].Decision.Allowed {
+			return
+		}
+		sys.dbMu.RLock()
+		rows, err := sys.db.Eval(qs[i])
+		sys.dbMu.RUnlock()
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Rows = rows
+	})
+	return out
+}
+
+// forEachConcurrent runs f(0..n-1) across min(n, GOMAXPROCS) workers.
+func (sys *System) forEachConcurrent(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SystemStats is a point-in-time snapshot of system-wide counters.
+type SystemStats struct {
+	// Queries counts every submission (admitted, refused, or errored).
+	Queries uint64
+	// Admitted and Refused count policy outcomes; submissions that errored
+	// (no policy, labeling failure) are in neither.
+	Admitted uint64
+	Refused  uint64
+	// Cache reports label-cache effectiveness (hits, misses, evictions,
+	// residency).
+	Cache label.CacheStats
+}
+
+// CacheHitRate returns the label-cache hit rate, 0 before any lookup.
+func (s SystemStats) CacheHitRate() float64 { return s.Cache.HitRate() }
+
+// Stats returns a snapshot of the system's counters. The snapshot is
+// internally consistent per counter but not across counters while
+// submissions are in flight.
+func (sys *System) Stats() SystemStats {
+	return SystemStats{
+		Queries:  sys.queries.Load(),
+		Admitted: sys.admitted.Load(),
+		Refused:  sys.refused.Load(),
+		Cache:    sys.labeler.Stats(),
+	}
+}
+
 // Explain renders a human-readable account of a query's label and how it
 // compares against each policy partition of the principal.
 func (sys *System) Explain(principal string, q *Query) (string, error) {
-	qm, ok := sys.monitors[principal]
-	if !ok {
-		return "", fmt.Errorf("disclosure: principal %q has no policy", principal)
+	// Same invariant as Submit: no labeling (and no label-cache use) for
+	// principals without a policy.
+	if !sys.store.Has(principal) {
+		return "", fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 	}
-	return qm.Explain(q)
+	lbl, err := sys.labeler.Label(q)
+	if err != nil {
+		return "", err
+	}
+	var out string
+	err = sys.store.Do(principal, func(m *Monitor) {
+		out = m.ExplainLabel(sys.cat, q.Name, lbl)
+	})
+	if err != nil {
+		if errors.Is(err, policy.ErrUnknownPrincipal) {
+			return "", fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+		}
+		return "", err
+	}
+	return out, nil
 }

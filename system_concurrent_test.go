@@ -1,0 +1,210 @@
+package disclosure
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// concurrentTestSystem builds the Meetings/Contacts system used across the
+// concurrency tests, with some data loaded.
+func concurrentTestSystem(t *testing.T) *System {
+	t.Helper()
+	s := MustSchema(
+		MustRelation("Meetings", "time", "person"),
+		MustRelation("Contacts", "person", "email", "position"),
+	)
+	sys, err := NewSystem(s,
+		MustParse("V1(t, p) :- Meetings(t, p)"),
+		MustParse("V2(t) :- Meetings(t, p)"),
+		MustParse("V3(p, e, r) :- Contacts(p, e, r)"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := sys.Insert("Meetings", fmt.Sprint(i%24), fmt.Sprintf("p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Insert("Contacts", fmt.Sprintf("p%d", i), fmt.Sprintf("e%d", i), "Intern"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+// TestSubmitConcurrent hammers Submit from many goroutines over many
+// principals; run with -race. Labels, decisions and evaluation all run
+// concurrently; the per-principal counters must add up afterwards.
+func TestSubmitConcurrent(t *testing.T) {
+	sys := concurrentTestSystem(t)
+	const principals = 8
+	for p := 0; p < principals; p++ {
+		// Alternate policies so both admissions and refusals occur.
+		parts := map[string][]string{"times": {"V2"}}
+		if p%2 == 0 {
+			parts = map[string][]string{"all": {"V1", "V2", "V3"}}
+		}
+		if err := sys.SetPolicy(fmt.Sprintf("app%d", p), parts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []*Query{
+		MustParse("Free(t) :- Meetings(t, p)"),
+		MustParse("Who(p) :- Meetings(t, p)"),
+		MustParse("Q(p, e) :- Contacts(p, e, r)"),
+		MustParse("J(t, e) :- Meetings(t, p), Contacts(p, e, 'Intern')"),
+	}
+	const goroutines = 16
+	const perGoroutine = 50
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				principal := fmt.Sprintf("app%d", (g+i)%principals)
+				q := queries[(g*7+i)%len(queries)]
+				if _, _, err := sys.Submit(principal, q); err != nil {
+					errc <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Queries != goroutines*perGoroutine {
+		t.Fatalf("queries = %d, want %d", st.Queries, goroutines*perGoroutine)
+	}
+	if st.Admitted+st.Refused != st.Queries {
+		t.Fatalf("admitted %d + refused %d != queries %d", st.Admitted, st.Refused, st.Queries)
+	}
+	if st.Admitted == 0 || st.Refused == 0 {
+		t.Fatalf("want both admissions and refusals, got %+v", st)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatalf("want label-cache hits under repeated traffic, got %s", st.Cache)
+	}
+	// Per-principal session counters must agree with the global ones.
+	var accepted, refused int
+	for p := 0; p < principals; p++ {
+		_, a, r, err := sys.Session(fmt.Sprintf("app%d", p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted += a
+		refused += r
+	}
+	if uint64(accepted) != st.Admitted || uint64(refused) != st.Refused {
+		t.Fatalf("session sums (%d, %d) disagree with stats (%d, %d)", accepted, refused, st.Admitted, st.Refused)
+	}
+}
+
+// TestSubmitBatchMatchesSequential: the batch pipeline must produce exactly
+// the decisions and rows of a sequential Submit loop on an identical system
+// (decisions are applied in slice order).
+func TestSubmitBatchMatchesSequential(t *testing.T) {
+	mk := func() *System {
+		sys := concurrentTestSystem(t)
+		// A Chinese-Wall policy, so decision order matters: the first
+		// admitted query retires one partition.
+		if err := sys.SetPolicy("app", map[string][]string{
+			"meetings": {"V1", "V2"},
+			"contacts": {"V3"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	batch := []*Query{
+		MustParse("Q1(t) :- Meetings(t, p)"),
+		MustParse("Q2(p, e) :- Contacts(p, e, r)"),
+		MustParse("Q3(t, p) :- Meetings(t, p)"),
+		MustParse("Q4(p) :- Contacts(p, e, 'Intern')"),
+		MustParse("Q5(t) :- Meetings(t, 'p1')"),
+	}
+
+	seq := mk()
+	type want struct {
+		allowed bool
+		rows    int
+	}
+	wants := make([]want, len(batch))
+	for i, q := range batch {
+		dec, rows, err := seq.Submit("app", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want{allowed: dec.Allowed, rows: len(rows)}
+	}
+
+	par := mk()
+	results := par.SubmitBatch("app", batch)
+	if len(results) != len(batch) {
+		t.Fatalf("got %d results for %d queries", len(results), len(batch))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if r.Decision.Allowed != wants[i].allowed || len(r.Rows) != wants[i].rows {
+			t.Fatalf("query %d: batch (allowed=%v, %d rows) != sequential (allowed=%v, %d rows)",
+				i, r.Decision.Allowed, len(r.Rows), wants[i].allowed, wants[i].rows)
+		}
+	}
+}
+
+func TestSubmitNoPolicy(t *testing.T) {
+	sys := concurrentTestSystem(t)
+	dec, rows, err := sys.Submit("ghost", MustParse("Q(t) :- Meetings(t, p)"))
+	if !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("err = %v, want ErrNoPolicy", err)
+	}
+	if dec.Allowed || rows != nil {
+		t.Fatalf("no-policy submission must be refused with no rows, got %+v, %v", dec, rows)
+	}
+	for i, r := range sys.SubmitBatch("ghost", []*Query{MustParse("Q(t) :- Meetings(t, p)")}) {
+		if !errors.Is(r.Err, ErrNoPolicy) {
+			t.Fatalf("batch result %d: err = %v, want ErrNoPolicy", i, r.Err)
+		}
+	}
+	if _, err := sys.Explain("ghost", MustParse("Q(t) :- Meetings(t, p)")); !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("Explain err = %v, want ErrNoPolicy", err)
+	}
+	if _, _, _, err := sys.Session("ghost"); !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("Session err = %v, want ErrNoPolicy", err)
+	}
+}
+
+// TestStatsCacheHitRate: repeated isomorphic submissions hit the cache and
+// the snapshot reports a sensible hit rate.
+func TestStatsCacheHitRate(t *testing.T) {
+	sys := concurrentTestSystem(t)
+	if err := sys.SetPolicy("app", map[string][]string{"times": {"V2"}}); err != nil {
+		t.Fatal(err)
+	}
+	// The same template under fresh variable names each time.
+	for i := 0; i < 20; i++ {
+		q := MustParse(fmt.Sprintf("Q%d(t%d) :- Meetings(t%d, p%d)", i, i, i, i))
+		if _, _, err := sys.Submit("app", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sys.Stats()
+	if st.Queries != 20 || st.Admitted != 20 {
+		t.Fatalf("want 20 admitted submissions, got %+v", st)
+	}
+	if st.Cache.Misses != 1 || st.Cache.Hits != 19 {
+		t.Fatalf("want 19 hits + 1 miss for isomorphic traffic, got %s", st.Cache)
+	}
+	if rate := st.CacheHitRate(); rate < 0.94 || rate > 0.96 {
+		t.Fatalf("hit rate = %f, want 0.95", rate)
+	}
+}
