@@ -23,6 +23,7 @@ import (
 	"testing"
 
 	"repro/internal/cq"
+	"repro/internal/engine"
 	"repro/internal/fb"
 	"repro/internal/fql"
 	"repro/internal/label"
@@ -178,7 +179,9 @@ func BenchmarkCachedLabeler(b *testing.B) {
 }
 
 // benchSystem builds a System over the Facebook schema with the full
-// security-view catalog and one all-views policy per principal.
+// security-view catalog, one all-views policy per principal, and a
+// 300-user social graph, so the evaluation stage measures real joins
+// rather than empty-table scans.
 func benchSystem(b *testing.B, principals []string) *System {
 	b.Helper()
 	cat := fbCatalog(b)
@@ -199,6 +202,11 @@ func benchSystem(b *testing.B, principals []string) *System {
 	// Size the cache comfortably above the benchmark's template pool so the
 	// steady state measures warm hits, not shard-overflow eviction.
 	sys.SetCacheCapacity(1 << 14)
+	if err := sys.LoadBatch(func(ld *Loader) error {
+		return fb.GenerateGraph(ld, 300, 2013)
+	}); err != nil {
+		b.Fatal(err)
+	}
 	return sys
 }
 
@@ -358,28 +366,41 @@ func BenchmarkMonitorSubmit(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineEval compares the compiled-plan executor against the
+// retained pre-refactor evaluator (EvalReference) on a join over the
+// Meetings/Contacts schema: same database, same query, same results.
 func BenchmarkEngineEval(b *testing.B) {
-	sys, err := NewSystem(MustSchema(
+	db := engine.NewDatabase(MustSchema(
 		MustRelation("Meetings", "time", "person"),
 		MustRelation("Contacts", "person", "email", "position"),
-	),
-		MustParse("V1(t, p) :- Meetings(t, p)"),
-	)
+	))
+	err := db.Load(func(ld *Loader) error {
+		for i := 0; i < 100; i++ {
+			ld.MustInsert("Meetings", fmt.Sprint(i%24), fmt.Sprintf("p%d", i))
+			ld.MustInsert("Contacts", fmt.Sprintf("p%d", i), fmt.Sprintf("e%d", i), "Intern")
+		}
+		return nil
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	db := sys.Database()
-	for i := 0; i < 100; i++ {
-		db.MustInsert("Meetings", fmt.Sprint(i%24), fmt.Sprintf("p%d", i))
-		db.MustInsert("Contacts", fmt.Sprintf("p%d", i), fmt.Sprintf("e%d", i), "Intern")
-	}
 	q := MustParse("Q(t) :- Meetings(t, p), Contacts(p, e, 'Intern')")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Eval(q); err != nil {
-			b.Fatal(err)
+	b.Run("planned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Eval(q); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.EvalReference(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // benchUserArgs renders a user(...) argument list with the given attribute

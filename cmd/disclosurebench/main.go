@@ -8,12 +8,16 @@
 //	disclosurebench -exp figure5 [-queries N] [-seed S] [-tsv|-json]
 //	disclosurebench -exp figure6 [-labels N] [-principals 1000,50000,1000000] [-tsv|-json]
 //	disclosurebench -exp cached [-queries N] [-pool N] [-goroutines 1,4,16] [-tsv|-json]
+//	disclosurebench -exp engine [-queries N] [-users 100,300,1000] [-goroutines 1,4] [-tsv|-json]
 //
 // The defaults use the paper's parameters (one million queries/labels per
 // point); use -queries/-labels to scale down for a quick run. The cached
 // experiment replays the Figure-5 workload from a bounded template pool and
 // measures the canonical-fingerprint label cache against the uncached
-// labeler at several goroutine counts. -json emits a machine-readable
+// labeler at several goroutine counts. The engine experiment evaluates the
+// same workload against synthetic social graphs of increasing size,
+// comparing the compiled-plan snapshot executor against the retained
+// pre-refactor backtracking evaluator. -json emits a machine-readable
 // archive (redirect to BENCH_<exp>.json).
 package main
 
@@ -28,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6, footnote3 or cached")
+	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6, footnote3, cached or engine")
 	queries := flag.Int("queries", 1_000_000, "figure5: queries per measurement point")
 	labels := flag.Int("labels", 1_000_000, "figure6: labels per measurement point")
 	labelPool := flag.Int("label-pool", 200_000, "figure6: distinct pre-labeled queries to draw from")
@@ -37,8 +41,9 @@ func main() {
 	maxAtoms := flag.String("max-atoms", "3,6,9,12,15", "figure5: comma-separated max atoms per query")
 	maxElems := flag.String("max-elems", "5,10,15,20,25,30,35,40,45,50", "figure6: comma-separated max elements per partition")
 	seed := flag.Int64("seed", 2013, "workload seed")
-	pool := flag.Int("pool", 5000, "cached: distinct queries per point (the template space)")
-	goroutines := flag.String("goroutines", "1,4,16", "cached: comma-separated goroutine counts")
+	pool := flag.Int("pool", 5000, "cached/engine: distinct queries per point (the template space)")
+	goroutines := flag.String("goroutines", "1,4,16", "cached/engine: comma-separated goroutine counts")
+	users := flag.String("users", "100,300,1000", "engine: comma-separated social-graph sizes")
 	cacheCap := flag.Int("cache-capacity", 0, "cached: label-cache entry bound (0 = 2×pool, the warm regime; set below pool to study eviction)")
 	tsv := flag.Bool("tsv", false, "emit tab-separated values instead of a table")
 	jsonOut := flag.Bool("json", false, "emit indented JSON instead of a table (for BENCH_*.json archives)")
@@ -115,8 +120,32 @@ func main() {
 		format(series,
 			fmt.Sprintf("Memoized labeling — cached vs uncached over a %d-template pool (%d queries per point, seconds per 1M queries)", cfg.Pool, cfg.Queries),
 			"max atoms per query")
+	case "engine":
+		cfg := bench.DefaultEngineConfig()
+		cfg.Queries = *queries
+		cfg.Users = ints(*users)
+		cfg.Goroutines = ints(*goroutines)
+		cfg.Pool = *pool
+		cfg.Seed = *seed
+		series, err := bench.RunEngine(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		format(series,
+			fmt.Sprintf("Engine — compiled-plan snapshot executor vs reference evaluator (%d queries per point, seconds per 1M queries)", cfg.Queries),
+			"users in graph")
+		if !*jsonOut && !*tsv {
+			for _, g := range cfg.Goroutines {
+				ref := findSeries(series, fmt.Sprintf("reference g=%d", g))
+				pl := findSeries(series, fmt.Sprintf("planned g=%d", g))
+				if ref != nil && pl != nil {
+					fmt.Printf("\nspeedup of planned over reference at g=%d per point: %s\n",
+						g, floats(bench.Speedup(*ref, *pl)))
+				}
+			}
+		}
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6, footnote3 or cached)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6, footnote3, cached or engine)", *exp))
 	}
 }
 

@@ -20,9 +20,11 @@
 // System is safe for concurrent use and built for repetitive app-ecosystem
 // traffic: submissions are labeled through a sharded cache keyed by the
 // query's canonical form (isomorphic queries share one entry), decided
-// under per-principal locks, and evaluated under a database read lock.
-// SubmitBatch pipelines whole batches and Stats reports throughput and
-// cache-effectiveness counters.
+// under per-principal locks, and evaluated lock-free against immutable
+// database snapshots through a compiled-plan cache (the engine stores
+// dictionary-encoded columnar tables; writers publish new snapshots
+// atomically and never block readers). SubmitBatch pipelines whole batches
+// and Stats reports throughput and cache-effectiveness counters.
 //
 // # Quick start
 //
@@ -87,8 +89,16 @@ type (
 	QueryMonitor = policy.QueryMonitor
 	// Decision is the outcome of a reference-monitor check.
 	Decision = policy.Decision
-	// Database is the in-memory relational engine.
+	// Database is the in-memory relational engine: dictionary-encoded
+	// columnar storage, compiled-and-cached query plans, and lock-free
+	// snapshot reads.
 	Database = engine.Database
+	// Table is a read-only snapshot view of one relation.
+	Table = engine.Table
+	// Loader inserts rows inside a LoadBatch call.
+	Loader = engine.Loader
+	// PlanCacheStats is a snapshot of compiled-plan-cache counters.
+	PlanCacheStats = engine.PlanCacheStats
 	// Tuple is a database row.
 	Tuple = engine.Tuple
 )

@@ -19,8 +19,12 @@ func Example() {
 		disclosure.MustParse("V2(t) :- Meetings(t, p)"),
 		disclosure.MustParse("V3(p, e, r) :- Contacts(p, e, r)"),
 	)
-	db := sys.Database()
-	db.MustInsert("Meetings", "10", "Cathy")
+	if err := sys.LoadBatch(func(ld *disclosure.Loader) error {
+		ld.MustInsert("Meetings", "10", "Cathy")
+		return nil
+	}); err != nil {
+		panic(err)
+	}
 	sys.SetPolicy("app", map[string][]string{"times-only": {"V2"}})
 
 	busy, _, _ := sys.Submit("app", disclosure.MustParse("Busy(t) :- Meetings(t, p)"))

@@ -35,12 +35,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := sys.Database()
-	db.MustInsert("Calendar", "Mon 9am", "Dana", "discuss merger terms")
-	db.MustInsert("Calendar", "Mon 1pm", "Raj", "1:1")
-	db.MustInsert("Calendar", "Tue 10am", "Dana", "board prep")
-	db.MustInsert("Profile", "Dana", "Acme Corp")
-	db.MustInsert("Profile", "Raj", "Initech")
+	if err := sys.LoadBatch(func(ld *disclosure.Loader) error {
+		ld.MustInsert("Calendar", "Mon 9am", "Dana", "discuss merger terms")
+		ld.MustInsert("Calendar", "Mon 1pm", "Raj", "1:1")
+		ld.MustInsert("Calendar", "Tue 10am", "Dana", "board prep")
+		ld.MustInsert("Profile", "Dana", "Acme Corp")
+		ld.MustInsert("Profile", "Raj", "Initech")
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// The widget sees busy/free only; the networking app may correlate
 	// attendees with public profiles but must never read notes.

@@ -33,10 +33,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := sys.Database()
-	db.MustInsert("M", "9", "Jim")
-	db.MustInsert("C", "Jim", "jim@e.com", "Manager")
-	db.MustInsert("C", "Cathy", "cathy@e.com", "Intern")
+	if err := sys.LoadBatch(func(ld *disclosure.Loader) error {
+		ld.MustInsert("M", "9", "Jim")
+		ld.MustInsert("C", "Jim", "jim@e.com", "Manager")
+		ld.MustInsert("C", "Cathy", "cathy@e.com", "Intern")
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// Either all of Meetings, or all of Contacts — never both.
 	if err := sys.SetPolicy("consultant", map[string][]string{

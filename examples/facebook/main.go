@@ -32,7 +32,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	loadGraph(sys.Database())
+	if err := sys.LoadBatch(loadGraph); err != nil {
+		log.Fatal(err)
+	}
 
 	// Three apps with different permission grants.
 	grants := map[string][]string{
@@ -116,8 +118,8 @@ func main() {
 }
 
 // loadGraph inserts a tiny social graph: the principal 'me', two friends
-// and one stranger.
-func loadGraph(db *disclosure.Database) {
+// and one stranger, as one batch (a single snapshot publication).
+func loadGraph(db *disclosure.Loader) error {
 	users := []struct {
 		uid, name, birthday, music, languages, email, isFriend string
 	}{
@@ -152,4 +154,5 @@ func loadGraph(db *disclosure.Database) {
 	}
 	db.MustInsert("friend", "me", "u1", "2019")
 	db.MustInsert("friend", "me", "u2", "2021")
+	return nil
 }

@@ -31,13 +31,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := sys.Database()
-	db.MustInsert("Meetings", "9", "Jim")
-	db.MustInsert("Meetings", "10", "Cathy")
-	db.MustInsert("Meetings", "12", "Bob")
-	db.MustInsert("Contacts", "Jim", "jim@e.com", "Manager")
-	db.MustInsert("Contacts", "Cathy", "cathy@e.com", "Intern")
-	db.MustInsert("Contacts", "Bob", "bob@e.com", "Consultant")
+	if err := sys.LoadBatch(func(ld *disclosure.Loader) error {
+		ld.MustInsert("Meetings", "9", "Jim")
+		ld.MustInsert("Meetings", "10", "Cathy")
+		ld.MustInsert("Meetings", "12", "Bob")
+		ld.MustInsert("Contacts", "Jim", "jim@e.com", "Manager")
+		ld.MustInsert("Contacts", "Cathy", "cathy@e.com", "Intern")
+		ld.MustInsert("Contacts", "Bob", "bob@e.com", "Consultant")
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// Alice's policy: the scheduling app may learn her busy time slots
 	// (V2) and nothing more.

@@ -218,3 +218,36 @@ func TestRunFootnote3Small(t *testing.T) {
 		t.Error("zero queries accepted")
 	}
 }
+
+func TestRunEngineSmall(t *testing.T) {
+	series, err := RunEngine(EngineConfig{
+		Queries:    200,
+		Users:      []int{20, 40},
+		MaxAtoms:   6,
+		Pool:       50,
+		Goroutines: []int{1, 2},
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 { // {planned, reference} × {1, 2} goroutines
+		t.Fatalf("got %d series, want 4", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %s has %d points", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.SecondsPer1M <= 0 {
+				t.Errorf("series %s: nonpositive time", s.Name)
+			}
+		}
+	}
+	if _, err := RunEngine(EngineConfig{Queries: 0}); err == nil {
+		t.Error("zero queries accepted")
+	}
+	if _, err := RunEngine(EngineConfig{Queries: 1, Pool: 1, MaxAtoms: 4}); err == nil {
+		t.Error("non-multiple-of-3 MaxAtoms accepted")
+	}
+}

@@ -2,9 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"repro/internal/fb"
 	"repro/internal/label"
@@ -87,29 +84,11 @@ func RunCached(cfg CachedConfig) ([]Series, error) {
 				})
 				pool := gen.Batch(cfg.Pool)
 				l := v.mk() // fresh labeler (and cache) per point
-				var firstErr atomic.Value
-				var next atomic.Int64
-				start := time.Now()
-				var wg sync.WaitGroup
-				for w := 0; w < g; w++ {
-					wg.Add(1)
-					go func() {
-						defer wg.Done()
-						for {
-							i := int(next.Add(1)) - 1
-							if i >= cfg.Queries {
-								return
-							}
-							if _, err := l.Label(pool[i%len(pool)]); err != nil {
-								firstErr.CompareAndSwap(nil, err)
-								return
-							}
-						}
-					}()
-				}
-				wg.Wait()
-				elapsed := time.Since(start).Seconds()
-				if err, ok := firstErr.Load().(error); ok && err != nil {
+				elapsed, err := timeConcurrent(cfg.Queries, g, func(i int) error {
+					_, err := l.Label(pool[i%len(pool)])
+					return err
+				})
+				if err != nil {
 					return nil, fmt.Errorf("bench: labeling failed: %w", err)
 				}
 				s.Points = append(s.Points, Point{

@@ -462,7 +462,6 @@ func writeRel(b *strings.Builder, rel string) {
 	b.WriteString(rel)
 }
 
-
 // CanonicallyEqual reports whether two queries have the same canonical form.
 // True implies Equivalent; false implies nothing (equivalent queries with
 // non-isomorphic minimal bodies, or tie-ordered atoms, may canonicalize

@@ -26,6 +26,7 @@ package determinacy
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"repro/internal/cq"
@@ -83,7 +84,7 @@ func (c *Counterexample) String() string {
 	for name, db := range map[string]*engine.Database{"D1": c.D1, "D2": c.D2} {
 		fmt.Fprintf(&b, "  %s:", name)
 		for _, r := range db.Schema().Relations() {
-			fmt.Fprintf(&b, " %s=%v", r.Name(), db.Table(r.Name()).Rows())
+			fmt.Fprintf(&b, " %s=%v", r.Name(), slices.Collect(db.Table(r.Name()).All()))
 		}
 		b.WriteByte('\n')
 	}
@@ -204,10 +205,18 @@ func allTuples(domain []string, arity int) [][]string {
 
 func cloneDatabase(s *schema.Schema, db *engine.Database) *engine.Database {
 	out := engine.NewDatabase(s)
-	for _, r := range s.Relations() {
-		for _, row := range db.Table(r.Name()).Rows() {
-			out.MustInsert(r.Name(), row...)
+	err := out.Load(func(ld *engine.Loader) error {
+		for _, r := range s.Relations() {
+			for row := range db.Table(r.Name()).All() {
+				if err := ld.Insert(r.Name(), row...); err != nil {
+					return err
+				}
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		panic(err) // schemas match by construction
 	}
 	return out
 }

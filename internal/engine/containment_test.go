@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/cq"
@@ -91,7 +92,7 @@ func TestContainmentSemantics(t *testing.T) {
 			}
 			if contained && !subsetOf(r1, r2) {
 				t.Fatalf("ContainedIn claims %s ⊆ %s but answers differ:\n r1=%v\n r2=%v\n db R=%v S=%v",
-					q1, q2, r1, r2, db.Table("R").Rows(), db.Table("S").Rows())
+					q1, q2, r1, r2, slices.Collect(db.Table("R").All()), slices.Collect(db.Table("S").All()))
 			}
 		}
 	}
@@ -127,7 +128,7 @@ func TestMinimizeSemantics(t *testing.T) {
 			}
 			if !EqualResults(r1, r2) {
 				t.Fatalf("Minimize changed semantics:\n q=%s\n m=%s\n r1=%v r2=%v\n db R=%v S=%v",
-					q, m, r1, r2, db.Table("R").Rows(), db.Table("S").Rows())
+					q, m, r1, r2, slices.Collect(db.Table("R").All()), slices.Collect(db.Table("S").All()))
 			}
 		}
 	}

@@ -1,9 +1,36 @@
-// Package engine is a small in-memory relational engine with set semantics:
-// tuple storage plus a backtracking evaluator for conjunctive queries. It is
-// the substrate under the example applications (the reference monitor
-// guards a live database) and under the semantic property tests, which
-// execute rewriting witnesses against random databases to validate the
-// labeler's rewritability decisions.
+// Package engine is a small in-memory relational engine with set semantics,
+// built as three layers:
+//
+//   - Storage: tables are dictionary-encoded and columnar — every constant
+//     string is interned to a dense uint32 once, rows live in per-attribute
+//     uint32 columns, and hash indexes over the interned ids are maintained
+//     incrementally (an insert lengthens a short scan tail instead of
+//     invalidating the index; the base is rotated, amortized O(1), when the
+//     tail outgrows a quarter of the table).
+//
+//   - Plans: a conjunctive query is compiled once — join order fixed by
+//     static selectivity, variables resolved to integer slots, index probes
+//     chosen — and memoized in a sharded plan cache keyed by the query's
+//     canonical fingerprint (internal/cq), so isomorphic queries share one
+//     plan exactly as they share one label in the labeling cache.
+//
+//   - Snapshots: the database publishes an immutable Snapshot through an
+//     atomic pointer. Readers (Eval, EvalBool, Table) load it once and run
+//     entirely lock-free; the writer (Insert, Load) builds the next version
+//     under a private mutex and publishes it atomically. A reader therefore
+//     sees a consistent prefix of the insertion history, never a torn state.
+//
+// Concurrency contract: every method of Database is safe for concurrent
+// use. Writes serialize with each other; reads never block and never take
+// the write lock (the only reader-side synchronization is a one-time
+// interner lookup per plan constant, memoized in the plan).
+//
+// The engine is the substrate under the example applications (the reference
+// monitor guards a live database) and under the semantic property tests,
+// which execute rewriting witnesses against random databases to validate
+// the labeler's rewritability decisions. The pre-plan backtracking
+// evaluator is retained as EvalReference, the semantic ground truth that
+// the differential tests and benchmarks compare against.
 package engine
 
 import (
@@ -23,111 +50,75 @@ type Tuple []string
 // key renders the tuple as a map key.
 func (t Tuple) key() string { return strings.Join(t, "\x00") }
 
-// Table stores the extension of one relation as a set of tuples, with
-// lazily built hash indexes per column. Indexes are dropped on insert and
-// rebuilt on demand, so bulk loading stays cheap and repeated evaluation
-// gets index speed.
-//
-// Concurrent evaluations (Eval from several goroutines) are safe: the index
-// set is an immutable map published through an atomic pointer, so probes are
-// lock-free and only the build path takes idxMu. Inserts are not safe
-// concurrently with anything; callers serialize writes against reads
-// (disclosure.System does so with an RWMutex).
-type Table struct {
-	rel     *schema.Relation
-	rows    []Tuple
-	keys    map[string]struct{}
-	idxMu   sync.Mutex                               // serializes index builds
-	indexes atomic.Pointer[map[int]map[string][]int] // column → value → row ids; copied on extend
+// tableCore is the writer-side mutable state of one table. All fields are
+// guarded by Database.mu; readers only ever see the immutable captures
+// published in snapshots.
+type tableCore struct {
+	rel  *schema.Relation
+	cols [][]uint32
+	keys map[string]struct{} // packed interned-id row keys, for set semantics
+	base *baseIndex          // current index base, shared with snapshots
 }
 
-// index returns (building if needed) the hash index for a column. Published
-// index sets are never mutated — extending with a new column copies the
-// map — so the lock-free fast path always sees a consistent snapshot.
-func (t *Table) index(col int) map[string][]int {
-	if m := t.indexes.Load(); m != nil {
-		if idx, ok := (*m)[col]; ok {
-			return idx
-		}
-	}
-	t.idxMu.Lock()
-	defer t.idxMu.Unlock()
-	cur := t.indexes.Load()
-	if cur != nil {
-		if idx, ok := (*cur)[col]; ok { // raced with another builder
-			return idx
-		}
-	}
-	idx := make(map[string][]int)
-	for i, row := range t.rows {
-		idx[row[col]] = append(idx[row[col]], i)
-	}
-	next := make(map[int]map[string][]int, 4)
-	if cur != nil {
-		for c, m := range *cur {
-			next[c] = m
-		}
-	}
-	next[col] = idx
-	t.indexes.Store(&next)
-	return idx
-}
-
-// Relation returns the table's schema relation.
-func (t *Table) Relation() *schema.Relation { return t.rel }
-
-// Len returns the number of tuples.
-func (t *Table) Len() int { return len(t.rows) }
-
-// Rows returns the tuples in insertion order.
-func (t *Table) Rows() []Tuple {
-	out := make([]Tuple, len(t.rows))
-	for i, r := range t.rows {
-		out[i] = append(Tuple(nil), r...)
-	}
-	return out
-}
-
-// Database is a set of tables keyed by relation name.
+// Database is a set of tables keyed by relation name. It is safe for
+// concurrent use: see the package comment for the snapshot contract.
 type Database struct {
+	mu     sync.Mutex // serializes writers (Insert, Load)
 	schema *schema.Schema
-	tables map[string]*Table
+	relID  map[string]int
+	cores  []*tableCore
+	in     *interner
+	snap   atomic.Pointer[Snapshot]
+	plans  atomic.Pointer[planCache]
 }
 
 // NewDatabase creates an empty database over the schema.
 func NewDatabase(s *schema.Schema) *Database {
-	db := &Database{schema: s, tables: make(map[string]*Table, s.Len())}
-	for _, r := range s.Relations() {
-		db.tables[r.Name()] = &Table{rel: r, keys: make(map[string]struct{})}
+	rels := s.Relations()
+	db := &Database{
+		schema: s,
+		relID:  make(map[string]int, len(rels)),
+		cores:  make([]*tableCore, len(rels)),
+		in:     newInterner(),
 	}
+	for i, r := range rels {
+		db.relID[r.Name()] = i
+		db.cores[i] = &tableCore{
+			rel:  r,
+			cols: make([][]uint32, r.Arity()),
+			keys: make(map[string]struct{}),
+		}
+	}
+	db.plans.Store(newPlanCache(DefaultPlanCacheCapacity))
+	db.snap.Store(db.buildSnapshotLocked(nil))
 	return db
 }
 
 // Schema returns the database schema.
 func (db *Database) Schema() *schema.Schema { return db.schema }
 
-// Table returns the named table, or nil.
-func (db *Database) Table(name string) *Table { return db.tables[name] }
+// Snapshot returns the current published snapshot. The result is immutable:
+// inserts committed after the call are not visible through it.
+func (db *Database) Snapshot() *Snapshot { return db.snap.Load() }
+
+// Table returns a read-only view of the named table in the current
+// snapshot, or nil for unknown relations.
+func (db *Database) Table(name string) *Table { return db.Snapshot().Table(name) }
 
 // Insert adds a tuple to the named relation, ignoring exact duplicates
-// (set semantics). It returns an error for unknown relations or arity
-// mismatches.
+// (set semantics), and publishes a snapshot containing it. It returns an
+// error for unknown relations or arity mismatches. For more than a handful
+// of rows prefer Load, which publishes once per batch.
 func (db *Database) Insert(rel string, values ...string) error {
-	t, ok := db.tables[rel]
-	if !ok {
-		return fmt.Errorf("engine: unknown relation %q", rel)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	changed, err := db.insertLocked(rel, values...)
+	if err != nil {
+		return err
 	}
-	if len(values) != t.rel.Arity() {
-		return fmt.Errorf("engine: relation %q has arity %d, got %d values", rel, t.rel.Arity(), len(values))
+	if changed >= 0 {
+		db.publishLocked(map[int]bool{changed: true})
 	}
-	tup := Tuple(append([]string(nil), values...))
-	k := tup.key()
-	if _, dup := t.keys[k]; dup {
-		return nil
-	}
-	t.keys[k] = struct{}{}
-	t.rows = append(t.rows, tup)
-	t.indexes.Store(nil) // invalidate; rebuilt lazily on next evaluation
 	return nil
 }
 
@@ -139,126 +130,151 @@ func (db *Database) MustInsert(rel string, values ...string) {
 	}
 }
 
-// Eval evaluates a conjunctive query against the database and returns the
-// set of answer tuples (head bindings), sorted lexicographically. A boolean
-// query returns a single empty tuple when satisfied and no tuples
-// otherwise.
-func (db *Database) Eval(q *cq.Query) ([]Tuple, error) {
-	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
+// insertLocked appends the tuple to its table core and returns the relation
+// id, or -1 for a duplicate. Callers hold db.mu.
+func (db *Database) insertLocked(rel string, values ...string) (int, error) {
+	id, ok := db.relID[rel]
+	if !ok {
+		return -1, fmt.Errorf("engine: unknown relation %q", rel)
 	}
-	for _, a := range q.Body {
-		t, ok := db.tables[a.Rel]
-		if !ok {
-			return nil, fmt.Errorf("engine: query %s references unknown relation %q", q.Name, a.Rel)
-		}
-		if len(a.Args) != t.rel.Arity() {
-			return nil, fmt.Errorf("engine: query %s: atom %s has %d arguments, relation has arity %d",
-				q.Name, a.Rel, len(a.Args), t.rel.Arity())
-		}
+	t := db.cores[id]
+	if len(values) != t.rel.Arity() {
+		return -1, fmt.Errorf("engine: relation %q has arity %d, got %d values", rel, t.rel.Arity(), len(values))
 	}
-	seen := make(map[string]struct{})
-	var out []Tuple
-	binding := make(map[string]string)
-	var eval func(atoms []cq.Atom)
-	eval = func(atoms []cq.Atom) {
-		if len(atoms) == 0 {
-			ans := make(Tuple, len(q.Head))
-			for i, h := range q.Head {
-				if h.IsConst() {
-					ans[i] = h.Value
-				} else {
-					ans[i] = binding[h.Value]
-				}
-			}
-			k := ans.key()
-			if _, dup := seen[k]; !dup {
-				seen[k] = struct{}{}
-				out = append(out, ans)
-			}
-			return
-		}
-		// Greedy join order: evaluate the atom with the most bound
-		// arguments next, so index lookups and early failures prune the
-		// search.
-		best, bestScore := 0, -1
-		for i, a := range atoms {
-			score := 0
-			for _, arg := range a.Args {
-				if arg.IsConst() {
-					score++
-				} else if _, has := binding[arg.Value]; has {
-					score++
-				}
-			}
-			if score > bestScore {
-				best, bestScore = i, score
-			}
-		}
-		atom := atoms[best]
-		rest := make([]cq.Atom, 0, len(atoms)-1)
-		rest = append(rest, atoms[:best]...)
-		rest = append(rest, atoms[best+1:]...)
+	ids := make([]uint32, len(values))
+	key := make([]byte, 0, 4*len(values))
+	for i, v := range values {
+		ids[i] = db.in.intern(v)
+		key = append(key, byte(ids[i]), byte(ids[i]>>8), byte(ids[i]>>16), byte(ids[i]>>24))
+	}
+	if _, dup := t.keys[string(key)]; dup {
+		return -1, nil
+	}
+	t.keys[string(key)] = struct{}{}
+	for i, v := range ids {
+		t.cols[i] = append(t.cols[i], v)
+	}
+	return id, nil
+}
 
-		table := db.tables[atom.Rel]
-		// Candidate rows: a hash-index probe on the first bound column, or
-		// a full scan when nothing is bound.
-		candidates := -1 // sentinel: full scan
-		var rowIDs []int
-		for i, arg := range atom.Args {
-			val, boundOK := "", false
-			if arg.IsConst() {
-				val, boundOK = arg.Value, true
-			} else if v, has := binding[arg.Value]; has {
-				val, boundOK = v, true
-			}
-			if boundOK {
-				rowIDs = table.index(i)[val]
-				candidates = len(rowIDs)
-				break
-			}
-		}
-		tryRow := func(row Tuple) {
-			var bound []string
-			ok := true
-			for i, arg := range atom.Args {
-				if arg.IsConst() {
-					if arg.Value != row[i] {
-						ok = false
-						break
-					}
-					continue
-				}
-				if v, has := binding[arg.Value]; has {
-					if v != row[i] {
-						ok = false
-						break
-					}
-					continue
-				}
-				binding[arg.Value] = row[i]
-				bound = append(bound, arg.Value)
-			}
-			if ok {
-				eval(rest)
-			}
-			for _, v := range bound {
-				delete(binding, v)
-			}
-		}
-		if candidates >= 0 {
-			for _, id := range rowIDs {
-				tryRow(table.rows[id])
-			}
-		} else {
-			for _, row := range table.rows {
-				tryRow(row)
-			}
-		}
+// Loader inserts rows inside a Load batch. It must not escape the callback,
+// and the callback must not call back into the owning Database's write
+// methods (Insert, Load) — the batch already holds the write lock.
+type Loader struct {
+	db    *Database
+	dirty map[int]bool
+}
+
+// Insert adds a tuple to the named relation within the batch; duplicates
+// are ignored as in Database.Insert.
+func (ld *Loader) Insert(rel string, values ...string) error {
+	id, err := ld.db.insertLocked(rel, values...)
+	if err != nil {
+		return err
 	}
-	eval(q.Body)
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
-	return out, nil
+	if id >= 0 {
+		ld.dirty[id] = true
+	}
+	return nil
+}
+
+// MustInsert is like Insert but panics on error.
+func (ld *Loader) MustInsert(rel string, values ...string) {
+	if err := ld.Insert(rel, values...); err != nil {
+		panic(err)
+	}
+}
+
+// Load runs fn with a batch Loader and publishes a single snapshot
+// afterwards, so bulk loading pays one publication instead of one per row.
+// It returns fn's error; rows inserted before the error are still
+// published (Load is not transactional).
+func (db *Database) Load(fn func(ld *Loader) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ld := &Loader{db: db, dirty: make(map[int]bool)}
+	err := fn(ld)
+	if len(ld.dirty) > 0 {
+		db.publishLocked(ld.dirty)
+	}
+	return err
+}
+
+// publishLocked builds and atomically publishes the next snapshot, reusing
+// the previous snapshot's table views for untouched relations (dirty nil
+// means rebuild everything). Callers hold db.mu.
+func (db *Database) publishLocked(dirty map[int]bool) {
+	db.snap.Store(db.buildSnapshotLocked(dirty))
+}
+
+func (db *Database) buildSnapshotLocked(dirty map[int]bool) *Snapshot {
+	prev := db.snap.Load()
+	s := &Snapshot{
+		schema: db.schema,
+		relID:  db.relID,
+		strs:   db.in.snapshotStrs(),
+		tables: make([]*tableSnap, len(db.cores)),
+	}
+	for i, core := range db.cores {
+		if prev != nil && dirty != nil && !dirty[i] {
+			s.tables[i] = prev.tables[i]
+			continue
+		}
+		n := 0
+		if core.rel.Arity() > 0 {
+			n = len(core.cols[0])
+		}
+		// Rotate the index base once the unindexed tail outgrows both the
+		// fixed bound and a quarter of the table. The old base stays with
+		// older snapshots; the new one is built lazily by the next prober.
+		if tail := n - baseN0(core.base); tail > baseTailMax && tail*4 > n {
+			core.base = newBaseIndex(core.cols, n)
+		}
+		ts := &tableSnap{rel: core.rel, cols: make([][]uint32, len(core.cols)), n: n, base: core.base}
+		for c, col := range core.cols {
+			ts.cols[c] = col[:n:n]
+		}
+		s.tables[i] = ts
+	}
+	return s
+}
+
+func baseN0(b *baseIndex) int {
+	if b == nil {
+		return 0
+	}
+	return b.n0
+}
+
+// Eval evaluates a conjunctive query against the current snapshot and
+// returns the set of answer tuples (head bindings), sorted
+// lexicographically. A boolean query returns a single empty tuple when
+// satisfied and no tuples otherwise. Evaluation is lock-free: it compiles
+// (or recalls from the plan cache) a plan for the query's canonical form
+// and runs it against an immutable snapshot.
+func (db *Database) Eval(q *cq.Query) ([]Tuple, error) {
+	return db.EvalAt(db.Snapshot(), q)
+}
+
+// EvalAt evaluates q against a specific snapshot of this database, so a
+// caller can pin several evaluations to one consistent state while inserts
+// proceed (System.SubmitBatch evaluates a whole batch this way). The
+// snapshot must come from this database: plans resolve constants through
+// the owning interner.
+func (db *Database) EvalAt(snap *Snapshot, q *cq.Query) ([]Tuple, error) {
+	return db.EvalCanonicalAt(snap, cq.CanonicalKey(q), q)
+}
+
+// EvalCanonicalAt is EvalAt for callers that already hold q's canonical key
+// (cq.CanonicalKey) — System.Submit computes the key once per submission
+// and shares it between the labeling cache and the plan cache, since
+// canonicalization dominates the warm-cache hot path.
+func (db *Database) EvalCanonicalAt(snap *Snapshot, key string, q *cq.Query) ([]Tuple, error) {
+	p, err := db.plans.Load().get(db, key, q)
+	if err != nil {
+		return nil, err
+	}
+	return p.run(db, snap), nil
 }
 
 // EvalBool evaluates a boolean query, reporting satisfaction.
@@ -268,6 +284,21 @@ func (db *Database) EvalBool(q *cq.Query) (bool, error) {
 		return false, err
 	}
 	return len(rows) > 0, nil
+}
+
+// sortTuples orders answers lexicographically element-wise (all tuples in
+// one result set share an arity, so this matches the ordering of the
+// rendered keys).
+func sortTuples(out []Tuple) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
 }
 
 // Materialize evaluates each view against the database and returns a new
@@ -307,12 +338,18 @@ func Materialize(db *Database, views ...*cq.Query) (*Database, error) {
 		return nil, err
 	}
 	out := NewDatabase(s)
-	for name, rows := range results {
-		for _, row := range rows {
-			if err := out.Insert(name, row...); err != nil {
-				return nil, err
+	err = out.Load(func(ld *Loader) error {
+		for name, rows := range results {
+			for _, row := range rows {
+				if err := ld.Insert(name, row...); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 	"testing"
 
 	"repro/internal/cq"
@@ -184,19 +185,79 @@ func TestExecuteRewritingErrors(t *testing.T) {
 	}
 }
 
-func TestRowsAreCopies(t *testing.T) {
+func TestTableAllIndependentTuples(t *testing.T) {
 	db := figure1DB(t)
-	rows := db.Table("Meetings").Rows()
+	rows := slices.Collect(db.Table("Meetings").All())
+	if len(rows) != 3 {
+		t.Fatalf("All yielded %d rows, want 3", len(rows))
+	}
 	rows[0][0] = "corrupted"
-	fresh := db.Table("Meetings").Rows()
+	fresh := slices.Collect(db.Table("Meetings").All())
 	if fresh[0][0] == "corrupted" {
-		t.Error("Rows leaked internal storage")
+		t.Error("All leaked mutable storage")
+	}
+	// Early termination must not wedge the iterator.
+	count := 0
+	for range db.Table("Meetings").All() {
+		count++
+		break
+	}
+	if count != 1 {
+		t.Errorf("early break iterated %d rows", count)
 	}
 }
 
-func TestIndexInvalidationOnInsert(t *testing.T) {
+func TestTableViewIsSnapshot(t *testing.T) {
+	db := figure1DB(t)
+	view := db.Table("Meetings")
+	db.MustInsert("Meetings", "14", "Erin")
+	if view.Len() != 3 {
+		t.Errorf("old view sees %d rows, want 3", view.Len())
+	}
+	if db.Table("Meetings").Len() != 4 {
+		t.Errorf("fresh view sees %d rows, want 4", db.Table("Meetings").Len())
+	}
+}
+
+func TestLoadPublishesOnce(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "a", "b"))
+	db := NewDatabase(s)
+	err := db.Load(func(ld *Loader) error {
+		for i := 0; i < 100; i++ {
+			if err := ld.Insert("R", fmt.Sprint(i), fmt.Sprint(i%7)); err != nil {
+				return err
+			}
+		}
+		ld.MustInsert("R", "0", "0") // duplicate, ignored
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("R").Len(); got != 100 {
+		t.Fatalf("loaded %d rows, want 100", got)
+	}
+	rows, err := db.Eval(cq.MustParse("Q(b) :- R('13', b)"))
+	if err != nil || len(rows) != 1 || rows[0][0] != "6" {
+		t.Fatalf("point query after load = %v, %v", rows, err)
+	}
+	// A failing loader still publishes the rows inserted before the error.
+	db2 := NewDatabase(s)
+	wantErr := db2.Load(func(ld *Loader) error {
+		ld.MustInsert("R", "x", "y")
+		return ld.Insert("R", "only-one-value")
+	})
+	if wantErr == nil {
+		t.Fatal("arity error swallowed")
+	}
+	if got := db2.Table("R").Len(); got != 1 {
+		t.Fatalf("partial load published %d rows, want 1", got)
+	}
+}
+
+func TestIndexMaintenanceOnInsert(t *testing.T) {
 	// An index probe must see tuples inserted after a previous evaluation
-	// built the index.
+	// built the index (the tail of rows past the index base is scanned).
 	s := schema.MustNew(schema.MustRelation("R", "a", "b"))
 	db := NewDatabase(s)
 	db.MustInsert("R", "1", "x")

@@ -1,0 +1,56 @@
+package engine
+
+import "sync"
+
+// interner maps constant strings to dense uint32 ids and back. Ids are
+// assigned in first-intern order and never change or disappear, so any id
+// held by a published snapshot remains valid forever: resolution is
+// monotonic, which is what lets compiled plans cache their constant
+// resolutions (see planConst).
+//
+// Concurrency: intern is called only by the database writer (under
+// Database.mu), lookup by lock-free readers resolving plan constants. The
+// RWMutex protects the ids map between the two; the strs slice is never
+// touched by readers — they render answers through the immutable prefix
+// captured in their snapshot (snapshotStrs).
+type interner struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	strs []string
+}
+
+func newInterner() *interner {
+	return &interner{ids: make(map[string]uint32, 64)}
+}
+
+// intern returns the id of s, assigning the next dense id on first sight.
+// Callers hold the database write lock, so the lock-free hit probe cannot
+// race another writer; the brief write lock fences concurrent lookup.
+func (in *interner) intern(s string) uint32 {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	in.mu.Lock()
+	id := uint32(len(in.strs))
+	in.strs = append(in.strs, s)
+	in.ids[s] = id
+	in.mu.Unlock()
+	return id
+}
+
+// lookup resolves a string to its id without assigning one. It is the only
+// synchronization a reader ever takes, and only until the enclosing plan
+// memoizes the resolution.
+func (in *interner) lookup(s string) (uint32, bool) {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	return id, ok
+}
+
+// snapshotStrs captures the current id→string table as an immutable prefix
+// (full slice expression, so a later append can never write into the
+// captured window). Callers hold the database write lock.
+func (in *interner) snapshotStrs() []string {
+	return in.strs[:len(in.strs):len(in.strs)]
+}

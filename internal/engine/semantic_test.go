@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/cq"
@@ -91,12 +92,140 @@ func TestRewritingWitnessesSemantically(t *testing.T) {
 			}
 			if !EqualResults(direct, viaViews) {
 				t.Fatalf("witness disagrees for\n  v = %s\n  s = %s\n  witness = %s\n  direct = %v\n  via views = %v\n  db = %v",
-					v, sv, rw, direct, viaViews, db.Table("R").Rows())
+					v, sv, rw, direct, viaViews, slices.Collect(db.Table("R").All()))
 			}
 		}
 	}
 	if positives < 20 {
 		t.Fatalf("only %d positive rewritability cases exercised; generator too narrow", positives)
+	}
+}
+
+// TestPlannedVsReferenceDifferential is the differential harness for the
+// plan executor: on randomized schemas, databases and conjunctive queries —
+// self joins, repeated variables, constants (including never-inserted
+// ones), boolean and constant heads — the compiled plan must return exactly
+// the answers of the retained seed evaluator (EvalReference). Databases
+// grow between evaluation rounds, so incremental index maintenance and
+// snapshot republication are exercised too.
+func TestPlannedVsReferenceDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20130624))
+	s := schema.MustNew(
+		schema.MustRelation("R", "a", "b"),
+		schema.MustRelation("S", "a", "b", "c"),
+		schema.MustRelation("U", "a"),
+	)
+	rels := []struct {
+		name  string
+		arity int
+	}{{"R", 2}, {"S", 3}, {"U", 1}}
+	// "zz" is deliberately never inserted, so some queries carry a constant
+	// unknown to the interner.
+	vals := []string{"0", "1", "2", "3", "zz"}
+	varNames := []string{"x", "y", "z", "w", "v"}
+
+	randomQuery := func() *cq.Query {
+		for {
+			nAtoms := 1 + rng.Intn(4)
+			body := make([]cq.Atom, nAtoms)
+			used := map[string]bool{}
+			for i := range body {
+				rel := rels[rng.Intn(len(rels))]
+				args := make([]cq.Term, rel.arity)
+				for j := range args {
+					if rng.Intn(4) == 0 {
+						args[j] = cq.C(vals[rng.Intn(len(vals))])
+					} else {
+						v := varNames[rng.Intn(len(varNames))]
+						args[j] = cq.V(v)
+						used[v] = true
+					}
+				}
+				body[i] = cq.Atom{Rel: rel.name, Args: args}
+			}
+			var head []cq.Term
+			for _, v := range varNames {
+				if used[v] && rng.Intn(3) == 0 {
+					head = append(head, cq.V(v))
+				}
+			}
+			if len(head) > 0 && rng.Intn(8) == 0 {
+				head = append(head, cq.C(vals[rng.Intn(len(vals)-1)]))
+			}
+			q, err := cq.NewQuery("Q", head, body)
+			if err != nil {
+				continue // unsafe head; retry
+			}
+			return q
+		}
+	}
+
+	insertSome := func(db *Database, n int) {
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				db.MustInsert("R", vals[rng.Intn(4)], vals[rng.Intn(4)])
+			case 1:
+				db.MustInsert("S", vals[rng.Intn(4)], vals[rng.Intn(4)], vals[rng.Intn(4)])
+			default:
+				db.MustInsert("U", vals[rng.Intn(4)])
+			}
+		}
+	}
+
+	for trial := 0; trial < 120; trial++ {
+		db := NewDatabase(s)
+		insertSome(db, rng.Intn(10))
+		queries := make([]*cq.Query, 6)
+		for i := range queries {
+			queries[i] = randomQuery()
+		}
+		// Three rounds: evaluate all queries both ways, then grow the
+		// database so later rounds hit maintained indexes and new
+		// snapshots (the same plans are recalled from the cache).
+		for round := 0; round < 3; round++ {
+			for _, q := range queries {
+				planned, err := db.Eval(q)
+				if err != nil {
+					t.Fatalf("planned eval of %s: %v", q, err)
+				}
+				ref, err := db.EvalReference(q)
+				if err != nil {
+					t.Fatalf("reference eval of %s: %v", q, err)
+				}
+				if !EqualResults(planned, ref) {
+					t.Fatalf("executors disagree on %s (round %d):\n  planned  = %v\n  reference = %v\n  R=%v\n  S=%v\n  U=%v",
+						q, round, planned, ref,
+						slices.Collect(db.Table("R").All()),
+						slices.Collect(db.Table("S").All()),
+						slices.Collect(db.Table("U").All()))
+				}
+			}
+			insertSome(db, 3+rng.Intn(60))
+		}
+	}
+}
+
+// TestDifferentialErrorAgreement: the two evaluators must reject the same
+// malformed queries.
+func TestDifferentialErrorAgreement(t *testing.T) {
+	s := schema.MustNew(schema.MustRelation("R", "a", "b"))
+	db := NewDatabase(s)
+	db.MustInsert("R", "1", "2")
+	for _, src := range []string{
+		"Q(x) :- Unknown(x)",
+		"Q(x) :- R(x)",
+		"Q(x) :- R(x, y, z)",
+	} {
+		q := cq.MustParse(src)
+		_, errPlanned := db.Eval(q)
+		_, errRef := db.EvalReference(q)
+		if (errPlanned == nil) != (errRef == nil) {
+			t.Errorf("%s: planned err = %v, reference err = %v", src, errPlanned, errRef)
+		}
+		if errPlanned == nil {
+			t.Errorf("%s: accepted", src)
+		}
 	}
 }
 

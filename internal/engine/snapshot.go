@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"iter"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/schema"
+)
+
+// Snapshot is an immutable point-in-time view of a database: dictionary
+// strings, per-table column prefixes and index bases. Readers obtain one
+// with a single atomic load and then evaluate entirely without locks; the
+// writer builds the next version and publishes it with an atomic store.
+// A snapshot never changes after publication, so it may be held across an
+// arbitrarily long evaluation while inserts proceed.
+type Snapshot struct {
+	schema *schema.Schema
+	relID  map[string]int // shared with the Database, immutable
+	strs   []string       // id → string; every id in tables is < len(strs)
+	tables []*tableSnap   // dense relation-id order
+
+	// ref is the lazily materialized string-tuple state used by the
+	// reference evaluator (EvalReference); see reference.go.
+	refMu sync.Mutex
+	ref   atomic.Pointer[refDB]
+}
+
+// tableSnap is one table's immutable view: column prefixes of length n plus
+// the index base covering rows [0, base.n0), n0 ≤ n. Rows [n0, n) — at most
+// baseTailMax plus a quarter of the table — are matched by a short linear
+// tail scan, which is what makes index maintenance incremental: an insert
+// never invalidates the base, it only lengthens the tail until the writer
+// rotates a fresh base at the next publish.
+type tableSnap struct {
+	rel  *schema.Relation
+	cols [][]uint32 // per attribute, captured as col[:n:n]
+	n    int
+	base *baseIndex // nil only for tables created before any rotation
+}
+
+// baseIndex is a set of lazily built per-column hash indexes over the first
+// n0 rows of a table. The base is shared by every snapshot published while
+// it stays fresh, so an index column built by one reader serves all
+// subsequent readers — across inserts — until the writer rotates the base.
+// Build sources are captured column prefixes, immutable by construction.
+type baseIndex struct {
+	n0   int
+	src  [][]uint32 // col[:n0:n0] capture per column
+	mu   sync.Mutex // serializes column builds
+	cols []atomic.Pointer[map[uint32][]int32]
+}
+
+// baseTailMax is the fixed part of the rotation threshold: a base is rotated
+// at publish once the unindexed tail exceeds baseTailMax rows and a quarter
+// of the table, so probe cost stays O(bucket + small tail) while rebuild
+// work amortizes to O(1) per insert.
+const baseTailMax = 64
+
+func newBaseIndex(cols [][]uint32, n int) *baseIndex {
+	b := &baseIndex{n0: n, src: make([][]uint32, len(cols))}
+	for i, c := range cols {
+		b.src[i] = c[:n:n]
+	}
+	b.cols = make([]atomic.Pointer[map[uint32][]int32], len(cols))
+	return b
+}
+
+// column returns the hash index for col, building it on first use. Builds
+// read only the immutable src capture, so they are safe concurrently with
+// the writer appending rows beyond n0.
+func (b *baseIndex) column(col int) map[uint32][]int32 {
+	if m := b.cols[col].Load(); m != nil {
+		return *m
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m := b.cols[col].Load(); m != nil { // raced with another builder
+		return *m
+	}
+	src := b.src[col]
+	m := make(map[uint32][]int32, len(src)/2+1)
+	for i, v := range src {
+		m[v] = append(m[v], int32(i))
+	}
+	b.cols[col].Store(&m)
+	return m
+}
+
+// probe returns the indexed row ids matching val in col plus the first row
+// of the unindexed tail; the caller scans [tailStart, n) linearly. Row ids
+// in the returned bucket are ascending and all < tailStart.
+func (t *tableSnap) probe(col int, val uint32) (ids []int32, tailStart int) {
+	b := t.base
+	if b == nil || b.n0 == 0 {
+		return nil, 0
+	}
+	return b.column(col)[val], b.n0
+}
+
+// Table is a read-only view of one relation inside a snapshot. It is valid
+// indefinitely and unaffected by later inserts.
+type Table struct {
+	strs []string
+	t    *tableSnap
+}
+
+// Relation returns the table's schema relation.
+func (t *Table) Relation() *schema.Relation { return t.t.rel }
+
+// Len returns the number of tuples in the view.
+func (t *Table) Len() int { return t.t.n }
+
+// All iterates the tuples in insertion order without materializing the
+// table: each yielded Tuple is built on demand from the dictionary-encoded
+// columns (the strings themselves are shared, never copied). The caller may
+// retain or modify a yielded tuple; it aliases nothing.
+func (t *Table) All() iter.Seq[Tuple] {
+	return func(yield func(Tuple) bool) {
+		cols, strs := t.t.cols, t.strs
+		for r := 0; r < t.t.n; r++ {
+			row := make(Tuple, len(cols))
+			for c := range cols {
+				row[c] = strs[cols[c][r]]
+			}
+			if !yield(row) {
+				return
+			}
+		}
+	}
+}
+
+// Schema returns the snapshot's schema.
+func (s *Snapshot) Schema() *schema.Schema { return s.schema }
+
+// Table returns the named table view, or nil for unknown relations.
+func (s *Snapshot) Table(name string) *Table {
+	id, ok := s.relID[name]
+	if !ok {
+		return nil
+	}
+	return &Table{strs: s.strs, t: s.tables[id]}
+}

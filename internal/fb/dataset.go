@@ -7,6 +7,13 @@ import (
 	"repro/internal/engine"
 )
 
+// Inserter is the sink GenerateGraph writes rows into: a batch
+// *engine.Loader (one snapshot publication for the whole graph — the bulk
+// loading path) or a bare *engine.Database (one publication per row).
+type Inserter interface {
+	Insert(rel string, values ...string) error
+}
+
 // GenerateGraph populates a database over the Facebook schema with a
 // synthetic social graph: the principal Me, nUsers-1 other users (roughly
 // a third of them friends of Me), friendship edges, and content rows in
@@ -14,11 +21,21 @@ import (
 // edge list, as the paper's denormalization requires.
 //
 // The generator is deterministic in the seed so examples, tests and
-// benchmarks can share datasets.
-func GenerateGraph(db *engine.Database, nUsers int, seed int64) error {
+// benchmarks can share datasets. When dst is an *engine.Database the whole
+// graph is loaded as one batch, publishing a single snapshot.
+func GenerateGraph(dst Inserter, nUsers int, seed int64) error {
 	if nUsers < 1 {
 		return fmt.Errorf("fb: nUsers must be at least 1")
 	}
+	if db, ok := dst.(*engine.Database); ok {
+		return db.Load(func(ld *engine.Loader) error {
+			return generateGraph(ld, nUsers, seed)
+		})
+	}
+	return generateGraph(dst, nUsers, seed)
+}
+
+func generateGraph(db Inserter, nUsers int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	names := []string{"Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace", "Heidi", "Ivan", "Judy"}
 	genres := []string{"jazz", "rock", "pop", "classical", "metal"}

@@ -1,9 +1,7 @@
 package label
 
 import (
-	"strconv"
-	"sync"
-
+	"repro/internal/clockcache"
 	"repro/internal/cq"
 )
 
@@ -16,14 +14,9 @@ import (
 // share one cache entry, so each template is labeled once and every repeat
 // is a lookup.
 //
-// The cache is sharded by fingerprint to keep lock contention low under
-// concurrent submission, and bounded with clock (second-chance) eviction so
-// adversarial or unbounded template spaces cannot exhaust memory.
-
-// cacheShardCount is the number of independently locked shards. Sixteen
-// shards keep contention negligible for the goroutine counts the benchmarks
-// exercise (1–16) while wasting little capacity on small caches.
-const cacheShardCount = 16
+// The memo itself — lock-striped shards, full-key collision safety, clock
+// eviction — is internal/clockcache, shared with the engine's compiled-plan
+// cache, which exploits the same traffic shape.
 
 // DefaultCacheCapacity is the entry bound used when NewCachedLabeler is
 // given a non-positive capacity.
@@ -34,26 +27,8 @@ const DefaultCacheCapacity = 4096
 // labelers constructed by this package are: they are read-only after
 // construction).
 type CachedLabeler struct {
-	inner  Labeler
-	shards [cacheShardCount]cacheShard
-}
-
-type cacheEntry struct {
-	key string // canonical key, for fingerprint-collision safety
-	lbl Label
-	ref bool // clock reference bit
-}
-
-type cacheShard struct {
-	mu      sync.Mutex
-	entries map[uint64][]*cacheEntry // fingerprint → collision chain
-	ring    []*cacheEntry            // clock ring over resident entries
-	fps     []uint64                 // fingerprint per ring slot
-	hand    int
-	cap     int
-	hits    uint64
-	misses  uint64
-	evicted uint64
+	inner Labeler
+	cache *clockcache.Cache[Label]
 }
 
 // NewCachedLabeler wraps inner with a memo bounded to roughly `capacity`
@@ -63,18 +38,7 @@ func NewCachedLabeler(inner Labeler, capacity int) *CachedLabeler {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	perShard := (capacity + cacheShardCount - 1) / cacheShardCount
-	if perShard < 1 {
-		perShard = 1
-	}
-	l := &CachedLabeler{inner: inner}
-	for i := range l.shards {
-		l.shards[i] = cacheShard{
-			entries: make(map[uint64][]*cacheEntry, perShard),
-			cap:     perShard,
-		}
-	}
-	return l
+	return &CachedLabeler{inner: inner, cache: clockcache.New[Label](capacity)}
 }
 
 // Name identifies the labeler in benchmark output.
@@ -91,142 +55,33 @@ func (l *CachedLabeler) Unwrap() Labeler { return l.inner }
 // immutable, which every consumer in this module already does. Labeling
 // errors are returned and never cached.
 func (l *CachedLabeler) Label(q *cq.Query) (Label, error) {
-	key := cq.CanonicalKey(q)
-	fp := cq.FingerprintKey(key)
-	shard := &l.shards[fp%cacheShardCount]
+	return l.LabelCanonical(cq.CanonicalKey(q), q)
+}
 
-	shard.mu.Lock()
-	if e := shard.find(fp, key); e != nil {
-		e.ref = true
-		shard.hits++
-		lbl := e.lbl
-		shard.mu.Unlock()
+// LabelCanonical is Label for callers that already hold q's canonical key
+// (cq.CanonicalKey): canonicalization dominates the warm-cache hot path, so
+// System.Submit computes it once per submission and shares it between this
+// cache and the engine's plan cache.
+func (l *CachedLabeler) LabelCanonical(key string, q *cq.Query) (Label, error) {
+	fp := cq.FingerprintKey(key)
+	if lbl, ok := l.cache.Get(fp, key); ok {
 		return lbl, nil
 	}
-	shard.misses++
-	shard.mu.Unlock()
-
-	// Compute outside the lock so concurrent misses label in parallel.
+	// Compute outside any lock so concurrent misses label in parallel; a
+	// racing miss may insert first, in which case its entry wins.
 	lbl, err := l.inner.Label(q)
 	if err != nil {
 		return lbl, err
 	}
-
-	shard.mu.Lock()
-	if e := shard.find(fp, key); e == nil { // racing miss may have inserted
-		shard.insert(fp, &cacheEntry{key: key, lbl: lbl})
-	}
-	shard.mu.Unlock()
+	l.cache.Add(fp, key, lbl)
 	return lbl, nil
 }
 
-// find returns the resident entry for (fp, key), or nil. Callers hold mu.
-func (s *cacheShard) find(fp uint64, key string) *cacheEntry {
-	for _, e := range s.entries[fp] {
-		if e.key == key {
-			return e
-		}
-	}
-	return nil
-}
-
-// insert adds an entry, evicting by clock when the shard is full. Callers
-// hold mu.
-func (s *cacheShard) insert(fp uint64, e *cacheEntry) {
-	if len(s.ring) < s.cap {
-		s.ring = append(s.ring, e)
-		s.fps = append(s.fps, fp)
-		s.entries[fp] = append(s.entries[fp], e)
-		return
-	}
-	// Clock sweep: skip (and clear) referenced entries, evict the first
-	// unreferenced one. Terminates within two revolutions.
-	for {
-		if victim := s.ring[s.hand]; !victim.ref {
-			s.dropFromChain(s.fps[s.hand], victim)
-			s.evicted++
-			s.ring[s.hand] = e
-			s.fps[s.hand] = fp
-			s.entries[fp] = append(s.entries[fp], e)
-			s.hand = (s.hand + 1) % len(s.ring)
-			return
-		} else {
-			victim.ref = false
-		}
-		s.hand = (s.hand + 1) % len(s.ring)
-	}
-}
-
-// dropFromChain removes an entry from its fingerprint's collision chain.
-func (s *cacheShard) dropFromChain(fp uint64, e *cacheEntry) {
-	chain := s.entries[fp]
-	for i, c := range chain {
-		if c == e {
-			chain[i] = chain[len(chain)-1]
-			chain = chain[:len(chain)-1]
-			break
-		}
-	}
-	if len(chain) == 0 {
-		delete(s.entries, fp)
-	} else {
-		s.entries[fp] = chain
-	}
-}
-
 // CacheStats is a point-in-time snapshot of cache effectiveness counters.
-type CacheStats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Entries   int // resident entries
-	Capacity  int // total entry bound
-}
-
-// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
-func (s CacheStats) HitRate() float64 {
-	total := s.Hits + s.Misses
-	if total == 0 {
-		return 0
-	}
-	return float64(s.Hits) / float64(total)
-}
-
-// String renders the snapshot for logs and benchmark output.
-func (s CacheStats) String() string {
-	return "hits=" + strconv.FormatUint(s.Hits, 10) +
-		" misses=" + strconv.FormatUint(s.Misses, 10) +
-		" evictions=" + strconv.FormatUint(s.Evictions, 10) +
-		" entries=" + strconv.Itoa(s.Entries) + "/" + strconv.Itoa(s.Capacity) +
-		" hitRate=" + strconv.FormatFloat(s.HitRate(), 'f', 3, 64)
-}
+type CacheStats = clockcache.Stats
 
 // Stats aggregates the per-shard counters.
-func (l *CachedLabeler) Stats() CacheStats {
-	var out CacheStats
-	for i := range l.shards {
-		s := &l.shards[i]
-		s.mu.Lock()
-		out.Hits += s.hits
-		out.Misses += s.misses
-		out.Evictions += s.evicted
-		out.Entries += len(s.ring)
-		out.Capacity += s.cap
-		s.mu.Unlock()
-	}
-	return out
-}
+func (l *CachedLabeler) Stats() CacheStats { return l.cache.Stats() }
 
 // Reset empties the cache and zeroes the counters (capacity is kept).
-func (l *CachedLabeler) Reset() {
-	for i := range l.shards {
-		s := &l.shards[i]
-		s.mu.Lock()
-		s.entries = make(map[uint64][]*cacheEntry, s.cap)
-		s.ring = s.ring[:0]
-		s.fps = s.fps[:0]
-		s.hand = 0
-		s.hits, s.misses, s.evicted = 0, 0, 0
-		s.mu.Unlock()
-	}
-}
+func (l *CachedLabeler) Reset() { l.cache.Reset() }

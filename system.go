@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cq"
 	"repro/internal/engine"
 	"repro/internal/label"
 	"repro/internal/policy"
@@ -24,20 +25,19 @@ var ErrNoPolicy = errors.New("disclosure: principal has no policy")
 // cumulative disclosure across the session), and only evaluates admitted
 // queries.
 //
-// Concurrency contract: System is safe for concurrent use. Submissions are
-// labeled through a sharded canonical-form cache, decided under a
-// per-principal lock (submissions for different principals proceed in
-// parallel; submissions for one principal serialize, preserving the
-// cumulative-disclosure semantics), and evaluated under a read lock on the
-// database. SetPolicy and Insert may be called concurrently with
-// submissions. The one exception is Database(): loading data through the
-// returned handle bypasses the database lock, so restrict it to a setup
-// phase or use Insert.
+// Concurrency contract: every method of System is safe for concurrent use.
+// Submissions are labeled through a sharded canonical-form cache, decided
+// under a per-principal lock (submissions for different principals proceed
+// in parallel; submissions for one principal serialize, preserving the
+// cumulative-disclosure semantics), and evaluated lock-free against an
+// immutable database snapshot through a compiled-plan cache. Insert and
+// LoadBatch build the next snapshot under the engine's write lock and
+// publish it atomically, so they never block in-flight evaluations;
+// SetPolicy and SetCacheCapacity may likewise be called at any time.
 type System struct {
-	dbMu    sync.RWMutex
 	db      *engine.Database
 	cat     *label.Catalog
-	labeler *label.CachedLabeler
+	labeler atomic.Pointer[label.CachedLabeler]
 	store   *policy.ConcurrentStore
 
 	queries  atomic.Uint64
@@ -53,41 +53,58 @@ func NewSystem(s *Schema, securityViews ...*Query) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
-		db:      engine.NewDatabase(s),
-		cat:     cat,
-		labeler: label.NewCachedLabeler(label.NewLabeler(cat), 0),
-		store:   policy.NewConcurrentStore(),
-	}, nil
+	sys := &System{
+		db:    engine.NewDatabase(s),
+		cat:   cat,
+		store: policy.NewConcurrentStore(),
+	}
+	sys.labeler.Store(label.NewCachedLabeler(label.NewLabeler(cat), 0))
+	return sys, nil
 }
 
 // SetCacheCapacity replaces the label cache with an empty one bounded to
 // roughly the given number of canonical forms (non-positive restores the
-// default). Counters restart from zero. Call it during setup; it is not
-// safe concurrently with submissions.
+// default). Counters restart from zero. It is safe concurrently with
+// submissions: the labeler is swapped atomically and in-flight submissions
+// finish against the cache they started with.
 func (sys *System) SetCacheCapacity(capacity int) {
-	sys.labeler = label.NewCachedLabeler(sys.labeler.Unwrap(), capacity)
+	sys.labeler.Store(label.NewCachedLabeler(sys.labeler.Load().Unwrap(), capacity))
 }
 
-// Database returns the system's database for bulk loading. The handle
-// bypasses the database lock: do not use it concurrently with Submit (see
-// Insert for a lock-holding alternative).
+// Database returns the system's raw database handle.
+//
+// Deprecated: the handle is no longer a lock bypass (the engine database is
+// itself safe for concurrent use), but going through it skips the System's
+// bulk-loading surface; prefer Insert for single rows, LoadBatch for bulk
+// data, and Table for read access.
 func (sys *System) Database() *Database { return sys.db }
 
-// Insert adds a tuple to the named relation under the database write lock;
-// unlike Database().Insert it is safe concurrently with submissions.
+// Insert adds a tuple to the named relation and publishes a database
+// snapshot containing it; it is safe concurrently with submissions, which
+// keep evaluating against the previous snapshot until publication.
 func (sys *System) Insert(rel string, values ...string) error {
-	sys.dbMu.Lock()
-	defer sys.dbMu.Unlock()
 	return sys.db.Insert(rel, values...)
 }
+
+// LoadBatch runs fn with a batch loader and publishes a single database
+// snapshot afterwards — the bulk-loading path that participates in snapshot
+// publication: concurrent submissions see either the database before the
+// batch or the database with every row fn inserted before returning (or
+// failing). fn must not call back into the System's write methods.
+func (sys *System) LoadBatch(fn func(ld *Loader) error) error {
+	return sys.db.Load(fn)
+}
+
+// Table returns a read-only snapshot view of the named relation, or nil for
+// unknown relations. The view is immutable: later inserts do not affect it.
+func (sys *System) Table(name string) *Table { return sys.db.Table(name) }
 
 // Catalog returns the security-view catalog.
 func (sys *System) Catalog() *Catalog { return sys.cat }
 
 // Labeler returns the system's labeler (the caching wrapper used by
 // Submit).
-func (sys *System) Labeler() Labeler { return sys.labeler }
+func (sys *System) Labeler() Labeler { return sys.labeler.Load() }
 
 // SetPolicy installs (or replaces) a principal's security policy; partition
 // values list security-view names. Replacing a policy resets the
@@ -117,7 +134,7 @@ func (sys *System) Session(principal string) (live []string, accepted, refused i
 }
 
 // Label computes the disclosure label of a query without submitting it.
-func (sys *System) Label(q *Query) (Label, error) { return sys.labeler.Label(q) }
+func (sys *System) Label(q *Query) (Label, error) { return sys.labeler.Load().Label(q) }
 
 // Submit runs a query on behalf of a principal: the query is labeled and
 // checked against the principal's policy; if admitted, it is evaluated and
@@ -131,7 +148,10 @@ func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error)
 	if !sys.store.Has(principal) {
 		return Decision{Allowed: false}, nil, fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 	}
-	lbl, err := sys.labeler.Label(q)
+	// One canonicalization per submission, shared between the label cache
+	// and the plan cache — the dominant cost when both caches are warm.
+	key := cq.CanonicalKey(q)
+	lbl, err := sys.labeler.Load().LabelCanonical(key, q)
 	if err != nil {
 		return Decision{Allowed: false}, nil, fmt.Errorf("disclosure: labeling %s: %w", q.Name, err)
 	}
@@ -147,9 +167,7 @@ func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error)
 		return dec, nil, nil
 	}
 	sys.admitted.Add(1)
-	sys.dbMu.RLock()
-	rows, err := sys.db.Eval(q)
-	sys.dbMu.RUnlock()
+	rows, err := sys.db.EvalCanonicalAt(sys.db.Snapshot(), key, q)
 	if err != nil {
 		return dec, nil, err
 	}
@@ -168,10 +186,12 @@ type BatchResult struct {
 // canonical-form cache), the policy decisions are then applied sequentially
 // in slice order — so cumulative-disclosure semantics are exactly those of
 // calling Submit in a loop — and finally the admitted queries are evaluated
-// concurrently. Results are positionally aligned with qs.
+// concurrently against one shared snapshot. Results are positionally
+// aligned with qs.
 func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 	out := make([]BatchResult, len(qs))
 	labels := make([]Label, len(qs))
+	keys := make([]string, len(qs))
 
 	// Fail the whole batch before labeling if the principal is unknown
 	// (same rationale as Submit). A policy removed mid-batch is still
@@ -185,10 +205,13 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 		return out
 	}
 
-	// Stage 1: concurrent labeling.
-	sys.forEachConcurrent(len(qs), func(i int) {
+	// Stage 1: concurrent labeling (one canonicalization per query, reused
+	// by the plan cache in stage 3).
+	labeler := sys.labeler.Load()
+	forEachConcurrent(len(qs), func(i int) {
 		sys.queries.Add(1)
-		lbl, err := sys.labeler.Label(qs[i])
+		keys[i] = cq.CanonicalKey(qs[i])
+		lbl, err := labeler.LabelCanonical(keys[i], qs[i])
 		if err != nil {
 			out[i].Decision = Decision{Allowed: false}
 			out[i].Err = fmt.Errorf("disclosure: labeling %s: %w", qs[i].Name, err)
@@ -219,14 +242,15 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 		}
 	}
 
-	// Stage 3: concurrent evaluation of the admitted queries.
-	sys.forEachConcurrent(len(qs), func(i int) {
+	// Stage 3: concurrent, lock-free evaluation of the admitted queries,
+	// all pinned to one snapshot so the whole batch reflects a single
+	// database state even while inserts land mid-batch.
+	snap := sys.db.Snapshot()
+	forEachConcurrent(len(qs), func(i int) {
 		if out[i].Err != nil || !out[i].Decision.Allowed {
 			return
 		}
-		sys.dbMu.RLock()
-		rows, err := sys.db.Eval(qs[i])
-		sys.dbMu.RUnlock()
+		rows, err := sys.db.EvalCanonicalAt(snap, keys[i], qs[i])
 		if err != nil {
 			out[i].Err = err
 			return
@@ -237,7 +261,7 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 }
 
 // forEachConcurrent runs f(0..n-1) across min(n, GOMAXPROCS) workers.
-func (sys *System) forEachConcurrent(n int, f func(i int)) {
+func forEachConcurrent(n int, f func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -277,6 +301,9 @@ type SystemStats struct {
 	// Cache reports label-cache effectiveness (hits, misses, evictions,
 	// residency).
 	Cache label.CacheStats
+	// Plans reports compiled-plan-cache effectiveness for the evaluation of
+	// admitted queries.
+	Plans engine.PlanCacheStats
 }
 
 // CacheHitRate returns the label-cache hit rate, 0 before any lookup.
@@ -290,7 +317,8 @@ func (sys *System) Stats() SystemStats {
 		Queries:  sys.queries.Load(),
 		Admitted: sys.admitted.Load(),
 		Refused:  sys.refused.Load(),
-		Cache:    sys.labeler.Stats(),
+		Cache:    sys.labeler.Load().Stats(),
+		Plans:    sys.db.PlanStats(),
 	}
 }
 
@@ -302,7 +330,7 @@ func (sys *System) Explain(principal string, q *Query) (string, error) {
 	if !sys.store.Has(principal) {
 		return "", fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 	}
-	lbl, err := sys.labeler.Label(q)
+	lbl, err := sys.labeler.Load().Label(q)
 	if err != nil {
 		return "", err
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -158,6 +159,191 @@ func TestSubmitBatchMatchesSequential(t *testing.T) {
 			t.Fatalf("query %d: batch (allowed=%v, %d rows) != sequential (allowed=%v, %d rows)",
 				i, r.Decision.Allowed, len(r.Rows), wants[i].allowed, wants[i].rows)
 		}
+	}
+}
+
+// TestInsertVsSubmitSnapshot hammers Insert and LoadBatch against
+// concurrent Submit; run with -race. The writer inserts Meetings rows with
+// increasing zero-padded times, so every admitted evaluation must see a
+// contiguous prefix of the insertion history — the snapshot-read guarantee:
+// no torn reads, no vanished rows, no partially visible batches.
+func TestInsertVsSubmitSnapshot(t *testing.T) {
+	s := MustSchema(MustRelation("Meetings", "time", "person"))
+	sys, err := NewSystem(s, MustParse("V1(t, p) :- Meetings(t, p)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetPolicy("app", map[string][]string{"all": {"V1"}}); err != nil {
+		t.Fatal(err)
+	}
+	const total = 600
+	var inserted atomic.Int64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for i < total {
+			if i%3 == 0 && total-i >= 10 {
+				// Batches must become visible atomically.
+				start := i
+				err := sys.LoadBatch(func(ld *Loader) error {
+					for k := 0; k < 10; k++ {
+						ld.MustInsert("Meetings", fmt.Sprintf("%06d", start+k), "p")
+					}
+					return nil
+				})
+				if err != nil {
+					panic(err)
+				}
+				i += 10
+			} else {
+				if err := sys.Insert("Meetings", fmt.Sprintf("%06d", i), "p"); err != nil {
+					panic(err)
+				}
+				i++
+			}
+			inserted.Store(int64(i))
+		}
+	}()
+
+	q := MustParse("Q(t) :- Meetings(t, p)")
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := inserted.Load()
+				dec, rows, err := sys.Submit("app", q)
+				hi := inserted.Load()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !dec.Allowed {
+					errc <- fmt.Errorf("hammer query refused")
+					return
+				}
+				n := int64(len(rows))
+				if n < lo || n > hi {
+					errc <- fmt.Errorf("saw %d rows outside insert window [%d, %d]", n, lo, hi)
+					return
+				}
+				for i, row := range rows {
+					if row[0] != fmt.Sprintf("%06d", i) {
+						errc <- fmt.Errorf("row %d = %q, want %06d (torn snapshot)", i, row[0], i)
+						return
+					}
+				}
+				if n == total {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitBatchSingleSnapshot: every admitted query of one batch is
+// evaluated against the same database snapshot, so a batch repeating one
+// query must report identical answers in every slot even while a writer
+// inserts between evaluations.
+func TestSubmitBatchSingleSnapshot(t *testing.T) {
+	s := MustSchema(MustRelation("Meetings", "time", "person"))
+	sys, err := NewSystem(s, MustParse("V1(t, p) :- Meetings(t, p)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetPolicy("app", map[string][]string{"all": {"V1"}}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := sys.Insert("Meetings", fmt.Sprint(i), "p"); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	batch := make([]*Query, 16)
+	for i := range batch {
+		batch[i] = MustParse(fmt.Sprintf("Q%d(t) :- Meetings(t, p)", i))
+	}
+	for round := 0; round < 50; round++ {
+		results := sys.SubmitBatch("app", batch)
+		for i, r := range results {
+			if r.Err != nil || !r.Decision.Allowed {
+				t.Fatalf("round %d slot %d: %+v %v", round, i, r.Decision, r.Err)
+			}
+			if len(r.Rows) != len(results[0].Rows) {
+				t.Fatalf("round %d: slot %d saw %d rows, slot 0 saw %d — batch mixed two snapshots",
+					round, i, len(r.Rows), len(results[0].Rows))
+			}
+		}
+	}
+	close(stop)
+	<-writerDone
+}
+
+// TestSetCacheCapacityDuringSubmit: resizing the label cache while
+// submissions are in flight must be race-free (the labeler is swapped
+// through an atomic pointer) and must never produce wrong decisions.
+func TestSetCacheCapacityDuringSubmit(t *testing.T) {
+	sys := concurrentTestSystem(t)
+	if err := sys.SetPolicy("app", map[string][]string{"times": {"V2"}}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	resizerDone := make(chan struct{})
+	go func() {
+		defer close(resizerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sys.SetCacheCapacity(64 + i%512)
+		}
+	}()
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				dec, _, err := sys.Submit("app", MustParse("Q(t) :- Meetings(t, p)"))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !dec.Allowed {
+					errc <- fmt.Errorf("within-policy query refused during cache resize")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-resizerDone
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
 	}
 }
 
