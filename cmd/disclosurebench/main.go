@@ -9,6 +9,7 @@
 //	disclosurebench -exp figure6 [-labels N] [-principals 1000,50000,1000000] [-tsv|-json]
 //	disclosurebench -exp cached [-queries N] [-pool N] [-goroutines 1,4,16] [-tsv|-json]
 //	disclosurebench -exp engine [-queries N] [-users 100,300,1000] [-goroutines 1,4] [-tsv|-json]
+//	disclosurebench -exp serve [-clients 64] [-requests N] [-batch N] [-users 300] [-json]
 //
 // The defaults use the paper's parameters (one million queries/labels per
 // point); use -queries/-labels to scale down for a quick run. The cached
@@ -17,11 +18,16 @@
 // labeler at several goroutine counts. The engine experiment evaluates the
 // same workload against synthetic social graphs of increasing size,
 // comparing the compiled-plan snapshot executor against the retained
-// pre-refactor backtracking evaluator. -json emits a machine-readable
-// archive (redirect to BENCH_<exp>.json).
+// pre-refactor backtracking evaluator. The serve experiment measures the
+// whole request path of the disclosured HTTP service under a closed loop of
+// concurrent clients, each an authenticated principal with its own
+// deterministic query stream, and reports throughput plus latency
+// percentiles. -json emits a machine-readable archive (redirect to
+// BENCH_<exp>.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6, footnote3, cached or engine")
+	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6, footnote3, cached, engine or serve")
 	queries := flag.Int("queries", 1_000_000, "figure5: queries per measurement point")
 	labels := flag.Int("labels", 1_000_000, "figure6: labels per measurement point")
 	labelPool := flag.Int("label-pool", 200_000, "figure6: distinct pre-labeled queries to draw from")
@@ -41,10 +47,13 @@ func main() {
 	maxAtoms := flag.String("max-atoms", "3,6,9,12,15", "figure5: comma-separated max atoms per query")
 	maxElems := flag.String("max-elems", "5,10,15,20,25,30,35,40,45,50", "figure6: comma-separated max elements per partition")
 	seed := flag.Int64("seed", 2013, "workload seed")
-	pool := flag.Int("pool", 5000, "cached/engine: distinct queries per point (the template space)")
+	pool := flag.Int("pool", 5000, "cached/engine: distinct queries per point; serve: templates per client (serve defaults to 500 when unset)")
 	goroutines := flag.String("goroutines", "1,4,16", "cached/engine: comma-separated goroutine counts")
 	users := flag.String("users", "100,300,1000", "engine: comma-separated social-graph sizes")
 	cacheCap := flag.Int("cache-capacity", 0, "cached: label-cache entry bound (0 = 2×pool, the warm regime; set below pool to study eviction)")
+	clients := flag.String("clients", "64", "serve: comma-separated concurrent-client counts")
+	requests := flag.Int("requests", 200, "serve: requests per client")
+	batch := flag.Int("batch", 1, "serve: queries per submit request")
 	tsv := flag.Bool("tsv", false, "emit tab-separated values instead of a table")
 	jsonOut := flag.Bool("json", false, "emit indented JSON instead of a table (for BENCH_*.json archives)")
 	flag.Parse()
@@ -144,8 +153,41 @@ func main() {
 				}
 			}
 		}
+	case "serve":
+		cfg := bench.DefaultServeConfig()
+		cfg.Requests = *requests
+		cfg.Clients = ints(*clients)
+		cfg.Batch = *batch
+		cfg.Seed = *seed
+		// -users and -pool are shared with the engine experiment and carry
+		// its defaults, so DefaultServeConfig wins unless the flag was set
+		// explicitly (serve measures one graph size: the first -users value
+		// is taken).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "users":
+				if us := ints(*users); len(us) > 0 {
+					cfg.Users = us[0]
+				}
+			case "pool":
+				cfg.Pool = *pool
+			}
+		})
+		report, err := bench.RunServe(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			out, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.FormatServe(report))
+		}
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6, footnote3, cached or engine)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6, footnote3, cached, engine or serve)", *exp))
 	}
 }
 

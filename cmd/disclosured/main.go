@@ -1,0 +1,187 @@
+// Command disclosured runs the networked reference monitor: an HTTP/JSON
+// service exposing submit / explain / policy / load / stats over one
+// disclosure.System — the paper's Figure-2 platform as a standalone
+// process third-party apps talk to.
+//
+// Usage:
+//
+//	disclosured -admin-token s3cret [-addr :8080] [-preset facebook -users 300]
+//	disclosured -admin-token s3cret -config deployment.json
+//
+// With -preset facebook the server starts over the Section-7 Facebook
+// schema and security-view catalog, optionally pre-populated with a
+// deterministic synthetic social graph of -users users. With -config it
+// starts from an internal/store configuration file (schema, views and
+// per-principal policies); principals from the file still need submission
+// tokens installed via PUT /v1/policy/{principal}.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
+// at once and in-flight requests get -shutdown-timeout to finish. See
+// ARCHITECTURE.md for a curl walkthrough of the API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	disclosure "repro"
+	"repro/internal/fb"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	adminToken := flag.String("admin-token", "", "bearer token for the policy and load endpoints (required)")
+	preset := flag.String("preset", "", "built-in deployment to start from: facebook")
+	configPath := flag.String("config", "", "store configuration file (schema, views, policies)")
+	users := flag.Int("users", 0, "facebook preset: populate a synthetic social graph of this many users")
+	seed := flag.Int64("seed", 2013, "facebook preset: graph generator seed")
+	maxBytes := flag.Int64("max-request-bytes", server.DefaultMaxRequestBytes, "request-body size limit")
+	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "queries per submit request limit")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	flag.Parse()
+
+	if *adminToken == "" {
+		fatal(fmt.Errorf("-admin-token is required"))
+	}
+	if (*preset == "") == (*configPath == "") {
+		fatal(fmt.Errorf("set exactly one of -preset or -config"))
+	}
+
+	var sys *disclosure.System
+	var err error
+	switch {
+	case *configPath != "":
+		sys, err = fromConfig(*configPath)
+	case *preset == "facebook":
+		sys, err = facebookSystem(*users, *seed)
+	default:
+		err = fmt.Errorf("unknown preset %q (want facebook)", *preset)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := server.New(sys, server.Options{
+		AdminToken:      *adminToken,
+		MaxRequestBytes: *maxBytes,
+		MaxBatch:        *maxBatch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("disclosured: serving on %s (%d principals installed)", l.Addr(), sys.Principals())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	select {
+	case err := <-done:
+		fatal(err)
+	case <-ctx.Done():
+		log.Printf("disclosured: shutting down (grace %s)", *shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		if err := <-done; err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+		log.Printf("disclosured: stopped")
+	}
+}
+
+// facebookSystem builds a System over the Facebook case-study schema and
+// catalog, optionally populated with a synthetic social graph.
+func facebookSystem(users int, seed int64) (*disclosure.System, error) {
+	s := fb.Schema()
+	views, err := fb.SecurityViews(s)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := disclosure.NewSystem(s, views...)
+	if err != nil {
+		return nil, err
+	}
+	if users > 0 {
+		err := sys.LoadBatch(func(ld *disclosure.Loader) error {
+			return fb.GenerateGraph(ld, users, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("disclosured: loaded synthetic graph of %d users (seed %d)", users, seed)
+	}
+	return sys, nil
+}
+
+// fromConfig builds a System from an internal/store configuration file,
+// installing every policy the file declares.
+func fromConfig(path string) (*disclosure.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cfg, err := store.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the whole configuration up front for a precise error, then
+	// build the System from the same source fields.
+	if _, _, _, err := cfg.Build(); err != nil {
+		return nil, err
+	}
+	rels := make([]*disclosure.Relation, 0, len(cfg.Schema))
+	for _, rd := range cfg.Schema {
+		r, err := disclosure.NewRelation(rd.Name, rd.Attrs...)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, r)
+	}
+	s, err := disclosure.NewSchema(rels...)
+	if err != nil {
+		return nil, err
+	}
+	views := make([]*disclosure.Query, 0, len(cfg.Views))
+	for _, src := range cfg.Views {
+		v, err := disclosure.ParseQuery(src)
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, v)
+	}
+	sys, err := disclosure.NewSystem(s, views...)
+	if err != nil {
+		return nil, err
+	}
+	for principal, parts := range cfg.Policies {
+		if err := sys.SetPolicy(principal, parts); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "disclosured:", err)
+	os.Exit(1)
+}

@@ -44,6 +44,10 @@
 // equivalent view rewriting, disclosure orders and lattices, labelers,
 // policies, plus the Facebook case-study model and the evaluation harness.
 // This facade re-exports the types and constructors applications need.
+// internal/server and cmd/disclosured expose the same surface as an
+// HTTP/JSON service — the paper's platform as a standalone process — and
+// ARCHITECTURE.md maps every package to its paper section and spells out
+// the hot path and the concurrency contract.
 package disclosure
 
 import (
@@ -89,6 +93,11 @@ type (
 	QueryMonitor = policy.QueryMonitor
 	// Decision is the outcome of a reference-monitor check.
 	Decision = policy.Decision
+	// Explanation is the structured account of a query's label against a
+	// principal's policy and session state (see ExplainDecision).
+	Explanation = policy.Explanation
+	// PartitionStatus is one partition's row of an Explanation.
+	PartitionStatus = policy.PartitionStatus
 	// Database is the in-memory relational engine: dictionary-encoded
 	// columnar storage, compiled-and-cached query plans, and lock-free
 	// snapshot reads.

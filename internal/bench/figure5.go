@@ -1,8 +1,12 @@
-// Package bench implements the paper's evaluation harness (Section 7.2):
-// the disclosure-labeler throughput experiment of Figure 5 and the
-// policy-checker throughput experiment of Figure 6. Each runner regenerates
-// the corresponding figure's data series; the cmd/disclosurebench tool and
-// the root testing.B benchmarks are thin wrappers around this package.
+// Package bench implements the paper's evaluation harness (Section 7.2)
+// and its service-level extensions: the disclosure-labeler throughput
+// experiment of Figure 5 (RunFigure5), the policy-checker throughput
+// experiment of Figure 6 (RunFigure6), the schema-scaling experiment of
+// footnote 3 (RunFootnote3), the label-cache experiment (RunCached), the
+// evaluation-engine experiment (RunEngine), and the closed-loop HTTP load
+// experiment against the disclosured server (RunServe). Each runner
+// regenerates one data series set; the cmd/disclosurebench tool and the
+// root testing.B benchmarks are thin wrappers around this package.
 package bench
 
 import (

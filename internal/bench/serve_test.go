@@ -1,0 +1,55 @@
+package bench
+
+import "testing"
+
+// TestRunServeSmoke drives the whole service-level harness at unit scale:
+// a real server on a loopback port, four authenticated clients with
+// deterministic per-client streams, single and batch requests.
+func TestRunServeSmoke(t *testing.T) {
+	for _, batch := range []int{1, 4} {
+		cfg := ServeConfig{
+			Requests: 5,
+			Clients:  []int{1, 4},
+			Users:    30,
+			MaxAtoms: 9,
+			Pool:     20,
+			Batch:    batch,
+			Seed:     7,
+		}
+		report, err := RunServe(cfg)
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if len(report.Points) != 2 {
+			t.Fatalf("batch=%d: %d points, want 2", batch, len(report.Points))
+		}
+		for _, p := range report.Points {
+			wantQueries := p.Clients * cfg.Requests * batch
+			if p.Queries != wantQueries {
+				t.Errorf("batch=%d clients=%d: queries %d, want %d", batch, p.Clients, p.Queries, wantQueries)
+			}
+			if got := p.Admitted + p.Refused + p.Errored; got != uint64(wantQueries) {
+				t.Errorf("batch=%d clients=%d: outcomes %d, want %d", batch, p.Clients, got, wantQueries)
+			}
+			if p.ThroughputQPS <= 0 || p.LatencyP50Ms <= 0 || p.LatencyP99Ms < p.LatencyP50Ms {
+				t.Errorf("batch=%d clients=%d: degenerate measurements: %+v", batch, p.Clients, p)
+			}
+		}
+	}
+}
+
+// TestRunServeValidation exercises the config checks.
+func TestRunServeValidation(t *testing.T) {
+	bad := []ServeConfig{
+		{Requests: 0, Clients: []int{1}, Users: 10, MaxAtoms: 9, Pool: 5, Batch: 1},
+		{Requests: 1, Clients: []int{0}, Users: 10, MaxAtoms: 9, Pool: 5, Batch: 1},
+		{Requests: 1, Clients: []int{1}, Users: 0, MaxAtoms: 9, Pool: 5, Batch: 1},
+		{Requests: 1, Clients: []int{1}, Users: 10, MaxAtoms: 7, Pool: 5, Batch: 1},
+		{Requests: 1, Clients: []int{1}, Users: 10, MaxAtoms: 9, Pool: 5, Batch: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := RunServe(cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}

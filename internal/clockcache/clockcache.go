@@ -151,11 +151,11 @@ func (s *shard[V]) dropFromChain(fp uint64, e *entry[V]) {
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
 type Stats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Entries   int // resident entries
-	Capacity  int // total entry bound
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`  // resident entries
+	Capacity  int    `json:"capacity"` // total entry bound
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.

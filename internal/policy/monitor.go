@@ -179,19 +179,92 @@ func (qm *QueryMonitor) Explain(q *cq.Query) (string, error) {
 	return qm.mon.ExplainLabel(qm.labeler.Catalog(), q.Name, lbl), nil
 }
 
+// PartitionStatus is one partition's row of an Explanation: whether the
+// partition is still live in the session and whether it dominates
+// (information-contains) the explained label.
+type PartitionStatus struct {
+	Name      string   `json:"name"`
+	Views     []string `json:"views"`
+	Live      bool     `json:"live"`
+	Dominates bool     `json:"dominates"`
+}
+
+// Explanation is the structured account of how one query's label compares
+// against a principal's policy and session state — the machine-readable
+// refusal body a serving layer returns alongside (or instead of) the
+// rendered text of ExplainLabel. Labels are rendered through the catalog
+// (e.g. "{user_basic} ⊗ {friends_likes}"); ⊤ atoms render as "⊤", the
+// empty label as "⊥".
+type Explanation struct {
+	// Query is the head name of the explained query.
+	Query string `json:"query"`
+	// Label is the query's disclosure label, rendered.
+	Label string `json:"label"`
+	// Admissible reports whether some live partition dominates the label —
+	// i.e. whether Submit would accept the query right now.
+	Admissible bool `json:"admissible"`
+	// Cumulative is the session's total disclosure so far (the join of all
+	// accepted labels), rendered.
+	Cumulative string `json:"cumulative"`
+	// Accepted and Refused are the session's decision counts so far.
+	Accepted int `json:"accepted"`
+	Refused  int `json:"refused"`
+	// Partitions holds one status row per policy partition, in policy
+	// order.
+	Partitions []PartitionStatus `json:"partitions"`
+}
+
+// Offending returns the names of the live partitions that fail to dominate
+// the label — the partitions standing between the query and admission. For
+// an inadmissible label that is every live partition; for an admissible one
+// it names the partitions the query would retire.
+func (e Explanation) Offending() []string {
+	var out []string
+	for _, p := range e.Partitions {
+		if p.Live && !p.Dominates {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// Explanation builds the structured account of how a label compares against
+// each policy partition and the session state, without mutating the
+// monitor.
+func (m *Monitor) Explanation(c *label.Catalog, name string, lbl label.Label) Explanation {
+	e := Explanation{
+		Query:      name,
+		Label:      lbl.Render(c),
+		Admissible: m.Check(lbl),
+		Cumulative: m.cum.Render(c),
+		Accepted:   m.accepted,
+		Refused:    m.refused,
+		Partitions: make([]PartitionStatus, 0, len(m.policy.parts)),
+	}
+	for i, part := range m.policy.parts {
+		e.Partitions = append(e.Partitions, PartitionStatus{
+			Name:      part.Name,
+			Views:     append([]string(nil), part.Views...),
+			Live:      m.isLive(i),
+			Dominates: lbl.BelowEq(part.Label),
+		})
+	}
+	return e
+}
+
 // ExplainLabel renders a human-readable account of how a label compares
 // against each policy partition and whether it is currently admissible.
 func (m *Monitor) ExplainLabel(c *label.Catalog, name string, lbl label.Label) string {
+	e := m.Explanation(c, name, lbl)
 	var b strings.Builder
-	fmt.Fprintf(&b, "query %s\n  label: %s\n", name, lbl.Render(c))
-	for i, part := range m.policy.parts {
+	fmt.Fprintf(&b, "query %s\n  label: %s\n", e.Query, e.Label)
+	for _, p := range e.Partitions {
 		status := "retired"
-		if m.isLive(i) {
+		if p.Live {
 			status = "live"
 		}
-		ok := lbl.BelowEq(part.Label)
-		fmt.Fprintf(&b, "  partition %s (%s): label ≼ %v → %v\n", part.Name, status, part.Views, ok)
+		fmt.Fprintf(&b, "  partition %s (%s): label ≼ %v → %v\n", p.Name, status, p.Views, p.Dominates)
 	}
-	fmt.Fprintf(&b, "  decision: %v\n", m.Check(lbl))
+	fmt.Fprintf(&b, "  decision: %v\n", e.Admissible)
 	return b.String()
 }

@@ -1,0 +1,100 @@
+package server
+
+import (
+	disclosure "repro"
+)
+
+// This file defines the wire types of the disclosured HTTP/JSON API. They
+// are shared by the server handlers, the Client used by the load driver
+// (internal/bench) and the end-to-end tests, so the three can never drift
+// apart.
+
+// SubmitRequest is the body of POST /v1/submit. Exactly one of Query
+// (single submission) or Queries (batch submission) must be set. Queries
+// are conjunctive queries in datalog syntax, e.g.
+// "Q(t) :- Meetings(t, p)". A batch maps onto System.SubmitBatch, so the
+// whole request is labeled concurrently, decided in slice order, and
+// evaluated against one database snapshot.
+type SubmitRequest struct {
+	Query   string   `json:"query,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+// SubmitResult is the outcome of one submitted query.
+type SubmitResult struct {
+	// Query is the head name of the submitted query.
+	Query string `json:"query"`
+	// Allowed reports the reference monitor's decision.
+	Allowed bool `json:"allowed"`
+	// Live lists the policy partitions still consistent after the decision
+	// (when allowed) or the partitions that were live when the query was
+	// refused.
+	Live []string `json:"live,omitempty"`
+	// Rows holds the answer tuples of an admitted query.
+	Rows [][]string `json:"rows,omitempty"`
+	// Error reports a submission error (no policy, labeling failure,
+	// evaluation failure). Refusals are not errors.
+	Error string `json:"error,omitempty"`
+	// Refusal carries the structured account of a refusal: the query's
+	// label, the session's cumulative disclosure, and per-partition status
+	// rows (the offending partitions are the live ones that do not
+	// dominate the label). It reflects the session state when the
+	// explanation was built, which for batches is after the whole batch
+	// was decided.
+	Refusal *disclosure.Explanation `json:"refusal,omitempty"`
+}
+
+// SubmitResponse is the body of a POST /v1/submit response. For a single
+// submission Results has exactly one element.
+type SubmitResponse struct {
+	Principal string         `json:"principal"`
+	Results   []SubmitResult `json:"results"`
+}
+
+// PolicyRequest is the body of PUT /v1/policy/{principal}: the principal's
+// partitioned policy plus the bearer token that will authenticate its
+// submissions. Replacing a policy resets the principal's session and
+// rotates its token.
+type PolicyRequest struct {
+	Token      string              `json:"token"`
+	Partitions map[string][]string `json:"partitions"`
+}
+
+// PolicyResponse is the body of a successful policy installation.
+type PolicyResponse struct {
+	Principal  string `json:"principal"`
+	Partitions int    `json:"partitions"`
+}
+
+// LoadRow is one row of a bulk load.
+type LoadRow struct {
+	Rel    string   `json:"rel"`
+	Values []string `json:"values"`
+}
+
+// LoadRequest is the body of POST /v1/load. The rows are inserted through
+// System.LoadBatch: concurrent submissions see either none or all of them.
+type LoadRequest struct {
+	Rows []LoadRow `json:"rows"`
+}
+
+// LoadResponse is the body of a successful bulk load.
+type LoadResponse struct {
+	Rows int `json:"rows"`
+}
+
+// StatsResponse is the body of GET /v1/stats: the system counters (see
+// disclosure.SystemStats for the accounting identity they satisfy) plus
+// server-level gauges.
+type StatsResponse struct {
+	disclosure.SystemStats
+	// Principals is the number of principals with an installed policy.
+	Principals int `json:"principals"`
+	// UptimeSeconds is the time since the server was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

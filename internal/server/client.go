@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	disclosure "repro"
+)
+
+// Client is a typed HTTP client for the disclosured API, used by the
+// closed-loop load driver (internal/bench) and the end-to-end tests. Zero
+// value is not usable; set BaseURL, a token, and optionally HTTP.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Token authenticates requests: a principal's submission token, or the
+	// admin token for policy and load calls.
+	Token string
+	// HTTP is the underlying client (http.DefaultClient when nil); point
+	// it at a shared Transport to control connection pooling under load.
+	HTTP *http.Client
+}
+
+// do sends a request with the client's bearer token and decodes the JSON
+// response into out. Non-2xx responses are returned as errors carrying the
+// server's ErrorResponse message.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.Token)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s %s: %s (%s)", method, path, e.Error, resp.Status)
+		}
+		return fmt.Errorf("server: %s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit submits one query in datalog syntax and returns its result.
+func (c *Client) Submit(query string) (SubmitResult, error) {
+	var resp SubmitResponse
+	if err := c.do(http.MethodPost, "/v1/submit", SubmitRequest{Query: query}, &resp); err != nil {
+		return SubmitResult{}, err
+	}
+	if len(resp.Results) != 1 {
+		return SubmitResult{}, fmt.Errorf("server: submit returned %d results, want 1", len(resp.Results))
+	}
+	return resp.Results[0], nil
+}
+
+// SubmitBatch submits a batch of queries; results align with queries.
+func (c *Client) SubmitBatch(queries []string) ([]SubmitResult, error) {
+	var resp SubmitResponse
+	if err := c.do(http.MethodPost, "/v1/submit", SubmitRequest{Queries: queries}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Explain fetches the structured admissibility account of a query without
+// submitting it.
+func (c *Client) Explain(query string) (disclosure.Explanation, error) {
+	var e disclosure.Explanation
+	err := c.do(http.MethodGet, "/v1/explain?q="+url.QueryEscape(query), nil, &e)
+	return e, err
+}
+
+// SetPolicy installs a principal's policy and submission token (admin).
+func (c *Client) SetPolicy(principal, token string, partitions map[string][]string) error {
+	return c.do(http.MethodPut, "/v1/policy/"+url.PathEscape(principal),
+		PolicyRequest{Token: token, Partitions: partitions}, nil)
+}
+
+// RemovePolicy removes a principal (admin).
+func (c *Client) RemovePolicy(principal string) error {
+	return c.do(http.MethodDelete, "/v1/policy/"+url.PathEscape(principal), nil, nil)
+}
+
+// Load bulk-loads rows in one snapshot publication (admin).
+func (c *Client) Load(rows []LoadRow) error {
+	return c.do(http.MethodPost, "/v1/load", LoadRequest{Rows: rows}, nil)
+}
+
+// Stats fetches the system counters.
+func (c *Client) Stats() (StatsResponse, error) {
+	var st StatsResponse
+	err := c.do(http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}

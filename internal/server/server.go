@@ -1,0 +1,462 @@
+// Package server implements disclosured, the networked reference-monitor
+// service: an HTTP/JSON front end exposing the full disclosure.System
+// surface — the deployment model of the paper's Figure 2, where a platform
+// mediates queries from many third-party apps on behalf of its users.
+//
+// Endpoints (all bodies JSON, wire types in api.go):
+//
+//	POST   /v1/submit              submit one query or a batch (principal token)
+//	GET    /v1/explain?q=...       structured admissibility explanation (principal token)
+//	PUT    /v1/policy/{principal}  install a policy + submission token (admin token)
+//	DELETE /v1/policy/{principal}  remove a principal (admin token)
+//	POST   /v1/load                bulk-load rows in one snapshot (admin token)
+//	GET    /v1/stats               system counters and server gauges (no auth)
+//
+// Authentication is bearer-token: administrative endpoints require the
+// admin token the server was created with, and each principal submits with
+// the per-principal token installed alongside its policy (the token
+// identifies the principal, so a request cannot impersonate another app).
+// Request bodies are size-limited, refusals carry structured explanation
+// bodies, and shutdown is graceful: in-flight requests complete, new
+// connections are refused.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	disclosure "repro"
+)
+
+// Options configures a Server.
+type Options struct {
+	// AdminToken authenticates the administrative endpoints (policy
+	// installation and bulk loading). It must be non-empty.
+	AdminToken string
+	// MaxRequestBytes bounds request-body size (default 1 MiB). Larger
+	// requests are refused with 413 before any work is done.
+	MaxRequestBytes int64
+	// MaxBatch bounds the number of queries in one submit request
+	// (default 1024).
+	MaxBatch int
+}
+
+// DefaultMaxRequestBytes is the request-body bound applied when
+// Options.MaxRequestBytes is zero.
+const DefaultMaxRequestBytes = 1 << 20
+
+// DefaultMaxBatch is the per-request query bound applied when
+// Options.MaxBatch is zero.
+const DefaultMaxBatch = 1024
+
+// Server is the reference-monitor HTTP service over one disclosure.System.
+// Create it with New, mount Handler (or call Serve), and stop it with
+// Shutdown. All methods are safe for concurrent use.
+type Server struct {
+	sys   *disclosure.System
+	opts  Options
+	mux   *http.ServeMux
+	start time.Time
+
+	mu     sync.RWMutex
+	tokens map[string]string // submission token → principal
+	byName map[string]string // principal → its current token
+
+	httpMu sync.Mutex
+	http   *http.Server
+}
+
+// New wires a Server over the given system. The system may already hold
+// data and policies; principals installed out of band can be given
+// submission tokens with RegisterToken.
+func New(sys *disclosure.System, opts Options) (*Server, error) {
+	if opts.AdminToken == "" {
+		return nil, fmt.Errorf("server: AdminToken must be non-empty")
+	}
+	if opts.MaxRequestBytes <= 0 {
+		opts.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	s := &Server{
+		sys:    sys,
+		opts:   opts,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		tokens: make(map[string]string),
+		byName: make(map[string]string),
+	}
+	s.mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("PUT /v1/policy/{principal}", s.handleSetPolicy)
+	s.mux.HandleFunc("DELETE /v1/policy/{principal}", s.handleRemovePolicy)
+	s.mux.HandleFunc("POST /v1/load", s.handleLoad)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// System returns the served system (tests and embedders reach through to
+// it, e.g. to pre-load data without going over HTTP).
+func (s *Server) System() *disclosure.System { return s.sys }
+
+// RegisterToken installs (or rotates) the submission token of a principal
+// whose policy was set outside the HTTP API. It fails if the token already
+// authenticates a different principal.
+func (s *Server) RegisterToken(principal, token string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setTokenLocked(principal, token)
+}
+
+// setTokenLocked rotates principal's token to token; the previous token, if
+// any, stops authenticating. A token held by a different principal is
+// refused — accepting it would let that principal's requests silently act
+// as this one, and the eventual rotation would revoke the other principal's
+// only credential. Callers hold s.mu.
+func (s *Server) setTokenLocked(principal, token string) error {
+	if owner, ok := s.tokens[token]; ok && owner != principal {
+		return fmt.Errorf("server: token already assigned to another principal")
+	}
+	if old, ok := s.byName[principal]; ok {
+		delete(s.tokens, old)
+	}
+	s.byName[principal] = token
+	s.tokens[token] = principal
+	return nil
+}
+
+// Handler returns the service's HTTP handler with the request-size limit
+// applied, for mounting under a custom http.Server or test server.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.httpMu.Lock()
+	s.http = srv
+	s.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops a server started with Serve or ListenAndServe:
+// the listener closes immediately, in-flight requests run to completion (or
+// until ctx expires), and Serve returns http.ErrServerClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	srv := s.http
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// bearer extracts the request's bearer token, or "".
+func bearer(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return h[len(prefix):]
+	}
+	return ""
+}
+
+// principalFor resolves a submission token to its principal.
+func (s *Server) principalFor(token string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.tokens[token]
+	return p, ok
+}
+
+// authPrincipal authenticates a submission request, writing 401 and
+// returning ok=false on failure.
+func (s *Server) authPrincipal(w http.ResponseWriter, r *http.Request) (string, bool) {
+	tok := bearer(r)
+	if tok == "" {
+		writeError(w, http.StatusUnauthorized, "missing bearer token")
+		return "", false
+	}
+	principal, ok := s.principalFor(tok)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, "unknown token")
+		return "", false
+	}
+	return principal, true
+}
+
+// authAdmin authenticates an administrative request, writing 401 and
+// returning false on failure.
+func (s *Server) authAdmin(w http.ResponseWriter, r *http.Request) bool {
+	if bearer(r) != s.opts.AdminToken {
+		writeError(w, http.StatusUnauthorized, "admin token required")
+		return false
+	}
+	return true
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes an ErrorResponse with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// decode parses a JSON request body into v, writing 400 (or 413 for
+// oversized bodies) and returning false on failure.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// handleSubmit serves POST /v1/submit: one query or a batch on behalf of
+// the authenticated principal. Refusals are 200 responses with structured
+// refusal bodies — refusal is a policy outcome, not a transport error.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	principal, ok := s.authPrincipal(w, r)
+	if !ok {
+		return
+	}
+	var req SubmitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	single := req.Query != ""
+	if single == (len(req.Queries) > 0) {
+		writeError(w, http.StatusBadRequest, "set exactly one of query or queries")
+		return
+	}
+	srcs := req.Queries
+	if single {
+		srcs = []string{req.Query}
+	}
+	if len(srcs) > s.opts.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds the %d-query bound", len(srcs), s.opts.MaxBatch))
+		return
+	}
+	qs := make([]*disclosure.Query, len(srcs))
+	for i, src := range srcs {
+		q, err := disclosure.ParseQuery(src)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		qs[i] = q
+	}
+
+	// Single and batch share the SubmitBatch path: a one-element batch is
+	// decided and evaluated exactly like Submit, and every multi-query
+	// request pins one database snapshot.
+	results := s.sys.SubmitBatch(principal, qs)
+	resp := SubmitResponse{Principal: principal, Results: make([]SubmitResult, len(results))}
+	for i, res := range results {
+		out := SubmitResult{Query: qs[i].Name, Allowed: res.Decision.Allowed, Live: res.Decision.Live}
+		switch {
+		case res.Err != nil:
+			out.Error = res.Err.Error()
+		case !res.Decision.Allowed:
+			if e, err := s.sys.ExplainDecision(principal, qs[i]); err == nil {
+				out.Refusal = &e
+			}
+		default:
+			out.Rows = make([][]string, len(res.Rows))
+			for j, row := range res.Rows {
+				out.Rows[j] = row
+			}
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExplain serves GET /v1/explain?q=...: the structured admissibility
+// account of a query for the authenticated principal, without submitting
+// it — session state is not advanced. Labeling does go through the shared
+// label cache, so explain traffic warms (and competes for) the same
+// canonical-form entries submissions use.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	principal, ok := s.authPrincipal(w, r)
+	if !ok {
+		return
+	}
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	q, err := disclosure.ParseQuery(src)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	e, err := s.sys.ExplainDecision(principal, q)
+	if err != nil {
+		if errors.Is(err, disclosure.ErrNoPolicy) {
+			writeError(w, http.StatusUnauthorized, err.Error())
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+// handleSetPolicy serves PUT /v1/policy/{principal}: install or replace a
+// policy and rotate the principal's submission token. Replacing a policy
+// resets the principal's cumulative-disclosure session, exactly like
+// System.SetPolicy.
+func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
+	if !s.authAdmin(w, r) {
+		return
+	}
+	principal := r.PathValue("principal")
+	var req PolicyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Token == "" {
+		writeError(w, http.StatusBadRequest, "token must be non-empty")
+		return
+	}
+	if req.Token == s.opts.AdminToken {
+		writeError(w, http.StatusBadRequest, "token must differ from the admin token")
+		return
+	}
+	// Install under the token lock so a concurrent submission never sees
+	// the new token before the policy (or the old policy after its token
+	// was rotated away). The collision check runs before SetPolicy so a
+	// refused request neither resets the principal's session nor disturbs
+	// any token.
+	s.mu.Lock()
+	var err error
+	conflict := false
+	if owner, ok := s.tokens[req.Token]; ok && owner != principal {
+		err = fmt.Errorf("server: token already assigned to another principal")
+		conflict = true
+	} else if err = s.sys.SetPolicy(principal, req.Partitions); err == nil {
+		err = s.setTokenLocked(principal, req.Token)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		status := http.StatusBadRequest
+		if conflict {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PolicyResponse{Principal: principal, Partitions: len(req.Partitions)})
+}
+
+// handleRemovePolicy serves DELETE /v1/policy/{principal}: the principal's
+// policy, session state and token are removed; its in-flight submissions
+// fail with the no-policy error.
+func (s *Server) handleRemovePolicy(w http.ResponseWriter, r *http.Request) {
+	if !s.authAdmin(w, r) {
+		return
+	}
+	principal := r.PathValue("principal")
+	s.mu.Lock()
+	if tok, ok := s.byName[principal]; ok {
+		delete(s.tokens, tok)
+		delete(s.byName, principal)
+	}
+	s.sys.RemovePolicy(principal)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, PolicyResponse{Principal: principal})
+}
+
+// handleLoad serves POST /v1/load: bulk rows inserted through
+// System.LoadBatch, so concurrent submissions observe either none or all
+// of the request's rows.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if !s.authAdmin(w, r) {
+		return
+	}
+	var req LoadRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "rows must be non-empty")
+		return
+	}
+	// Validate every row before loading any: LoadBatch publishes rows
+	// inserted before a failure, so up-front validation is what makes a
+	// bad request atomic (nothing from a failing request lands).
+	sch := s.sys.Catalog().Schema()
+	for i, row := range req.Rows {
+		rel := sch.Relation(row.Rel)
+		if rel == nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("row %d: unknown relation %q", i, row.Rel))
+			return
+		}
+		if rel.Arity() != len(row.Values) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("row %d: relation %q has arity %d, got %d values",
+				i, row.Rel, rel.Arity(), len(row.Values)))
+			return
+		}
+	}
+	err := s.sys.LoadBatch(func(ld *disclosure.Loader) error {
+		for i, row := range req.Rows {
+			if err := ld.Insert(row.Rel, row.Values...); err != nil {
+				return fmt.Errorf("row %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, LoadResponse{Rows: len(req.Rows)})
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		SystemStats:   s.sys.Stats(),
+		Principals:    s.sys.Principals(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}

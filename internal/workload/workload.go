@@ -65,6 +65,19 @@ type Options struct {
 	FriendScopesMarkIsFriend bool
 }
 
+// ForClient derives the options of one client of a multi-client driver:
+// client i gets an independent, deterministic query stream (the seed is
+// mixed with the client index by a splitmix64-style step), while all other
+// options are shared. Two runs with the same base options produce the same
+// per-client streams, so distributed load results are reproducible.
+func (o Options) ForClient(i int) Options {
+	z := uint64(o.Seed) + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	o.Seed = int64(z ^ (z >> 31))
+	return o
+}
+
 // Generator produces random conjunctive queries over a schema. It is not
 // safe for concurrent use; create one per goroutine.
 type Generator struct {

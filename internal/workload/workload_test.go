@@ -112,3 +112,36 @@ func TestNewRequiresUIDRelations(t *testing.T) {
 		t.Error("schema without uid relations accepted")
 	}
 }
+
+func TestForClientStreams(t *testing.T) {
+	base := Options{Seed: 2013, MaxSubqueries: 2}
+	render := func(o Options) []string {
+		g := MustNew(fb.Schema(), o)
+		out := make([]string, 10)
+		for i, q := range g.Batch(10) {
+			out[i] = q.String()
+		}
+		return out
+	}
+	// Deterministic: the same client of the same base options replays the
+	// same stream.
+	a, b := render(base.ForClient(3)), render(base.ForClient(3))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("client stream not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// Independent: different clients draw different streams (the first
+	// queries of 32 clients should not all collide).
+	seen := map[string]bool{}
+	for c := 0; c < 32; c++ {
+		seen[render(base.ForClient(c))[0]] = true
+	}
+	if len(seen) < 16 {
+		t.Errorf("32 client streams produced only %d distinct first queries", len(seen))
+	}
+	// Non-Seed options are preserved.
+	if got := base.ForClient(5); got.MaxSubqueries != base.MaxSubqueries {
+		t.Errorf("ForClient altered MaxSubqueries: %+v", got)
+	}
+}

@@ -40,9 +40,14 @@ type System struct {
 	labeler atomic.Pointer[label.CachedLabeler]
 	store   *policy.ConcurrentStore
 
+	// Counter identity (see Stats): queries is incremented when a
+	// submission enters the system; exactly one of admitted, refused or
+	// errored is incremented before that submission returns. All four
+	// counters are monotone.
 	queries  atomic.Uint64
 	admitted atomic.Uint64
 	refused  atomic.Uint64
+	errored  atomic.Uint64
 }
 
 // NewSystem wires a database, catalog and cached labeler over the given
@@ -121,6 +126,9 @@ func (sys *System) SetPolicy(principal string, partitions map[string][]string) e
 // RemovePolicy deletes a principal's policy and session state.
 func (sys *System) RemovePolicy(principal string) { sys.store.Remove(principal) }
 
+// Principals returns the number of principals with an installed policy.
+func (sys *System) Principals() int { return sys.store.Len() }
+
 // Session returns a principal's live partitions and accept/refuse counts.
 func (sys *System) Session(principal string) (live []string, accepted, refused int, err error) {
 	live, accepted, refused, err = sys.store.Snapshot(principal)
@@ -146,6 +154,7 @@ func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error)
 	// Fail before labeling: unauthenticated principals must not consume
 	// labeling work or label-cache capacity.
 	if !sys.store.Has(principal) {
+		sys.errored.Add(1)
 		return Decision{Allowed: false}, nil, fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 	}
 	// One canonicalization per submission, shared between the label cache
@@ -153,6 +162,7 @@ func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error)
 	key := cq.CanonicalKey(q)
 	lbl, err := sys.labeler.Load().LabelCanonical(key, q)
 	if err != nil {
+		sys.errored.Add(1)
 		return Decision{Allowed: false}, nil, fmt.Errorf("disclosure: labeling %s: %w", q.Name, err)
 	}
 	dec, err := sys.store.Submit(principal, lbl)
@@ -160,6 +170,7 @@ func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error)
 		if errors.Is(err, policy.ErrUnknownPrincipal) {
 			err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 		}
+		sys.errored.Add(1)
 		return Decision{Allowed: false}, nil, err
 	}
 	if !dec.Allowed {
@@ -199,6 +210,7 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 	if !sys.store.Has(principal) {
 		for i := range out {
 			sys.queries.Add(1)
+			sys.errored.Add(1)
 			out[i].Decision = Decision{Allowed: false}
 			out[i].Err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 		}
@@ -213,6 +225,7 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 		keys[i] = cq.CanonicalKey(qs[i])
 		lbl, err := labeler.LabelCanonical(keys[i], qs[i])
 		if err != nil {
+			sys.errored.Add(1)
 			out[i].Decision = Decision{Allowed: false}
 			out[i].Err = fmt.Errorf("disclosure: labeling %s: %w", qs[i].Name, err)
 			return
@@ -230,6 +243,7 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 			if errors.Is(err, policy.ErrUnknownPrincipal) {
 				err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 			}
+			sys.errored.Add(1)
 			out[i].Decision = Decision{Allowed: false}
 			out[i].Err = err
 			continue
@@ -290,59 +304,101 @@ func forEachConcurrent(n int, f func(i int)) {
 	wg.Wait()
 }
 
-// SystemStats is a point-in-time snapshot of system-wide counters.
+// SystemStats is a point-in-time snapshot of system-wide counters. All
+// counters are monotone, and they satisfy the accounting identity
+//
+//	Queries == Admitted + Refused + Errored + in-flight
+//
+// where in-flight is the number of submissions that have entered Submit or
+// SubmitBatch but not yet reached their outcome counter. When the system is
+// quiescent (no submission in flight) the identity is exact:
+// Queries == Admitted + Refused + Errored. TestStatsIdentity enforces this.
 type SystemStats struct {
-	// Queries counts every submission (admitted, refused, or errored).
-	Queries uint64
-	// Admitted and Refused count policy outcomes; submissions that errored
-	// (no policy, labeling failure) are in neither.
-	Admitted uint64
-	Refused  uint64
+	// Queries counts every submission (admitted, refused, or errored),
+	// incremented on entry.
+	Queries uint64 `json:"queries"`
+	// Admitted and Refused count policy outcomes. A submission whose
+	// evaluation fails after the monitor admitted it still counts as
+	// admitted — the disclosure decision was made and the session state
+	// advanced, even though no rows were returned.
+	Admitted uint64 `json:"admitted"`
+	Refused  uint64 `json:"refused"`
+	// Errored counts submissions that never reached a policy outcome:
+	// principals without a policy and labeling failures.
+	Errored uint64 `json:"errored"`
 	// Cache reports label-cache effectiveness (hits, misses, evictions,
 	// residency).
-	Cache label.CacheStats
+	Cache label.CacheStats `json:"cache"`
 	// Plans reports compiled-plan-cache effectiveness for the evaluation of
 	// admitted queries.
-	Plans engine.PlanCacheStats
+	Plans engine.PlanCacheStats `json:"plans"`
 }
 
 // CacheHitRate returns the label-cache hit rate, 0 before any lookup.
 func (s SystemStats) CacheHitRate() float64 { return s.Cache.HitRate() }
 
-// Stats returns a snapshot of the system's counters. The snapshot is
-// internally consistent per counter but not across counters while
-// submissions are in flight.
+// Stats returns a snapshot of the system's counters. Each counter is read
+// atomically; while submissions are in flight the snapshot may observe a
+// submission in Queries whose outcome counter has not landed yet (the
+// in-flight term of the SystemStats identity), but never the reverse:
+// outcome counters are incremented strictly after Queries.
 func (sys *System) Stats() SystemStats {
 	return SystemStats{
 		Queries:  sys.queries.Load(),
 		Admitted: sys.admitted.Load(),
 		Refused:  sys.refused.Load(),
+		Errored:  sys.errored.Load(),
 		Cache:    sys.labeler.Load().Stats(),
 		Plans:    sys.db.PlanStats(),
 	}
 }
 
-// Explain renders a human-readable account of a query's label and how it
-// compares against each policy partition of the principal.
-func (sys *System) Explain(principal string, q *Query) (string, error) {
-	// Same invariant as Submit: no labeling (and no label-cache use) for
-	// principals without a policy.
+// explainWith labels the query and runs f with the principal's monitor
+// under its lock — the shared front half of Explain and ExplainDecision.
+// Same invariant as Submit: no labeling (and no label-cache use) for
+// principals without a policy.
+func (sys *System) explainWith(principal string, q *Query, f func(m *Monitor, lbl Label)) error {
 	if !sys.store.Has(principal) {
-		return "", fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+		return fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 	}
 	lbl, err := sys.labeler.Load().Label(q)
 	if err != nil {
-		return "", err
+		return err
 	}
+	err = sys.store.Do(principal, func(m *Monitor) { f(m, lbl) })
+	if err != nil && errors.Is(err, policy.ErrUnknownPrincipal) {
+		return fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+	}
+	return err
+}
+
+// Explain renders a human-readable account of a query's label and how it
+// compares against each policy partition of the principal.
+func (sys *System) Explain(principal string, q *Query) (string, error) {
 	var out string
-	err = sys.store.Do(principal, func(m *Monitor) {
+	err := sys.explainWith(principal, q, func(m *Monitor, lbl Label) {
 		out = m.ExplainLabel(sys.cat, q.Name, lbl)
 	})
 	if err != nil {
-		if errors.Is(err, policy.ErrUnknownPrincipal) {
-			return "", fmt.Errorf("%w: %q", ErrNoPolicy, principal)
-		}
 		return "", err
+	}
+	return out, nil
+}
+
+// ExplainDecision is the structured form of Explain: the query's rendered
+// label, its admissibility, the session's cumulative disclosure, and one
+// status row per policy partition. It never mutates session state, but it
+// reflects the session at the moment the explanation is built: admissions
+// that land between a refusal and a later ExplainDecision call (concurrent
+// submissions, or earlier queries of the same batch) are included. The
+// serving layer returns it as the refusal body.
+func (sys *System) ExplainDecision(principal string, q *Query) (Explanation, error) {
+	var out Explanation
+	err := sys.explainWith(principal, q, func(m *Monitor, lbl Label) {
+		out = m.Explanation(sys.cat, q.Name, lbl)
+	})
+	if err != nil {
+		return Explanation{}, err
 	}
 	return out, nil
 }

@@ -20,13 +20,18 @@ func figure1System(t *testing.T) *System {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := sys.Database()
-	db.MustInsert("Meetings", "9", "Jim")
-	db.MustInsert("Meetings", "10", "Cathy")
-	db.MustInsert("Meetings", "12", "Bob")
-	db.MustInsert("Contacts", "Jim", "jim@e.com", "Manager")
-	db.MustInsert("Contacts", "Cathy", "cathy@e.com", "Intern")
-	db.MustInsert("Contacts", "Bob", "bob@e.com", "Consultant")
+	err = sys.LoadBatch(func(ld *Loader) error {
+		ld.MustInsert("Meetings", "9", "Jim")
+		ld.MustInsert("Meetings", "10", "Cathy")
+		ld.MustInsert("Meetings", "12", "Bob")
+		ld.MustInsert("Contacts", "Jim", "jim@e.com", "Manager")
+		ld.MustInsert("Contacts", "Cathy", "cathy@e.com", "Intern")
+		ld.MustInsert("Contacts", "Bob", "bob@e.com", "Consultant")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return sys
 }
 
