@@ -10,6 +10,7 @@
 //	disclosurebench -exp cached [-queries N] [-pool N] [-goroutines 1,4,16] [-tsv|-json]
 //	disclosurebench -exp engine [-queries N] [-users 100,300,1000] [-goroutines 1,4] [-tsv|-json]
 //	disclosurebench -exp serve [-clients 64] [-requests N] [-batch N] [-users 300] [-json]
+//	disclosurebench -exp wal [-queries N] [-users 100,300] [-goroutines 1,4] [-tsv|-json]
 //
 // The defaults use the paper's parameters (one million queries/labels per
 // point); use -queries/-labels to scale down for a quick run. The cached
@@ -22,8 +23,10 @@
 // whole request path of the disclosured HTTP service under a closed loop of
 // concurrent clients, each an authenticated principal with its own
 // deterministic query stream, and reports throughput plus latency
-// percentiles. -json emits a machine-readable archive (redirect to
-// BENCH_<exp>.json).
+// percentiles. The wal experiment measures the durability tax: submit and
+// bulk-load throughput with the write-ahead log off, on with per-operation
+// fsync, and on without it. -json emits a machine-readable archive
+// (redirect to BENCH_<exp>.json).
 package main
 
 import (
@@ -38,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6, footnote3, cached, engine or serve")
+	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6, footnote3, cached, engine, serve or wal")
 	queries := flag.Int("queries", 1_000_000, "figure5: queries per measurement point")
 	labels := flag.Int("labels", 1_000_000, "figure6: labels per measurement point")
 	labelPool := flag.Int("label-pool", 200_000, "figure6: distinct pre-labeled queries to draw from")
@@ -153,6 +156,35 @@ func main() {
 				}
 			}
 		}
+	case "wal":
+		cfg := bench.DefaultWALConfig()
+		cfg.Queries = *queries
+		cfg.Pool = *pool
+		cfg.Goroutines = ints(*goroutines)
+		cfg.Seed = *seed
+		// -users doubles as the load-series x-axis; the submit series runs
+		// over a graph of the first value.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "users" {
+				if us := ints(*users); len(us) > 0 {
+					cfg.LoadUsers = us
+					cfg.Users = us[0]
+				}
+			}
+		})
+		series, err := bench.RunWAL(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		format(series,
+			fmt.Sprintf("WAL — durable vs in-memory write paths (%d queries per submit point, seconds per 1M operations)", cfg.Queries),
+			"goroutines (submit) / users (load)")
+		if !*jsonOut && !*tsv {
+			mem, wl := findSeries(series, "submit memory"), findSeries(series, "submit wal")
+			if mem != nil && wl != nil {
+				fmt.Printf("\nsubmit slowdown of wal over memory per point: %s\n", floats(bench.Speedup(*wl, *mem)))
+			}
+		}
 	case "serve":
 		cfg := bench.DefaultServeConfig()
 		cfg.Requests = *requests
@@ -187,7 +219,7 @@ func main() {
 			fmt.Print(bench.FormatServe(report))
 		}
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6, footnote3, cached, engine or serve)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6, footnote3, cached, engine, serve or wal)", *exp))
 	}
 }
 

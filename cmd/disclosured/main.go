@@ -7,6 +7,7 @@
 //
 //	disclosured -admin-token s3cret [-addr :8080] [-preset facebook -users 300]
 //	disclosured -admin-token s3cret -config deployment.json
+//	disclosured -admin-token s3cret -preset facebook -data-dir /var/lib/disclosured
 //
 // With -preset facebook the server starts over the Section-7 Facebook
 // schema and security-view catalog, optionally pre-populated with a
@@ -15,9 +16,20 @@
 // per-principal policies); principals from the file still need submission
 // tokens installed via PUT /v1/policy/{principal}.
 //
+// With -data-dir the deployment is durable: every state-changing operation
+// is write-ahead logged under the directory, checkpoints are taken every
+// -checkpoint-interval and on graceful shutdown, and a restart recovers
+// rows, policies, submission tokens and each principal's cumulative
+// disclosure state — a recovered monitor keeps refusing exactly what it
+// refused before the crash. On a recovered directory the -preset/-config
+// deployment must match the stored configuration; its initial data and
+// policies are NOT re-applied (the recovered state wins). See
+// docs/OPERATIONS.md for the operational procedures.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
-// at once and in-flight requests get -shutdown-timeout to finish. See
-// ARCHITECTURE.md for a curl walkthrough of the API.
+// at once, in-flight requests get -shutdown-timeout to finish, and a final
+// checkpoint is taken. See ARCHITECTURE.md for a curl walkthrough of the
+// API and the recovery sequence.
 package main
 
 import (
@@ -48,6 +60,9 @@ func main() {
 	maxBytes := flag.Int64("max-request-bytes", server.DefaultMaxRequestBytes, "request-body size limit")
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "queries per submit request limit")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	dataDir := flag.String("data-dir", "", "durable state directory (write-ahead log + checkpoints); empty runs in-memory")
+	checkpointInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint cadence with -data-dir (0 disables the timer; graceful shutdown always checkpoints)")
+	walNoSync := flag.Bool("wal-no-sync", false, "skip the per-operation fsync of the write-ahead log (survives process crashes, may lose the tail on power loss)")
 	flag.Parse()
 
 	if *adminToken == "" {
@@ -57,25 +72,53 @@ func main() {
 		fatal(fmt.Errorf("set exactly one of -preset or -config"))
 	}
 
-	var sys *disclosure.System
-	var err error
-	switch {
-	case *configPath != "":
-		sys, err = fromConfig(*configPath)
-	case *preset == "facebook":
-		sys, err = facebookSystem(*users, *seed)
-	default:
-		err = fmt.Errorf("unknown preset %q (want facebook)", *preset)
-	}
+	dep, err := buildDeployment(*preset, *configPath, *users, *seed)
 	if err != nil {
 		fatal(err)
 	}
 
-	srv, err := server.New(sys, server.Options{
+	var sys *disclosure.System
+	var dur *disclosure.Durable
+	if *dataDir != "" {
+		dur, err = disclosure.OpenDurable(*dataDir, disclosure.DurabilityOptions{NoSync: *walNoSync}, dep.schema, dep.views...)
+		if err != nil {
+			fatal(err)
+		}
+		sys = dur.System()
+		if dur.Recovered() {
+			log.Printf("disclosured: recovered %s: generation %d, %d logged operations replayed, %d principals",
+				*dataDir, dur.Generation(), dur.Replayed(), sys.Principals())
+		} else {
+			if err := dep.seed(sys); err != nil {
+				fatal(err)
+			}
+			// Checkpoint the seeded state so the next boot loads it
+			// directly instead of replaying the bootstrap log.
+			if err := dur.Checkpoint(); err != nil {
+				fatal(err)
+			}
+			log.Printf("disclosured: initialized %s (generation %d)", *dataDir, dur.Generation())
+		}
+	} else {
+		sys, err = disclosure.NewSystem(dep.schema, dep.views...)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dep.seed(sys); err != nil {
+			fatal(err)
+		}
+	}
+
+	opts := server.Options{
 		AdminToken:      *adminToken,
 		MaxRequestBytes: *maxBytes,
 		MaxBatch:        *maxBatch,
-	})
+	}
+	if dur != nil {
+		opts.Journal = dur
+		opts.Tokens = dur.Tokens()
+	}
+	srv, err := server.New(sys, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,6 +134,26 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
+	ticker := make(chan struct{})
+	if dur != nil && *checkpointInterval > 0 {
+		go func() {
+			t := time.NewTicker(*checkpointInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := dur.Checkpoint(); err != nil {
+						log.Printf("disclosured: checkpoint failed: %v", err)
+					} else {
+						log.Printf("disclosured: checkpoint generation %d", dur.Generation())
+					}
+				case <-ticker:
+					return
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-done:
 		fatal(err)
@@ -104,37 +167,84 @@ func main() {
 		if err := <-done; err != nil && err != http.ErrServerClosed {
 			fatal(err)
 		}
+		close(ticker)
+		if dur != nil {
+			// Final checkpoint after the last request drained, so the next
+			// boot recovers without replaying this run's log.
+			if err := dur.Checkpoint(); err != nil {
+				log.Printf("disclosured: shutdown checkpoint failed: %v", err)
+			}
+			if err := dur.Close(); err != nil {
+				log.Printf("disclosured: closing log: %v", err)
+			}
+		}
 		log.Printf("disclosured: stopped")
 	}
 }
 
-// facebookSystem builds a System over the Facebook case-study schema and
-// catalog, optionally populated with a synthetic social graph.
-func facebookSystem(users int, seed int64) (*disclosure.System, error) {
+// deployment is a parsed -preset/-config choice: the configuration (schema
+// and views) that defines the System, plus the initial state — policies and
+// data — applied only when the deployment is not being recovered.
+type deployment struct {
+	schema   *disclosure.Schema
+	views    []*disclosure.Query
+	policies map[string]map[string][]string
+	populate func(sys *disclosure.System) error
+}
+
+// seed installs the deployment's policies and initial data into a fresh
+// System — the first-boot (or in-memory) path; recovered state skips it.
+func (dep *deployment) seed(sys *disclosure.System) error {
+	for principal, parts := range dep.policies {
+		if err := sys.SetPolicy(principal, parts); err != nil {
+			return err
+		}
+	}
+	if dep.populate != nil {
+		return dep.populate(sys)
+	}
+	return nil
+}
+
+// buildDeployment resolves the -preset or -config choice.
+func buildDeployment(preset, configPath string, users int, seed int64) (*deployment, error) {
+	switch {
+	case configPath != "":
+		return configDeployment(configPath)
+	case preset == "facebook":
+		return facebookDeployment(users, seed)
+	default:
+		return nil, fmt.Errorf("unknown preset %q (want facebook)", preset)
+	}
+}
+
+// facebookDeployment builds the Facebook case-study deployment, optionally
+// populated with a synthetic social graph.
+func facebookDeployment(users int, seed int64) (*deployment, error) {
 	s := fb.Schema()
 	views, err := fb.SecurityViews(s)
 	if err != nil {
 		return nil, err
 	}
-	sys, err := disclosure.NewSystem(s, views...)
-	if err != nil {
-		return nil, err
-	}
+	dep := &deployment{schema: s, views: views}
 	if users > 0 {
-		err := sys.LoadBatch(func(ld *disclosure.Loader) error {
-			return fb.GenerateGraph(ld, users, seed)
-		})
-		if err != nil {
-			return nil, err
+		dep.populate = func(sys *disclosure.System) error {
+			err := sys.LoadBatch(func(ld *disclosure.Loader) error {
+				return fb.GenerateGraph(ld, users, seed)
+			})
+			if err != nil {
+				return err
+			}
+			log.Printf("disclosured: loaded synthetic graph of %d users (seed %d)", users, seed)
+			return nil
 		}
-		log.Printf("disclosured: loaded synthetic graph of %d users (seed %d)", users, seed)
 	}
-	return sys, nil
+	return dep, nil
 }
 
-// fromConfig builds a System from an internal/store configuration file,
-// installing every policy the file declares.
-func fromConfig(path string) (*disclosure.System, error) {
+// configDeployment builds a deployment from an internal/store configuration
+// file, carrying the file's policies as initial state.
+func configDeployment(path string) (*deployment, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -144,41 +254,13 @@ func fromConfig(path string) (*disclosure.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Validate the whole configuration up front for a precise error, then
-	// build the System from the same source fields.
-	if _, _, _, err := cfg.Build(); err != nil {
-		return nil, err
-	}
-	rels := make([]*disclosure.Relation, 0, len(cfg.Schema))
-	for _, rd := range cfg.Schema {
-		r, err := disclosure.NewRelation(rd.Name, rd.Attrs...)
-		if err != nil {
-			return nil, err
-		}
-		rels = append(rels, r)
-	}
-	s, err := disclosure.NewSchema(rels...)
+	// Build validates the whole configuration and yields the schema and
+	// view catalog the deployment is defined over.
+	s, cat, _, err := cfg.Build()
 	if err != nil {
 		return nil, err
 	}
-	views := make([]*disclosure.Query, 0, len(cfg.Views))
-	for _, src := range cfg.Views {
-		v, err := disclosure.ParseQuery(src)
-		if err != nil {
-			return nil, err
-		}
-		views = append(views, v)
-	}
-	sys, err := disclosure.NewSystem(s, views...)
-	if err != nil {
-		return nil, err
-	}
-	for principal, parts := range cfg.Policies {
-		if err := sys.SetPolicy(principal, parts); err != nil {
-			return nil, err
-		}
-	}
-	return sys, nil
+	return &deployment{schema: s, views: cat.Views(), policies: cfg.Policies}, nil
 }
 
 func fatal(err error) {

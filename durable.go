@@ -1,0 +1,520 @@
+package disclosure
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// DurabilityOptions configures a durable System's write-ahead log.
+type DurabilityOptions struct {
+	// NoSync disables the fsync after every logged operation. Appends
+	// still reach the OS immediately, so the log survives a process crash
+	// (kill -9) intact, but the tail of acknowledged operations may be
+	// lost on a power failure or kernel crash. The throughput difference
+	// is measured by `disclosurebench -exp wal`.
+	NoSync bool
+}
+
+// Durable couples a System with its write-ahead log and checkpoints. Open
+// one with OpenDurable; every state-changing operation of the wrapped
+// System — row inserts, policy installs and removals, and each
+// reference-monitor decision — is then logged before it takes effect, and
+// Checkpoint serializes the full state so recovery is a checkpoint load
+// plus a short log-tail replay.
+//
+// The serving layer logs submission tokens through LogToken (Durable
+// implements server.TokenJournal) and re-seeds them after recovery from
+// Tokens.
+//
+// Concurrency contract: all methods are safe for concurrent use. When
+// durability is on, state-changing operations additionally serialize on
+// the log — the write order of the log is exactly the apply order of the
+// operations, which is what makes replay faithful — while the System's
+// read path (admitted evaluations, explains, stats) is untouched and
+// remains lock-free.
+type Durable struct {
+	sys    *System
+	dir    string
+	noSync bool
+
+	mu        sync.Mutex // serializes log appends with state application and checkpoints
+	log       *wal.Log
+	gen       uint64
+	tokens    map[string]string
+	recovered bool
+	replayed  int
+	closed    bool
+	// broken is set when an append fails: the file offset may sit inside
+	// a torn frame (anything appended after it would be unrecoverable)
+	// and, on a failed batch commit, the engine cores may hold unlogged
+	// rows. Every further state-changing operation is refused; the fix is
+	// to restart and recover, which truncates the torn tail.
+	broken bool
+}
+
+// OpenDurable opens (creating or recovering) a durable System rooted at
+// dir. An empty directory is initialized with the given schema and
+// security views: a generation-0 checkpoint of the empty deployment is
+// written and an empty log segment started. A directory that already
+// holds a checkpoint is recovered instead: the newest loadable checkpoint
+// is restored — rows, policies, per-principal session state (live
+// partitions, cumulative disclosure, decision counts) and tokens — and
+// the log segments after it are replayed; the schema and views must then
+// match the checkpointed configuration exactly (a mismatched catalog
+// would silently relabel recovered sessions). Pass a nil schema to
+// recover whatever configuration the directory holds.
+//
+// The returned Durable owns the directory until Close; running two
+// processes over one directory is not supported.
+func OpenDurable(dir string, opts DurabilityOptions, s *Schema, views ...*Query) (*Durable, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disclosure: durable dir: %w", err)
+	}
+	ckpts, segs, err := wal.ScanDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("disclosure: %w", err)
+	}
+	d := &Durable{dir: dir, noSync: opts.NoSync, tokens: make(map[string]string)}
+	if len(ckpts) == 0 {
+		if s == nil {
+			return nil, fmt.Errorf("disclosure: %s holds no checkpoint and no schema was given", dir)
+		}
+		d.sys, err = NewSystem(s, views...)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.rotateLocked(0); err != nil {
+			return nil, err
+		}
+	} else if err := d.recover(dir, opts, ckpts, segs, s, views); err != nil {
+		return nil, err
+	}
+	d.sys.dur = d
+	return d, nil
+}
+
+// recover restores the newest loadable checkpoint and replays the log
+// segments after it, leaving d ready to append.
+func (d *Durable) recover(dir string, opts DurabilityOptions, ckpts, segs []uint64, s *Schema, views []*Query) error {
+	// Load the newest checkpoint that reads and decodes cleanly. The
+	// previous generation is retained on disk precisely for this fallback:
+	// checkpoint g plus a full replay of wal-<g>.log reproduces checkpoint
+	// g+1, so starting one generation back loses nothing.
+	var ck *wal.Checkpoint
+	var ckGen uint64
+	var lastErr error
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		payload, err := wal.ReadSnapshotFile(wal.CheckpointPath(dir, ckpts[i]))
+		if err == nil {
+			var derr error
+			if ck, derr = wal.DecodeCheckpoint(payload); derr == nil {
+				ckGen = ckpts[i]
+				break
+			}
+			err = derr
+		}
+		ck, lastErr = nil, err
+	}
+	if ck == nil {
+		return fmt.Errorf("disclosure: no loadable checkpoint in %s: %w", dir, lastErr)
+	}
+	if s != nil {
+		if err := verifyConfig(ck.Config, s, views); err != nil {
+			return err
+		}
+	}
+	sys, err := systemFromConfig(ck.Config)
+	if err != nil {
+		return fmt.Errorf("disclosure: rebuilding system from checkpoint %d: %w", ckGen, err)
+	}
+	d.sys = sys
+	if err := d.restoreCheckpoint(ck); err != nil {
+		return fmt.Errorf("disclosure: restoring checkpoint %d: %w", ckGen, err)
+	}
+	d.recovered = true
+
+	// Replay every segment at or after the checkpoint's generation, in
+	// order. Only the last segment can carry a torn tail (earlier ones
+	// were completed before a later generation began); its valid length
+	// becomes the truncation point for appending.
+	d.gen = ckGen
+	var lastValid int64
+	for _, g := range segs {
+		if g < ckGen {
+			continue
+		}
+		valid, n, err := wal.Replay(wal.SegmentPath(dir, g), func(payload []byte) error {
+			op, err := wal.DecodeOp(payload)
+			if err != nil {
+				return err
+			}
+			return d.applyOp(op)
+		})
+		if err != nil {
+			return fmt.Errorf("disclosure: replaying generation %d: %w", g, err)
+		}
+		d.replayed += n
+		d.gen, lastValid = g, valid
+	}
+	d.log, err = wal.OpenAppend(wal.SegmentPath(dir, d.gen), lastValid, !opts.NoSync)
+	if err != nil {
+		return fmt.Errorf("disclosure: %w", err)
+	}
+	// Prune generations the retention policy (current + previous) no
+	// longer needs; a crash between checkpoint and cleanup leaves these.
+	for _, g := range ckpts {
+		if d.gen >= 2 && g <= d.gen-2 {
+			if err := wal.RemoveGeneration(dir, g); err != nil {
+				return fmt.Errorf("disclosure: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// System returns the durable System. Its full surface is usable as usual;
+// state-changing calls are logged transparently.
+func (d *Durable) System() *System { return d.sys }
+
+// Dir returns the data directory.
+func (d *Durable) Dir() string { return d.dir }
+
+// Recovered reports whether OpenDurable restored existing state (true) or
+// initialized an empty directory (false).
+func (d *Durable) Recovered() bool { return d.recovered }
+
+// Replayed returns the number of logged operations replayed during
+// recovery (zero for a fresh directory).
+func (d *Durable) Replayed() int { return d.replayed }
+
+// Generation returns the current checkpoint generation.
+func (d *Durable) Generation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
+}
+
+// Tokens returns a copy of the current principal → submission-token map:
+// after recovery, the credentials to re-seed the serving layer with.
+func (d *Durable) Tokens() map[string]string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]string, len(d.tokens))
+	for k, v := range d.tokens {
+		out[k] = v
+	}
+	return out
+}
+
+// LogToken durably records a principal's submission token before it
+// becomes active — the serving layer calls this on every token install or
+// rotation (Durable implements server.TokenJournal). Removing the
+// principal (System.RemovePolicy) also retires its token.
+func (d *Durable) LogToken(principal, token string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.appendLocked(wal.Op{Token: &wal.TokenOp{Principal: principal, Token: token}}); err != nil {
+		return err
+	}
+	d.tokens[principal] = token
+	return nil
+}
+
+// Checkpoint serializes the full deployment state into a new checkpoint
+// generation and starts a fresh log segment, bounding recovery time and
+// disk growth. State-changing operations block for the duration (reads
+// proceed); the capture itself is a lock-free snapshot read plus a walk
+// of the per-principal monitors. Generations older than the previous one
+// are deleted. On error the previous generation remains current and the
+// log keeps appending where it was.
+func (d *Durable) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("disclosure: durable handle is closed")
+	}
+	if d.broken {
+		// A checkpoint of a broken handle could capture state the engine
+		// cores hold but the log never acknowledged; refuse it too.
+		return fmt.Errorf("disclosure: write-ahead log is broken from an earlier failure; restart to recover")
+	}
+	return d.rotateLocked(d.gen + 1)
+}
+
+// Close syncs and closes the log. The System remains usable in memory,
+// but further state-changing calls fail; Close is final.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.log != nil {
+		return d.log.Close()
+	}
+	return nil
+}
+
+// appendLocked encodes and appends one operation. An append failure marks
+// the handle broken — the log may end in a torn frame, so acknowledging
+// anything after it would violate the crash-consistency contract — and
+// every subsequent state-changing operation fails until the process
+// restarts and recovers. Callers hold d.mu.
+func (d *Durable) appendLocked(op wal.Op) error {
+	if d.closed {
+		return fmt.Errorf("disclosure: durable handle is closed")
+	}
+	if d.broken {
+		return fmt.Errorf("disclosure: write-ahead log is broken from an earlier failure; restart to recover")
+	}
+	payload, err := wal.EncodeOp(&op)
+	if err != nil {
+		return err
+	}
+	if err := d.log.Append(payload); err != nil {
+		d.broken = true
+		return fmt.Errorf("disclosure: wal append: %w", err)
+	}
+	return nil
+}
+
+// rotateLocked captures the current state as generation newGen, writes its
+// checkpoint atomically, switches appending to a fresh segment, and prunes
+// generations older than the previous one. Callers hold d.mu (or own d
+// exclusively during OpenDurable).
+//
+// The segment is created before the checkpoint is written: an empty
+// wal-<g+1>.log next to a still-missing checkpoint-<g+1>.ckpt recovers
+// through checkpoint g (the empty segment replays as nothing), whereas
+// the reverse order would leave a checkpoint whose generation shadows
+// operations still being appended to the old segment. On any error the
+// previous generation stays current and appending continues where it was.
+func (d *Durable) rotateLocked(newGen uint64) error {
+	ck, err := d.captureLocked(newGen)
+	if err != nil {
+		return err
+	}
+	payload, err := wal.EncodeCheckpoint(ck)
+	if err != nil {
+		return err
+	}
+	nl, err := wal.Create(wal.SegmentPath(d.dir, newGen), !d.noSync)
+	if err != nil {
+		return fmt.Errorf("disclosure: %w", err)
+	}
+	if err := wal.WriteSnapshotFile(wal.CheckpointPath(d.dir, newGen), payload); err != nil {
+		nl.Close()
+		return fmt.Errorf("disclosure: %w", err)
+	}
+	if d.log != nil {
+		_ = d.log.Close()
+	}
+	d.log = nl
+	d.gen = newGen
+	if newGen >= 2 {
+		for g := newGen - 2; ; g-- {
+			ckptGone := removeMissingOK(wal.CheckpointPath(d.dir, g))
+			segGone := removeMissingOK(wal.SegmentPath(d.dir, g))
+			if (ckptGone && segGone) || g == 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// removeMissingOK removes a file and reports whether it was already
+// absent (the signal that older generations were pruned before).
+func removeMissingOK(path string) bool {
+	err := os.Remove(path)
+	return err != nil && os.IsNotExist(err)
+}
+
+// captureLocked serializes the deployment state: configuration, rows,
+// per-principal sessions, tokens. Callers hold d.mu, so no state-changing
+// operation is in flight and the published snapshot is the state.
+func (d *Durable) captureLocked(gen uint64) (*wal.Checkpoint, error) {
+	sys := d.sys
+	ck := &wal.Checkpoint{
+		Generation: gen,
+		Config:     store.Snapshot(sys.db.Schema(), sys.cat, nil),
+	}
+	snap := sys.db.Snapshot()
+	for _, rel := range sys.db.Schema().Relations() {
+		t := snap.Table(rel.Name())
+		if t == nil {
+			continue
+		}
+		for row := range t.All() {
+			ck.Rows = append(ck.Rows, wal.Row{Rel: rel.Name(), Values: row})
+		}
+	}
+	var perr error
+	sys.store.Each(func(principal string, m *policy.Monitor) {
+		if perr != nil {
+			return
+		}
+		parts := make(map[string][]string)
+		for _, part := range m.Policy().Partitions() {
+			parts[part.Name] = append([]string(nil), part.Views...)
+		}
+		cum, err := sys.cat.ViewSetsOf(m.Cumulative())
+		if err != nil {
+			perr = fmt.Errorf("disclosure: checkpointing principal %q: %w", principal, err)
+			return
+		}
+		accepted, refused := m.Stats()
+		ck.Principals = append(ck.Principals, wal.PrincipalState{
+			Name:       principal,
+			Partitions: parts,
+			Live:       m.LiveNames(),
+			Cumulative: cum,
+			Accepted:   accepted,
+			Refused:    refused,
+		})
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	if len(d.tokens) > 0 {
+		ck.Tokens = make(map[string]string, len(d.tokens))
+		for k, v := range d.tokens {
+			ck.Tokens[k] = v
+		}
+	}
+	return ck, nil
+}
+
+// restoreCheckpoint loads rows, principals and tokens into the freshly
+// built System. It runs before any replay and before the Durable is
+// attached, so nothing here is re-logged.
+func (d *Durable) restoreCheckpoint(ck *wal.Checkpoint) error {
+	sys := d.sys
+	if len(ck.Rows) > 0 {
+		err := sys.db.Load(func(ld *engine.Loader) error {
+			for _, r := range ck.Rows {
+				if err := ld.Insert(r.Rel, r.Values...); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, ps := range ck.Principals {
+		p, err := policy.New(sys.cat, ps.Partitions)
+		if err != nil {
+			return fmt.Errorf("principal %q: %w", ps.Name, err)
+		}
+		cum, err := sys.cat.LabelFromViewSets(ps.Cumulative)
+		if err != nil {
+			return fmt.Errorf("principal %q: %w", ps.Name, err)
+		}
+		m, err := policy.RestoreMonitor(p, ps.Live, cum, ps.Accepted, ps.Refused)
+		if err != nil {
+			return fmt.Errorf("principal %q: %w", ps.Name, err)
+		}
+		sys.store.Install(ps.Name, m)
+	}
+	for k, v := range ck.Tokens {
+		d.tokens[k] = v
+	}
+	return nil
+}
+
+// applyOp replays one logged operation against the recovering System,
+// without re-logging it. Replay order equals the original apply order, so
+// each operation reproduces its original effect; a submission whose
+// principal was since removed skips exactly as it errored live.
+func (d *Durable) applyOp(op *wal.Op) error {
+	sys := d.sys
+	switch {
+	case op.Rows != nil:
+		return sys.db.Load(func(ld *engine.Loader) error {
+			for _, r := range op.Rows.Rows {
+				if err := ld.Insert(r.Rel, r.Values...); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case op.Policy != nil:
+		p, err := policy.New(sys.cat, op.Policy.Partitions)
+		if err != nil {
+			return fmt.Errorf("policy for %q: %w", op.Policy.Principal, err)
+		}
+		sys.store.SetPolicy(op.Policy.Principal, p)
+	case op.Remove != nil:
+		sys.store.Remove(op.Remove.Principal)
+		delete(d.tokens, op.Remove.Principal)
+	case op.Token != nil:
+		d.tokens[op.Token.Principal] = op.Token.Token
+	case op.Submit != nil:
+		q, err := cq.ParseQuery(op.Submit.Query)
+		if err != nil {
+			return fmt.Errorf("submission for %q: %w", op.Submit.Principal, err)
+		}
+		if !sys.store.Has(op.Submit.Principal) {
+			return nil
+		}
+		lbl, err := sys.labeler.Load().Label(q)
+		if err != nil {
+			return fmt.Errorf("relabeling %s for %q: %w", q.Name, op.Submit.Principal, err)
+		}
+		_, _ = sys.store.Submit(op.Submit.Principal, lbl)
+	default:
+		return fmt.Errorf("empty operation record")
+	}
+	return nil
+}
+
+// systemFromConfig builds a System from a checkpointed configuration,
+// through the same store.Config.Build validation the -config path uses.
+func systemFromConfig(cfg *store.Config) (*System, error) {
+	s, cat, _, err := cfg.Build()
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(s, cat.Views()...)
+}
+
+// verifyConfig checks that the caller-supplied schema and views match the
+// checkpointed configuration exactly. Labels and policies are only
+// meaningful against the catalog they were computed under, so a silent
+// divergence here would corrupt every recovered session.
+func verifyConfig(got *store.Config, s *Schema, views []*Query) error {
+	if len(got.Schema) != len(s.Relations()) {
+		return fmt.Errorf("disclosure: checkpoint has %d relations, caller supplied %d", len(got.Schema), len(s.Relations()))
+	}
+	for i, r := range s.Relations() {
+		rd := got.Schema[i]
+		if rd.Name != r.Name() || len(rd.Attrs) != r.Arity() {
+			return fmt.Errorf("disclosure: checkpoint relation %d is %q/%d, caller supplied %q/%d",
+				i, rd.Name, len(rd.Attrs), r.Name(), r.Arity())
+		}
+		for j, a := range r.Attrs() {
+			if rd.Attrs[j] != a {
+				return fmt.Errorf("disclosure: relation %q attribute %d differs: checkpoint %q, caller %q", rd.Name, j, rd.Attrs[j], a)
+			}
+		}
+	}
+	if len(got.Views) != len(views) {
+		return fmt.Errorf("disclosure: checkpoint has %d security views, caller supplied %d", len(got.Views), len(views))
+	}
+	for i, v := range views {
+		if got.Views[i] != v.String() {
+			return fmt.Errorf("disclosure: security view %d differs: checkpoint %q, caller %q", i, got.Views[i], v.String())
+		}
+	}
+	return nil
+}

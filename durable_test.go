@@ -1,0 +1,353 @@
+package disclosure_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	disclosure "repro"
+	"repro/internal/wal"
+)
+
+// durableFixture returns the small Section-1.1 deployment used by the
+// durability tests: Meetings/Contacts with one full view over each.
+func durableFixture() (*disclosure.Schema, []*disclosure.Query) {
+	s := disclosure.MustSchema(
+		disclosure.MustRelation("M", "time", "person"),
+		disclosure.MustRelation("C", "person", "email", "position"),
+	)
+	views := []*disclosure.Query{
+		disclosure.MustParse("V1(t, p) :- M(t, p)"),
+		disclosure.MustParse("V3(p, e, r) :- C(p, e, r)"),
+	}
+	return s, views
+}
+
+func openFixture(t *testing.T, dir string) *disclosure.Durable {
+	t.Helper()
+	s, views := durableFixture()
+	d, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{}, s, views...)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	return d
+}
+
+// TestDurableRecoversStateAndRefusals is the core recovery contract: after
+// a simulated kill -9 (the handle is abandoned, never closed, never
+// checkpointed beyond generation 0), a reopened deployment has its rows,
+// policy, token and — critically — its cumulative-disclosure state, so the
+// Chinese-Wall refusal issued before the crash is issued again after it.
+func TestDurableRecoversStateAndRefusals(t *testing.T) {
+	dir := t.TempDir()
+	d := openFixture(t, dir)
+	sys := d.System()
+
+	if err := sys.LoadBatch(func(ld *disclosure.Loader) error {
+		ld.MustInsert("M", "10", "Cathy")
+		ld.MustInsert("C", "Cathy", "c@example.com", "Boss")
+		return nil
+	}); err != nil {
+		t.Fatalf("LoadBatch: %v", err)
+	}
+	if err := sys.SetPolicy("app", map[string][]string{"W1": {"V1"}, "W2": {"V3"}}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	if err := d.LogToken("app", "tok"); err != nil {
+		t.Fatalf("LogToken: %v", err)
+	}
+
+	// Touch Contacts: admitted, retires W1. Then Meetings: walled off.
+	qc := disclosure.MustParse("QC(p, e) :- C(p, e, r)")
+	qm := disclosure.MustParse("QM(t) :- M(t, p)")
+	if dec, _, err := sys.Submit("app", qc); err != nil || !dec.Allowed {
+		t.Fatalf("contacts query: allowed=%v err=%v, want admitted", dec.Allowed, err)
+	}
+	if dec, _, err := sys.Submit("app", qm); err != nil || dec.Allowed {
+		t.Fatalf("meetings query: allowed=%v err=%v, want refused", dec.Allowed, err)
+	}
+	liveBefore, accBefore, refBefore, err := sys.Session("app")
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	expBefore, err := sys.ExplainDecision("app", qm)
+	if err != nil {
+		t.Fatalf("ExplainDecision: %v", err)
+	}
+
+	// Crash: abandon the handle without Close or Checkpoint.
+	d2 := openFixture(t, dir)
+	sys2 := d2.System()
+	defer d2.Close()
+
+	if !d2.Recovered() {
+		t.Fatalf("second open did not recover")
+	}
+	if d2.Replayed() == 0 {
+		t.Fatalf("recovery replayed no operations")
+	}
+	if got := sys2.Table("M").Len(); got != 1 {
+		t.Errorf("recovered M has %d rows, want 1", got)
+	}
+	if got := sys2.Table("C").Len(); got != 1 {
+		t.Errorf("recovered C has %d rows, want 1", got)
+	}
+	if got := d2.Tokens()["app"]; got != "tok" {
+		t.Errorf("recovered token = %q, want %q", got, "tok")
+	}
+	live, acc, ref, err := sys2.Session("app")
+	if err != nil {
+		t.Fatalf("recovered Session: %v", err)
+	}
+	if fmt.Sprint(live) != fmt.Sprint(liveBefore) || acc != accBefore || ref != refBefore {
+		t.Errorf("recovered session = (%v, %d, %d), want (%v, %d, %d)", live, acc, ref, liveBefore, accBefore, refBefore)
+	}
+	if dec, _, err := sys2.Submit("app", qm); err != nil || dec.Allowed {
+		t.Errorf("recovered monitor admitted the walled-off meetings query (allowed=%v err=%v)", dec.Allowed, err)
+	}
+	if dec, rows, err := sys2.Submit("app", qc); err != nil || !dec.Allowed || len(rows) != 1 {
+		t.Errorf("recovered monitor: contacts query allowed=%v rows=%d err=%v, want admitted with 1 row", dec.Allowed, len(rows), err)
+	}
+	expAfter, err := sys2.ExplainDecision("app", qm)
+	if err != nil {
+		t.Fatalf("recovered ExplainDecision: %v", err)
+	}
+	if expAfter.Cumulative != expBefore.Cumulative {
+		t.Errorf("recovered cumulative disclosure = %q, want %q", expAfter.Cumulative, expBefore.Cumulative)
+	}
+}
+
+// TestDurableCheckpointRotation checks that checkpoints capture the full
+// state (recovery after a checkpoint replays only the tail), that repeated
+// checkpoints prune old generations, and that state written after the last
+// checkpoint still recovers from the log tail.
+func TestDurableCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	d := openFixture(t, dir)
+	sys := d.System()
+
+	if err := sys.Insert("M", "10", "Cathy"); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := sys.SetPolicy("app", map[string][]string{"all": {"V1", "V3"}}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint 1: %v", err)
+	}
+	if err := sys.Insert("M", "11", "Dave"); err != nil {
+		t.Fatalf("Insert after checkpoint: %v", err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint 2: %v", err)
+	}
+	if got := d.Generation(); got != 2 {
+		t.Fatalf("generation = %d, want 2", got)
+	}
+	if _, err := os.Stat(wal.CheckpointPath(dir, 0)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("generation 0 checkpoint not pruned (err=%v)", err)
+	}
+	if _, err := os.Stat(wal.CheckpointPath(dir, 1)); err != nil {
+		t.Errorf("previous generation checkpoint missing: %v", err)
+	}
+	// Post-checkpoint tail.
+	if err := sys.Insert("M", "12", "Eve"); err != nil {
+		t.Fatalf("Insert into tail: %v", err)
+	}
+
+	d2 := openFixture(t, dir)
+	defer d2.Close()
+	if got := d2.System().Table("M").Len(); got != 3 {
+		t.Errorf("recovered M has %d rows, want 3", got)
+	}
+	if got := d2.Replayed(); got != 1 {
+		t.Errorf("recovery replayed %d operations, want 1 (the post-checkpoint insert)", got)
+	}
+	if got := d2.System().Principals(); got != 1 {
+		t.Errorf("recovered %d principals, want 1", got)
+	}
+}
+
+// TestDurableTornTailDiscarded writes garbage after the last valid record
+// — the shape a crash mid-append leaves — and checks that recovery keeps
+// the valid prefix, discards the tail, and can append cleanly afterwards.
+func TestDurableTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	d := openFixture(t, dir)
+	if err := d.System().Insert("M", "10", "Cathy"); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	seg := wal.SegmentPath(dir, d.Generation())
+
+	// Crash mid-append: a partial frame lands after the valid records.
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x13, 0x07}); err != nil {
+		t.Fatalf("append garbage: %v", err)
+	}
+	f.Close()
+
+	d2 := openFixture(t, dir)
+	if got := d2.System().Table("M").Len(); got != 1 {
+		t.Fatalf("recovered M has %d rows, want 1", got)
+	}
+	// The torn tail must be physically gone so new records append after
+	// the valid prefix, not after garbage.
+	if err := d2.System().Insert("M", "11", "Dave"); err != nil {
+		t.Fatalf("Insert after torn-tail recovery: %v", err)
+	}
+	d2.Close()
+
+	d3 := openFixture(t, dir)
+	defer d3.Close()
+	if got := d3.System().Table("M").Len(); got != 2 {
+		t.Errorf("after torn tail + append, recovered M has %d rows, want 2", got)
+	}
+}
+
+// TestDurablePartialBatchLogged pins the semantics of a failing LoadBatch:
+// rows inserted before the callback's error are published (LoadBatch is
+// not transactional) and must therefore be logged, or recovery would
+// diverge from memory.
+func TestDurablePartialBatchLogged(t *testing.T) {
+	dir := t.TempDir()
+	d := openFixture(t, dir)
+	boom := errors.New("boom")
+	err := d.System().LoadBatch(func(ld *disclosure.Loader) error {
+		ld.MustInsert("M", "10", "Cathy")
+		ld.MustInsert("M", "11", "Dave")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("LoadBatch error = %v, want boom", err)
+	}
+	if got := d.System().Table("M").Len(); got != 2 {
+		t.Fatalf("in-memory M has %d rows, want 2", got)
+	}
+	d2 := openFixture(t, dir)
+	defer d2.Close()
+	if got := d2.System().Table("M").Len(); got != 2 {
+		t.Errorf("recovered M has %d rows, want 2 (partial batch must be logged)", got)
+	}
+}
+
+// TestDurableRemovePolicyRetiresToken checks that removing a principal
+// durably retires its token and session.
+func TestDurableRemovePolicyRetiresToken(t *testing.T) {
+	dir := t.TempDir()
+	d := openFixture(t, dir)
+	sys := d.System()
+	if err := sys.SetPolicy("app", map[string][]string{"all": {"V1"}}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	if err := d.LogToken("app", "tok"); err != nil {
+		t.Fatalf("LogToken: %v", err)
+	}
+	if err := sys.RemovePolicy("app"); err != nil {
+		t.Fatalf("RemovePolicy: %v", err)
+	}
+	d2 := openFixture(t, dir)
+	defer d2.Close()
+	if got := d2.System().Principals(); got != 0 {
+		t.Errorf("recovered %d principals, want 0", got)
+	}
+	if _, ok := d2.Tokens()["app"]; ok {
+		t.Errorf("removed principal's token survived recovery")
+	}
+}
+
+// TestDurableConfigMismatch checks that recovering with a different
+// security-view catalog is refused — recovered labels and sessions are
+// only meaningful against the catalog they were computed under — while a
+// nil schema recovers whatever the directory holds.
+func TestDurableConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	openFixture(t, dir).Close()
+
+	s, views := durableFixture()
+	extra := append(append([]*disclosure.Query(nil), views...), disclosure.MustParse("V2(t) :- M(t, p)"))
+	if _, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{}, s, extra...); err == nil {
+		t.Fatalf("OpenDurable accepted a mismatched view catalog")
+	}
+	d, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{}, nil)
+	if err != nil {
+		t.Fatalf("OpenDurable with nil schema: %v", err)
+	}
+	defer d.Close()
+	if !d.Recovered() {
+		t.Errorf("nil-schema open did not recover")
+	}
+	if got := len(d.System().Catalog().Views()); got != 2 {
+		t.Errorf("recovered catalog has %d views, want 2", got)
+	}
+}
+
+// TestDurableConcurrentSubmissions hammers a durable System with
+// concurrent submissions, loads and checkpoints, then recovers and checks
+// that the recovered per-principal counts equal the live ones — log order
+// equals apply order even under contention.
+func TestDurableConcurrentSubmissions(t *testing.T) {
+	dir := t.TempDir()
+	d := openFixture(t, dir)
+	sys := d.System()
+	if err := sys.SetPolicy("app", map[string][]string{"all": {"V1", "V3"}}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	const workers, perWorker = 4, 25
+	q := disclosure.MustParse("Q(t) :- M(t, p)")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, _, err := sys.Submit("app", q); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					if err := sys.Insert("M", fmt.Sprintf("t%d-%d", w, i), "p"); err != nil {
+						t.Errorf("Insert: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := d.Checkpoint(); err != nil {
+				t.Errorf("Checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	_, accBefore, refBefore, err := sys.Session("app")
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	if accBefore+refBefore != workers*perWorker {
+		t.Fatalf("session counted %d decisions, want %d", accBefore+refBefore, workers*perWorker)
+	}
+	rowsBefore := sys.Table("M").Len()
+
+	d2 := openFixture(t, dir)
+	defer d2.Close()
+	_, acc, ref, err := d2.System().Session("app")
+	if err != nil {
+		t.Fatalf("recovered Session: %v", err)
+	}
+	if acc != accBefore || ref != refBefore {
+		t.Errorf("recovered counts = (%d, %d), want (%d, %d)", acc, ref, accBefore, refBefore)
+	}
+	if got := d2.System().Table("M").Len(); got != rowsBefore {
+		t.Errorf("recovered M has %d rows, want %d", got, rowsBefore)
+	}
+}

@@ -161,8 +161,19 @@ func (db *Database) insertLocked(rel string, values ...string) (int, error) {
 // and the callback must not call back into the owning Database's write
 // methods (Insert, Load) — the batch already holds the write lock.
 type Loader struct {
-	db    *Database
-	dirty map[int]bool
+	db     *Database
+	dirty  map[int]bool
+	record bool
+	rows   []Row
+}
+
+// Row is one inserted tuple in external string form, as recorded by
+// LoadRecorded for write-ahead logging.
+type Row struct {
+	// Rel is the relation name.
+	Rel string
+	// Values are the tuple's constants, in attribute order.
+	Values []string
 }
 
 // Insert adds a tuple to the named relation within the batch; duplicates
@@ -174,6 +185,9 @@ func (ld *Loader) Insert(rel string, values ...string) error {
 	}
 	if id >= 0 {
 		ld.dirty[id] = true
+		if ld.record {
+			ld.rows = append(ld.rows, Row{Rel: rel, Values: append([]string(nil), values...)})
+		}
 	}
 	return nil
 }
@@ -195,6 +209,29 @@ func (db *Database) Load(fn func(ld *Loader) error) error {
 	ld := &Loader{db: db, dirty: make(map[int]bool)}
 	err := fn(ld)
 	if len(ld.dirty) > 0 {
+		db.publishLocked(ld.dirty)
+	}
+	return err
+}
+
+// LoadRecorded is Load with a write-ahead hook: after fn returns, commit
+// runs with every row the batch actually inserted (duplicates excluded),
+// before the batch's snapshot is published — the ordering a write-ahead
+// log needs to make an acknowledged batch durable. A commit error
+// suppresses the publication and is returned in place of fn's error; the
+// table cores already hold the rows at that point (the engine cannot roll
+// a batch back), so a failed commit leaves the database ahead of its log
+// and callers must treat it as fatal for the handle. When the batch
+// inserted nothing, commit is not called and nothing is published.
+func (db *Database) LoadRecorded(fn func(ld *Loader) error, commit func(rows []Row) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ld := &Loader{db: db, dirty: make(map[int]bool), record: true}
+	err := fn(ld)
+	if len(ld.rows) > 0 {
+		if cerr := commit(ld.rows); cerr != nil {
+			return cerr
+		}
 		db.publishLocked(ld.dirty)
 	}
 	return err

@@ -155,6 +155,73 @@ func (c *Catalog) ViewNamesOf(a AtomLabel) []string {
 	return names
 }
 
+// ViewSetsOf serializes a label as one sorted security-view name set per
+// atom — a rendering independent of the catalog's internal relation-id and
+// bit assignment, which is what makes it safe to store on disk (the
+// durability layer's checkpoints use it). It fails on labels containing ⊤
+// atoms, which name no views; session state never contains them, because
+// ⊤-labeled queries are never admitted.
+func (c *Catalog) ViewSetsOf(l Label) ([][]string, error) {
+	if l.IsBottom() {
+		return nil, nil
+	}
+	out := make([][]string, 0, len(l.Atoms))
+	for _, a := range l.Atoms {
+		if a.IsTop() {
+			return nil, fmt.Errorf("label: ⊤ atom has no view-set rendering")
+		}
+		names := c.ViewNamesOf(a)
+		if len(names) != a.Count() {
+			return nil, fmt.Errorf("label: atom references views outside this catalog")
+		}
+		out = append(out, names)
+	}
+	return out, nil
+}
+
+// LabelFromViewSets rebuilds a label from the view-name sets ViewSetsOf
+// produced, against this catalog's current bit assignment. Every set must
+// be non-empty and name views over a single relation.
+func (c *Catalog) LabelFromViewSets(sets [][]string) (Label, error) {
+	if len(sets) == 0 {
+		return BottomLabel(), nil
+	}
+	l := Label{Atoms: make([]AtomLabel, 0, len(sets))}
+	for _, names := range sets {
+		if len(names) == 0 {
+			return Label{}, fmt.Errorf("label: empty view set in serialized label")
+		}
+		var a AtomLabel
+		var relID uint32
+		for i, name := range names {
+			gi, ok := c.byName[name]
+			if !ok {
+				return Label{}, fmt.Errorf("label: serialized label references unknown security view %q", name)
+			}
+			id := c.relIDs[c.views[gi].Body[0].Rel]
+			if i == 0 {
+				relID = id
+				a = NewAtomLabel(relID, len(c.byRel[relID-1]))
+			} else if id != relID {
+				return Label{}, fmt.Errorf("label: views %q and %q of one serialized atom are over different relations", names[0], name)
+			}
+			bit := -1
+			for _, rv := range c.byRel[id-1] {
+				if rv.global == gi {
+					bit = rv.bit
+					break
+				}
+			}
+			if bit < 0 {
+				return Label{}, fmt.Errorf("label: security view %q has no bit over its relation", name)
+			}
+			a.SetBit(bit)
+		}
+		l.Atoms = append(l.Atoms, a)
+	}
+	return l.Normalize(), nil
+}
+
 // atomLabelFor computes ℓ⁺({v}) = {S ∈ Fgen : {v} ≼ {S}} for a single-atom
 // view v, scanning only the security views over v's relation. A label with
 // an empty mask is ⊤: no security view determines the atom.

@@ -3,6 +3,7 @@ package policy
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/label"
@@ -38,6 +39,17 @@ func (s *ConcurrentStore) SetPolicy(principal string, p *Policy) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.monitors[principal] = &lockedMonitor{mon: NewMonitor(p)}
+}
+
+// Install installs a pre-built monitor for a principal, replacing any
+// existing one. Unlike SetPolicy it does not build a fresh session: the
+// monitor keeps whatever state it carries — the recovery path for monitors
+// rebuilt with RestoreMonitor. The monitor must not be used directly by
+// the caller afterwards.
+func (s *ConcurrentStore) Install(principal string, m *Monitor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.monitors[principal] = &lockedMonitor{mon: m}
 }
 
 // Remove deletes a principal.
@@ -108,6 +120,31 @@ func (s *ConcurrentStore) Do(principal string, f func(*Monitor)) error {
 	defer lm.mu.Unlock()
 	f(lm.mon)
 	return nil
+}
+
+// Each runs f with every principal's monitor under its lock, in sorted
+// principal order — a deterministic iteration for checkpointing. f must
+// not call back into the store. Principals installed or removed while the
+// iteration runs may or may not be visited.
+func (s *ConcurrentStore) Each(f func(principal string, m *Monitor)) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.monitors))
+	for n := range s.monitors {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	for _, n := range names {
+		s.mu.RLock()
+		lm, ok := s.monitors[n]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		lm.mu.Lock()
+		f(n, lm.mon)
+		lm.mu.Unlock()
+	}
 }
 
 // Snapshot returns the principal's live partitions and session statistics.

@@ -45,6 +45,38 @@ func NewMonitor(p *Policy) *Monitor {
 	return m
 }
 
+// RestoreMonitor rebuilds a monitor from externally saved session state —
+// the recovery path of the durability layer. live names the partitions
+// still consistent with the answered queries, cum is the session's
+// cumulative disclosure, and accepted/refused are its decision counts.
+// Unknown partition names are an error (the saved state belongs to a
+// different policy). A restored monitor continues the session exactly
+// where it stopped: it refuses precisely what the saved monitor refused.
+func RestoreMonitor(p *Policy, live []string, cum label.Label, accepted, refused int) (*Monitor, error) {
+	idx := make(map[string]int, len(p.parts))
+	for i, part := range p.parts {
+		idx[part.Name] = i
+	}
+	m := &Monitor{
+		policy:   p,
+		live:     make([]uint64, (p.Len()+63)/64),
+		cum:      cum,
+		accepted: accepted,
+		refused:  refused,
+	}
+	for _, name := range live {
+		i, ok := idx[name]
+		if !ok {
+			return nil, fmt.Errorf("policy: restoring monitor: unknown partition %q", name)
+		}
+		if !m.isLive(i) {
+			m.live[i/64] |= 1 << (uint(i) % 64)
+			m.nlive++
+		}
+	}
+	return m, nil
+}
+
 // Policy returns the monitor's policy.
 func (m *Monitor) Policy() *Policy { return m.policy }
 

@@ -46,6 +46,23 @@ type Options struct {
 	// MaxBatch bounds the number of queries in one submit request
 	// (default 1024).
 	MaxBatch int
+	// Journal, when non-nil, write-ahead logs every submission-token
+	// installation before the token becomes active, so a recovered
+	// deployment keeps its principals' credentials. disclosure.Durable
+	// implements it; see cmd/disclosured's -data-dir mode.
+	Journal TokenJournal
+	// Tokens seeds the token table at construction without journaling —
+	// the recovery path, fed from disclosure.Durable.Tokens(). A seed
+	// token that collides with another principal's is an error.
+	Tokens map[string]string
+}
+
+// TokenJournal durably records submission tokens; the server calls it
+// under its token lock, before a new token becomes active.
+type TokenJournal interface {
+	// LogToken records that principal's submission token is (about to be)
+	// token. An error aborts the installation.
+	LogToken(principal, token string) error
 }
 
 // DefaultMaxRequestBytes is the request-body bound applied when
@@ -100,6 +117,11 @@ func New(sys *disclosure.System, opts Options) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/policy/{principal}", s.handleRemovePolicy)
 	s.mux.HandleFunc("POST /v1/load", s.handleLoad)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	for principal, token := range opts.Tokens {
+		if err := s.installTokenLocked(principal, token); err != nil {
+			return nil, fmt.Errorf("server: seeding token for %q: %w", principal, err)
+		}
+	}
 	return s, nil
 }
 
@@ -116,12 +138,32 @@ func (s *Server) RegisterToken(principal, token string) error {
 	return s.setTokenLocked(principal, token)
 }
 
+// errJournal marks token-journal failures so handlers answer 500 (the
+// server's durability layer is in trouble) rather than 400.
+var errJournal = errors.New("server: token journal failure")
+
 // setTokenLocked rotates principal's token to token; the previous token, if
 // any, stops authenticating. A token held by a different principal is
 // refused — accepting it would let that principal's requests silently act
 // as this one, and the eventual rotation would revoke the other principal's
-// only credential. Callers hold s.mu.
+// only credential. With a Journal configured the rotation is logged before
+// it takes effect. Callers hold s.mu.
 func (s *Server) setTokenLocked(principal, token string) error {
+	if owner, ok := s.tokens[token]; ok && owner != principal {
+		return fmt.Errorf("server: token already assigned to another principal")
+	}
+	if s.opts.Journal != nil {
+		if err := s.opts.Journal.LogToken(principal, token); err != nil {
+			return fmt.Errorf("%w: %v", errJournal, err)
+		}
+	}
+	return s.installTokenLocked(principal, token)
+}
+
+// installTokenLocked applies a token rotation to the in-memory table
+// without journaling — the shared tail of setTokenLocked and the recovery
+// seeding in New. Callers hold s.mu (or own s exclusively during New).
+func (s *Server) installTokenLocked(principal, token string) error {
 	if owner, ok := s.tokens[token]; ok && owner != principal {
 		return fmt.Errorf("server: token already assigned to another principal")
 	}
@@ -382,6 +424,9 @@ func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
 		if conflict {
 			status = http.StatusConflict
 		}
+		if errors.Is(err, errJournal) {
+			status = http.StatusInternalServerError
+		}
 		writeError(w, status, err.Error())
 		return
 	}
@@ -396,13 +441,23 @@ func (s *Server) handleRemovePolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	principal := r.PathValue("principal")
+	// Remove durably first: if the log append fails, the in-memory token
+	// must stay valid too, or a recovered server would accept a credential
+	// the live server had stopped accepting.
 	s.mu.Lock()
-	if tok, ok := s.byName[principal]; ok {
-		delete(s.tokens, tok)
-		delete(s.byName, principal)
+	err := s.sys.RemovePolicy(principal)
+	if err == nil {
+		if tok, ok := s.byName[principal]; ok {
+			delete(s.tokens, tok)
+			delete(s.byName, principal)
+		}
 	}
-	s.sys.RemovePolicy(principal)
 	s.mu.Unlock()
+	if err != nil {
+		// Only the durability layer can fail a removal.
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, PolicyResponse{Principal: principal})
 }
 

@@ -1,0 +1,331 @@
+// Package wal is the durability substrate of the disclosure system: an
+// append-only, CRC-framed log of state-changing operations plus atomically
+// written checkpoint files, organized in numbered generations so that
+// recovery is always "load the newest checkpoint, replay the log tail".
+//
+// # On-disk record framing
+//
+// Every record — in log segments and in checkpoint files alike — is framed
+// as
+//
+//	[4 bytes little-endian payload length]
+//	[4 bytes little-endian CRC-32C (Castagnoli) of the payload]
+//	[payload]
+//
+// A reader stops at the first frame that is incomplete or whose checksum
+// does not match: everything before it is the valid prefix, everything
+// from it on is a torn tail from a crash mid-append and is discarded (the
+// appender truncates the file back to the valid prefix before continuing).
+// A record is therefore recovered either whole or not at all.
+//
+// # Generations
+//
+// A data directory holds pairs of files per generation g:
+//
+//	checkpoint-<g>.ckpt   the full state at the moment generation g began
+//	wal-<g>.log           every state-changing operation logged since
+//
+// so state(g) = checkpoint(g) + replay(wal-<g>.log). Taking a checkpoint
+// writes checkpoint-<g+1> (a single framed record, written to a temporary
+// file and renamed into place), starts an empty wal-<g+1>.log, and deletes
+// generations older than g — the previous generation is retained so that a
+// corrupted newest checkpoint can be recovered past: checkpoint(g) plus a
+// full replay of wal-<g>.log reproduces checkpoint(g+1) exactly, and the
+// later segments replay on top.
+//
+// The operation vocabulary (Op) and the checkpoint payload (Checkpoint)
+// are defined in op.go; this file is the framing and file layer.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MaxRecordBytes bounds a single log record's payload (1 GiB). It exists
+// so a corrupted length prefix cannot force a replaying reader into an
+// absurd allocation; legitimate records — even a bulk load of a large
+// synthetic graph, which logs one record per batch — stay below it.
+// Checkpoint files are not subject to it: they are read whole, so their
+// structural validation is against the actual file size.
+const MaxRecordBytes = 1 << 30
+
+// castagnoli is the CRC-32C table used for all record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// headerSize is the per-record frame overhead: length plus checksum.
+const headerSize = 8
+
+// Log is an append-only record log backed by one file. It is not safe for
+// concurrent use; the owning durability layer serializes appends (which it
+// must do anyway to keep log order equal to apply order).
+type Log struct {
+	f    *os.File
+	sync bool
+}
+
+// Create creates (or truncates) the log file at path and syncs its parent
+// directory, so the file's existence survives a crash. With sync set,
+// every Append is followed by an fsync.
+func Create(path string, sync bool) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", path, err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, sync: sync}, nil
+}
+
+// OpenAppend opens the log file at path for appending, first truncating it
+// to validLen — the valid prefix a prior Replay reported — so a torn tail
+// from a crash is physically discarded before any new record lands after
+// it. The file is created empty if it does not exist.
+func OpenAppend(path string, validLen int64, sync bool) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate %s to %d: %w", path, validLen, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	return &Log{f: f, sync: sync}, nil
+}
+
+// Append frames and writes one record. With the log's sync mode on, the
+// record is fsynced before Append returns, so an acknowledged operation
+// survives power loss; without it, durability extends only to what the OS
+// has flushed.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), MaxRecordBytes)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerSize:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync forces buffered records to stable storage (a no-op effort when the
+// log already syncs per append).
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Close closes the underlying file after a final sync.
+func (l *Log) Close() error {
+	serr := l.f.Sync()
+	cerr := l.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Replay reads the log at path and calls fn with every whole, CRC-valid
+// record payload in order. It returns the length of the valid prefix (the
+// offset OpenAppend should truncate to) and the number of records
+// delivered. A missing file replays as empty. An incomplete or corrupt
+// frame ends the replay silently — that is the torn tail a crash leaves —
+// but an error from fn aborts the replay and is returned.
+func Replay(path string, fn func(payload []byte) error) (validLen int64, n int, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var header [headerSize]byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			return validLen, n, nil // clean EOF or torn header
+		}
+		size := binary.LittleEndian.Uint32(header[0:4])
+		want := binary.LittleEndian.Uint32(header[4:8])
+		if size > MaxRecordBytes {
+			return validLen, n, nil // corrupt length prefix
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return validLen, n, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return validLen, n, nil // corrupt payload
+		}
+		if err := fn(payload); err != nil {
+			return validLen, n, err
+		}
+		validLen += int64(headerSize) + int64(size)
+		n++
+	}
+}
+
+// WriteSnapshotFile atomically writes payload as a single framed record:
+// the bytes go to a temporary file in the same directory, are fsynced,
+// and are renamed into place (then the directory is fsynced). A crash at
+// any point leaves either the old file, the new file, or a stray .tmp that
+// readers ignore — never a half-written snapshot under the final name.
+func WriteSnapshotFile(path string, payload []byte) error {
+	if uint64(len(payload)) > uint64(^uint32(0)) {
+		return fmt.Errorf("wal: snapshot of %d bytes exceeds the frame's 32-bit length", len(payload))
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", tmp, err)
+	}
+	var header [headerSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, castagnoli))
+	_, werr := f.Write(header[:])
+	if werr == nil {
+		_, werr = f.Write(payload)
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write %s: %w", tmp, werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: rename %s: %w", path, err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadSnapshotFile reads and checksum-verifies a file written by
+// WriteSnapshotFile, returning its payload.
+func ReadSnapshotFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	if len(raw) < headerSize {
+		return nil, fmt.Errorf("wal: snapshot %s is truncated (%d bytes)", path, len(raw))
+	}
+	size := binary.LittleEndian.Uint32(raw[0:4])
+	want := binary.LittleEndian.Uint32(raw[4:8])
+	if int64(size) != int64(len(raw)-headerSize) {
+		return nil, fmt.Errorf("wal: snapshot %s length mismatch: header says %d, file holds %d", path, size, len(raw)-headerSize)
+	}
+	payload := raw[headerSize:]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("wal: snapshot %s fails its checksum", path)
+	}
+	return payload, nil
+}
+
+// checkpointPrefix and segmentPrefix name the two per-generation files.
+const (
+	checkpointPrefix = "checkpoint-"
+	checkpointSuffix = ".ckpt"
+	segmentPrefix    = "wal-"
+	segmentSuffix    = ".log"
+)
+
+// CheckpointPath returns the checkpoint file path for a generation.
+func CheckpointPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", checkpointPrefix, gen, checkpointSuffix))
+}
+
+// SegmentPath returns the log-segment file path for a generation.
+func SegmentPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", segmentPrefix, gen, segmentSuffix))
+}
+
+// ScanDir lists the generation numbers of the checkpoints and log segments
+// present in dir, each sorted ascending. Files that do not match the
+// naming scheme (including .tmp leftovers of an interrupted checkpoint)
+// are ignored. A missing directory scans as empty.
+func ScanDir(dir string) (checkpoints, segments []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: scan %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if g, ok := genOf(name, checkpointPrefix, checkpointSuffix); ok {
+			checkpoints = append(checkpoints, g)
+		} else if g, ok := genOf(name, segmentPrefix, segmentSuffix); ok {
+			segments = append(segments, g)
+		}
+	}
+	sort.Slice(checkpoints, func(i, j int) bool { return checkpoints[i] < checkpoints[j] })
+	sort.Slice(segments, func(i, j int) bool { return segments[i] < segments[j] })
+	return checkpoints, segments, nil
+}
+
+// genOf parses a generation number out of a file name with the given
+// prefix and suffix.
+func genOf(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	g, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
+// RemoveGeneration deletes a generation's checkpoint and segment files,
+// ignoring files already absent.
+func RemoveGeneration(dir string, gen uint64) error {
+	for _, p := range []string{CheckpointPath(dir, gen), SegmentPath(dir, gen)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("wal: remove %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creations within it are
+// durable. Errors from filesystems that refuse directory fsync (some
+// network mounts) are reported; the caller decides how fatal that is.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir %s: %w", dir, err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/label"
 	"repro/internal/policy"
+	"repro/internal/wal"
 )
 
 // ErrNoPolicy is returned (wrapped, with the principal name) by Submit,
@@ -34,11 +35,23 @@ var ErrNoPolicy = errors.New("disclosure: principal has no policy")
 // LoadBatch build the next snapshot under the engine's write lock and
 // publish it atomically, so they never block in-flight evaluations;
 // SetPolicy and SetCacheCapacity may likewise be called at any time.
+//
+// A System opened with OpenDurable additionally write-ahead logs every
+// state-changing operation — row loads, policy installs and removals, and
+// each reference-monitor decision — before it takes effect, so a restarted
+// deployment recovers its rows, policies and cumulative-disclosure state
+// and keeps refusing what it refused before the crash. Durability
+// serializes state-changing operations on the log; the read path is
+// unchanged, and a System built with NewSystem pays nothing.
 type System struct {
 	db      *engine.Database
 	cat     *label.Catalog
 	labeler atomic.Pointer[label.CachedLabeler]
 	store   *policy.ConcurrentStore
+
+	// dur, when non-nil, is the write-ahead logging layer (OpenDurable);
+	// it is attached once before the System is shared and never changes.
+	dur *Durable
 
 	// Counter identity (see Stats): queries is incremented when a
 	// submission enters the system; exactly one of admitted, refused or
@@ -78,16 +91,22 @@ func (sys *System) SetCacheCapacity(capacity int) {
 
 // Database returns the system's raw database handle.
 //
-// Deprecated: the handle is no longer a lock bypass (the engine database is
-// itself safe for concurrent use), but going through it skips the System's
-// bulk-loading surface; prefer Insert for single rows, LoadBatch for bulk
-// data, and Table for read access.
+// Deprecated: use Insert for single rows, LoadBatch for bulk data, and
+// Table for read access. Beyond skipping the System's bulk-loading
+// surface, the raw handle bypasses the durability layer: rows inserted
+// directly through it are never write-ahead logged, so on a System opened
+// with OpenDurable they silently vanish at the next recovery.
 func (sys *System) Database() *Database { return sys.db }
 
 // Insert adds a tuple to the named relation and publishes a database
 // snapshot containing it; it is safe concurrently with submissions, which
-// keep evaluating against the previous snapshot until publication.
+// keep evaluating against the previous snapshot until publication. On a
+// durable System the row is logged (as a one-row batch) before the
+// snapshot publishes.
 func (sys *System) Insert(rel string, values ...string) error {
+	if sys.dur != nil {
+		return sys.LoadBatch(func(ld *Loader) error { return ld.Insert(rel, values...) })
+	}
 	return sys.db.Insert(rel, values...)
 }
 
@@ -96,8 +115,26 @@ func (sys *System) Insert(rel string, values ...string) error {
 // publication: concurrent submissions see either the database before the
 // batch or the database with every row fn inserted before returning (or
 // failing). fn must not call back into the System's write methods.
+//
+// On a durable System the batch's inserted rows are appended to the
+// write-ahead log as one record — and synced — before the snapshot
+// publishes, so a batch whose LoadBatch call returned survives a crash in
+// full, and a batch interrupted by a crash is recovered either whole or
+// not at all (the log record is framed and checksummed as a unit).
 func (sys *System) LoadBatch(fn func(ld *Loader) error) error {
-	return sys.db.Load(fn)
+	d := sys.dur
+	if d == nil {
+		return sys.db.Load(fn)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return sys.db.LoadRecorded(fn, func(rows []engine.Row) error {
+		op := wal.RowsOp{Rows: make([]wal.Row, len(rows))}
+		for i, r := range rows {
+			op.Rows[i] = wal.Row{Rel: r.Rel, Values: r.Values}
+		}
+		return d.appendLocked(wal.Op{Rows: &op})
+	})
 }
 
 // Table returns a read-only snapshot view of the named relation, or nil for
@@ -113,18 +150,41 @@ func (sys *System) Labeler() Labeler { return sys.labeler.Load() }
 
 // SetPolicy installs (or replaces) a principal's security policy; partition
 // values list security-view names. Replacing a policy resets the
-// principal's cumulative-disclosure state.
+// principal's cumulative-disclosure state. On a durable System the
+// installation is logged (after validation) before it takes effect.
 func (sys *System) SetPolicy(principal string, partitions map[string][]string) error {
 	p, err := policy.New(sys.cat, partitions)
 	if err != nil {
 		return err
 	}
+	if d := sys.dur; d != nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if err := d.appendLocked(wal.Op{Policy: &wal.PolicyOp{Principal: principal, Partitions: partitions}}); err != nil {
+			return err
+		}
+	}
 	sys.store.SetPolicy(principal, p)
 	return nil
 }
 
-// RemovePolicy deletes a principal's policy and session state.
-func (sys *System) RemovePolicy(principal string) { sys.store.Remove(principal) }
+// RemovePolicy deletes a principal's policy and session state (and, on a
+// durable System, retires its logged submission token). The only error
+// source is the write-ahead log; an in-memory System always returns nil.
+func (sys *System) RemovePolicy(principal string) error {
+	if d := sys.dur; d != nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if err := d.appendLocked(wal.Op{Remove: &wal.RemoveOp{Principal: principal}}); err != nil {
+			return err
+		}
+		sys.store.Remove(principal)
+		delete(d.tokens, principal)
+		return nil
+	}
+	sys.store.Remove(principal)
+	return nil
+}
 
 // Principals returns the number of principals with an installed policy.
 func (sys *System) Principals() int { return sys.store.Len() }
@@ -165,7 +225,7 @@ func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error)
 		sys.errored.Add(1)
 		return Decision{Allowed: false}, nil, fmt.Errorf("disclosure: labeling %s: %w", q.Name, err)
 	}
-	dec, err := sys.store.Submit(principal, lbl)
+	dec, err := sys.decide(principal, q, lbl)
 	if err != nil {
 		if errors.Is(err, policy.ErrUnknownPrincipal) {
 			err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
@@ -183,6 +243,24 @@ func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error)
 		return dec, nil, err
 	}
 	return dec, rows, nil
+}
+
+// decide runs a labeled submission through the principal's reference
+// monitor. On a durable System the submission is logged first — under the
+// log lock, so log order equals decision order and replay reproduces the
+// session exactly (decisions are deterministic given that order; refusals
+// are logged too, since they advance the session's refusal count).
+func (sys *System) decide(principal string, q *Query, lbl Label) (Decision, error) {
+	d := sys.dur
+	if d == nil {
+		return sys.store.Submit(principal, lbl)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.appendLocked(wal.Op{Submit: &wal.SubmitOp{Principal: principal, Query: q.String()}}); err != nil {
+		return Decision{Allowed: false}, err
+	}
+	return sys.store.Submit(principal, lbl)
 }
 
 // BatchResult is the outcome of one query of a SubmitBatch call.
@@ -238,7 +316,7 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 		if out[i].Err != nil {
 			continue
 		}
-		dec, err := sys.store.Submit(principal, labels[i])
+		dec, err := sys.decide(principal, qs[i], labels[i])
 		if err != nil {
 			if errors.Is(err, policy.ErrUnknownPrincipal) {
 				err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
