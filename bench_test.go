@@ -393,6 +393,20 @@ func BenchmarkEngineEval(b *testing.B) {
 			}
 		}
 	})
+	// The visitor path skips result materialization: cached-plan evaluation
+	// out of the pooled arenas at 0 allocs/op (canonicalization and
+	// snapshot are hoisted, as a warm Submit loop effectively does).
+	b.Run("planned-visit", func(b *testing.B) {
+		key := cq.CanonicalKey(q)
+		snap := db.Snapshot()
+		visit := func(engine.Tuple) bool { return true }
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := db.EvalEachCanonicalAt(snap, key, q, visit); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("reference", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -11,6 +11,7 @@
 //	disclosurebench -exp engine [-queries N] [-users 100,300,1000] [-goroutines 1,4] [-tsv|-json]
 //	disclosurebench -exp serve [-clients 64] [-requests N] [-batch N] [-users 300] [-json]
 //	disclosurebench -exp wal [-queries N] [-users 100,300] [-goroutines 1,4] [-tsv|-json]
+//	disclosurebench -exp adversarial [-queries N] [-principals 256] [-zipf-s 1.2] [-goroutines 1,4,16] [-json]
 //
 // The defaults use the paper's parameters (one million queries/labels per
 // point); use -queries/-labels to scale down for a quick run. The cached
@@ -25,8 +26,12 @@
 // deterministic query stream, and reports throughput plus latency
 // percentiles. The wal experiment measures the durability tax: submit and
 // bulk-load throughput with the write-ahead log off, on with per-operation
-// fsync, and on without it. -json emits a machine-readable archive
-// (redirect to BENCH_<exp>.json).
+// fsync, and on without it. The adversarial experiment measures worst-case
+// tail latency: Zipf-skewed principals concentrating the per-principal
+// monitor locks, in a cache-friendly "repetitive" mode and a "hostile" mode
+// where every submission is a fresh template against shrunken label and
+// plan caches. -json emits a machine-readable archive (redirect to
+// BENCH_<exp>.json).
 package main
 
 import (
@@ -41,7 +46,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6, footnote3, cached, engine, serve or wal")
+	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6, footnote3, cached, engine, serve, wal or adversarial")
 	queries := flag.Int("queries", 1_000_000, "figure5: queries per measurement point")
 	labels := flag.Int("labels", 1_000_000, "figure6: labels per measurement point")
 	labelPool := flag.Int("label-pool", 200_000, "figure6: distinct pre-labeled queries to draw from")
@@ -54,6 +59,7 @@ func main() {
 	goroutines := flag.String("goroutines", "1,4,16", "cached/engine: comma-separated goroutine counts")
 	users := flag.String("users", "100,300,1000", "engine: comma-separated social-graph sizes")
 	cacheCap := flag.Int("cache-capacity", 0, "cached: label-cache entry bound (0 = 2×pool, the warm regime; set below pool to study eviction)")
+	zipfS := flag.Float64("zipf-s", 1.2, "adversarial: Zipf exponent of the principal draw (>1, larger = more skew)")
 	clients := flag.String("clients", "64", "serve: comma-separated concurrent-client counts")
 	requests := flag.Int("requests", 200, "serve: requests per client")
 	batch := flag.Int("batch", 1, "serve: queries per submit request")
@@ -218,8 +224,49 @@ func main() {
 		} else {
 			fmt.Print(bench.FormatServe(report))
 		}
+	case "adversarial":
+		cfg := bench.DefaultAdversarialConfig()
+		cfg.ZipfS = *zipfS
+		cfg.Seed = *seed
+		// The shared flags keep their other experiments' defaults, so the
+		// adversarial defaults win unless a flag was set explicitly. The
+		// graph has one size (first -users value) and one principal count
+		// (first -principals value).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "queries":
+				cfg.Queries = *queries
+			case "users":
+				if us := ints(*users); len(us) > 0 {
+					cfg.Users = us[0]
+				}
+			case "principals":
+				if ps := ints(*principals); len(ps) > 0 {
+					cfg.Principals = ps[0]
+				}
+			case "pool":
+				cfg.Pool = *pool
+			case "goroutines":
+				cfg.Goroutines = ints(*goroutines)
+			case "cache-capacity":
+				cfg.CacheCapacity = *cacheCap
+			}
+		})
+		report, err := bench.RunAdversarial(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			out, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.FormatAdversarial(report))
+		}
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6, footnote3, cached, engine, serve or wal)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6, footnote3, cached, engine, serve, wal or adversarial)", *exp))
 	}
 }
 

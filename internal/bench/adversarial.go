@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	disclosure "repro"
+	"repro/internal/fb"
+	"repro/internal/workload"
+)
+
+// The throughput experiments (RunEngine, RunServe) measure the friendly
+// regime the paper's Section 7.2 assumes: a bounded template space replayed
+// by uniformly active principals, so every cache converges to its warm
+// steady state. RunAdversarial measures the other end: traffic engineered
+// against the system's two caches and its per-principal serialization.
+// Principals are drawn from a Zipf distribution (a handful of hot apps take
+// most of the traffic, concentrating the reference monitor's per-principal
+// locks), and the query stream comes in two shapes — "repetitive", the
+// friendly bounded pool, and "hostile", where every submission is a fresh
+// template and the label and plan caches are shrunk until they thrash.
+// Reported tail latencies (p99 under concurrency) are therefore worst-case
+// figures, not steady-state figures.
+
+// AdversarialConfig configures the adversarial tail-latency experiment.
+type AdversarialConfig struct {
+	// Queries is the number of submissions measured per cell.
+	Queries int `json:"queries"`
+	// Users is the size of the synthetic social graph.
+	Users int `json:"users"`
+	// MaxAtoms bounds query size, as in Figure 5 (a multiple of 3).
+	MaxAtoms int `json:"max_atoms"`
+	// Principals is the number of installed principals; submissions draw
+	// principals Zipf-skewed so a few of them serialize most traffic.
+	Principals int `json:"principals"`
+	// ZipfS is the Zipf exponent (>1; larger = more skew).
+	ZipfS float64 `json:"zipf_s"`
+	// Pool is the template-pool size of the repetitive (cache-friendly)
+	// mode. The hostile mode ignores it and gives every submission its own
+	// template.
+	Pool int `json:"pool"`
+	// CacheCapacity is the label- and plan-cache entry bound of the hostile
+	// mode (the repetitive mode keeps the defaults).
+	CacheCapacity int `json:"cache_capacity"`
+	// Goroutines lists the submission concurrency levels to measure.
+	Goroutines []int `json:"goroutines"`
+	// Seed makes graphs, workloads and principal draws reproducible.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultAdversarialConfig returns a unit-scale configuration.
+func DefaultAdversarialConfig() AdversarialConfig {
+	return AdversarialConfig{
+		Queries:       30_000,
+		Users:         300,
+		MaxAtoms:      9,
+		Principals:    256,
+		ZipfS:         1.2,
+		Pool:          2_000,
+		CacheCapacity: 256,
+		Goroutines:    []int{1, 4, 16},
+		Seed:          2013,
+	}
+}
+
+// AdversarialModes lists the measured traffic shapes.
+var AdversarialModes = []string{"repetitive", "hostile"}
+
+// AdversarialPoint is one measured cell: a (mode, goroutines) pair.
+type AdversarialPoint struct {
+	// Mode is "repetitive" (bounded pool, default caches) or "hostile"
+	// (all-distinct templates, shrunken caches).
+	Mode string `json:"mode"`
+	// Goroutines is the submission concurrency of this cell.
+	Goroutines int `json:"goroutines"`
+	// Queries is the number of measured submissions.
+	Queries int `json:"queries"`
+	// ElapsedSeconds is the wall time of the cell.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// ThroughputQPS is Queries / ElapsedSeconds.
+	ThroughputQPS float64 `json:"throughput_qps"`
+	// Latency percentiles over per-submission times, in microseconds.
+	LatencyP50Us float64 `json:"latency_p50_us"`
+	LatencyP95Us float64 `json:"latency_p95_us"`
+	LatencyP99Us float64 `json:"latency_p99_us"`
+	LatencyMaxUs float64 `json:"latency_max_us"`
+	// Admitted, Refused and Errored are the system's outcome counters for
+	// the cell.
+	Admitted uint64 `json:"admitted"`
+	Refused  uint64 `json:"refused"`
+	Errored  uint64 `json:"errored"`
+	// LabelHitRate and PlanHitRate report cache effectiveness over the
+	// cell — near 1 in the repetitive mode, collapsing in the hostile mode.
+	LabelHitRate float64 `json:"label_hit_rate"`
+	PlanHitRate  float64 `json:"plan_hit_rate"`
+}
+
+// AdversarialReport is the JSON archive of one adversarial run
+// (BENCH_adversarial.json in CI).
+type AdversarialReport struct {
+	Experiment string             `json:"experiment"`
+	Config     AdversarialConfig  `json:"config"`
+	Points     []AdversarialPoint `json:"points"`
+}
+
+// RunAdversarial runs the adversarial experiment: for each mode and each
+// concurrency level a fresh system (fresh graph, cold caches), Zipf-skewed
+// principal draws, and a measured closed-loop run recording every
+// submission's latency.
+func RunAdversarial(cfg AdversarialConfig) (*AdversarialReport, error) {
+	if cfg.Queries <= 0 || cfg.Pool <= 0 {
+		return nil, fmt.Errorf("bench: Queries and Pool must be positive")
+	}
+	if cfg.Users < 1 || cfg.Principals < 1 {
+		return nil, fmt.Errorf("bench: Users and Principals must be at least 1")
+	}
+	if cfg.MaxAtoms < 3 || cfg.MaxAtoms%3 != 0 {
+		return nil, fmt.Errorf("bench: MaxAtoms %d is not a positive multiple of 3", cfg.MaxAtoms)
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("bench: ZipfS must be > 1, got %g", cfg.ZipfS)
+	}
+	if cfg.CacheCapacity < 1 {
+		return nil, fmt.Errorf("bench: CacheCapacity must be at least 1")
+	}
+	report := &AdversarialReport{Experiment: "adversarial", Config: cfg}
+	for _, mode := range AdversarialModes {
+		for _, g := range cfg.Goroutines {
+			if g < 1 {
+				return nil, fmt.Errorf("bench: goroutine count %d must be at least 1", g)
+			}
+			p, err := runAdversarialCell(cfg, mode, g)
+			if err != nil {
+				return nil, fmt.Errorf("bench: adversarial (%s, g=%d): %w", mode, g, err)
+			}
+			report.Points = append(report.Points, *p)
+		}
+	}
+	return report, nil
+}
+
+// runAdversarialCell measures one (mode, goroutines) cell on a fresh system.
+func runAdversarialCell(cfg AdversarialConfig, mode string, g int) (*AdversarialPoint, error) {
+	s := fb.Schema()
+	views, err := fb.SecurityViews(s)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := disclosure.NewSystem(s, views...)
+	if err != nil {
+		return nil, err
+	}
+	err = sys.LoadBatch(func(ld *disclosure.Loader) error {
+		return fb.GenerateGraph(ld, cfg.Users, cfg.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	allViews := make([]string, len(views))
+	for i, v := range views {
+		allViews[i] = v.Name
+	}
+	principals := make([]string, cfg.Principals)
+	for i := range principals {
+		principals[i] = fmt.Sprintf("app-%d", i)
+		if err := sys.SetPolicy(principals[i], map[string][]string{"all": allViews}); err != nil {
+			return nil, err
+		}
+	}
+
+	// The hostile mode shrinks both canonical-form caches and gives every
+	// submission a distinct template, so lookups thrash instead of warming.
+	pool := cfg.Pool
+	if mode == "hostile" {
+		sys.SetCacheCapacity(cfg.CacheCapacity)
+		sys.SetPlanCacheCapacity(cfg.CacheCapacity)
+		pool = cfg.Queries
+	}
+	w, err := workload.New(s, workload.Options{
+		Seed:                     cfg.Seed,
+		MaxSubqueries:            cfg.MaxAtoms / 3,
+		FriendScopesMarkIsFriend: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries := w.Batch(pool)
+
+	// Pre-draw the per-submission principal (Zipf over rank: principal 0
+	// hottest) and template indices, so the measured loop does no random
+	// number generation and the draw sequence is independent of g.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Principals-1))
+	who := make([]uint16, cfg.Queries)
+	for i := range who {
+		who[i] = uint16(zipf.Uint64())
+	}
+
+	before := sys.Stats()
+	lat := make([]time.Duration, cfg.Queries)
+	elapsed, err := timeConcurrent(cfg.Queries, g, func(i int) error {
+		t0 := time.Now()
+		_, _, err := sys.Submit(principals[who[i]], queries[i%len(queries)])
+		lat[i] = time.Since(t0)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	after := sys.Stats()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return &AdversarialPoint{
+		Mode:           mode,
+		Goroutines:     g,
+		Queries:        cfg.Queries,
+		ElapsedSeconds: elapsed,
+		ThroughputQPS:  float64(cfg.Queries) / elapsed,
+		LatencyP50Us:   percentileUs(lat, 0.50),
+		LatencyP95Us:   percentileUs(lat, 0.95),
+		LatencyP99Us:   percentileUs(lat, 0.99),
+		LatencyMaxUs:   percentileUs(lat, 1.00),
+		Admitted:       after.Admitted - before.Admitted,
+		Refused:        after.Refused - before.Refused,
+		Errored:        after.Errored - before.Errored,
+		LabelHitRate:   after.Cache.HitRate(),
+		PlanHitRate:    after.Plans.HitRate(),
+	}, nil
+}
+
+// percentileUs returns the q-quantile of a sorted latency slice in
+// microseconds (nearest-rank).
+func percentileUs(sorted []time.Duration, q float64) float64 {
+	return percentileMs(sorted, q) * 1000
+}
+
+// FormatAdversarial renders an adversarial report as an aligned text table.
+func FormatAdversarial(r *AdversarialReport) string {
+	out := fmt.Sprintf("Adversarial — Zipf(s=%g) principals over %d apps, %d-user graph, %d submissions/cell\n",
+		r.Config.ZipfS, r.Config.Principals, r.Config.Users, r.Config.Queries)
+	out += fmt.Sprintf("%-11s %4s %12s %10s %10s %10s %12s %7s %7s\n",
+		"mode", "g", "qps", "p50 µs", "p95 µs", "p99 µs", "max µs", "lblHit", "plnHit")
+	for _, p := range r.Points {
+		out += fmt.Sprintf("%-11s %4d %12.0f %10.1f %10.1f %10.1f %12.1f %7.3f %7.3f\n",
+			p.Mode, p.Goroutines, p.ThroughputQPS,
+			p.LatencyP50Us, p.LatencyP95Us, p.LatencyP99Us, p.LatencyMaxUs,
+			p.LabelHitRate, p.PlanHitRate)
+	}
+	return out
+}

@@ -82,6 +82,24 @@ func (c *Cache[V]) Get(fp uint64, key string) (V, bool) {
 	return zero, false
 }
 
+// Peek returns the resident value for (fp, key) without counting a hit or
+// miss and without touching the clock reference bit. It exists for
+// singleflight-style callers that re-check residency after a counted miss:
+// a Peek never perturbs the effectiveness counters the caller already
+// charged.
+func (c *Cache[V]) Peek(fp uint64, key string) (V, bool) {
+	s := &c.shards[fp%shardCount]
+	s.mu.Lock()
+	if e := s.find(fp, key); e != nil {
+		v := e.val
+		s.mu.Unlock()
+		return v, true
+	}
+	s.mu.Unlock()
+	var zero V
+	return zero, false
+}
+
 // Add inserts a value computed after a missed Get, evicting by clock when
 // the shard is full. A concurrent miss may already have inserted the key;
 // the first insertion wins and later ones are dropped, so callers may

@@ -70,6 +70,15 @@ type Database struct {
 	in     *interner
 	snap   atomic.Pointer[Snapshot]
 	plans  atomic.Pointer[planCache]
+
+	// arenas pools execution scratch (execArena) so steady-state evaluation
+	// allocates nothing; see arena.go.
+	arenas sync.Pool
+
+	// tupleExec forces the retained tuple-at-a-time executor for answer
+	// queries — the differential switch the engine tests flip to run the
+	// block executor against its predecessor on identical databases.
+	tupleExec atomic.Bool
 }
 
 // NewDatabase creates an empty database over the schema.
@@ -311,16 +320,43 @@ func (db *Database) EvalCanonicalAt(snap *Snapshot, key string, q *cq.Query) ([]
 	if err != nil {
 		return nil, err
 	}
-	return p.run(db, snap), nil
+	return db.evalPlan(p, snap), nil
 }
 
-// EvalBool evaluates a boolean query, reporting satisfaction.
+// EvalEach evaluates q against the current snapshot and yields each answer
+// tuple in sorted order until yield returns false. Unlike Eval it
+// materializes nothing: the yielded Tuple is a buffer reused between
+// yields (its strings are shared with the snapshot), so callers that
+// retain a row must copy it. A satisfied boolean query yields one empty
+// tuple. On the warm path — plan cached, snapshot current — EvalEach is
+// allocation-free.
+func (db *Database) EvalEach(q *cq.Query, yield func(Tuple) bool) error {
+	snap := db.Snapshot()
+	return db.EvalEachCanonicalAt(snap, cq.CanonicalKey(q), q, yield)
+}
+
+// EvalEachCanonicalAt is EvalEach against a pinned snapshot for callers
+// that already hold q's canonical key, the zero-allocation composition of
+// EvalCanonicalAt: one plan-cache lookup, block execution on pooled
+// scratch, answers yielded from the arena.
+func (db *Database) EvalEachCanonicalAt(snap *Snapshot, key string, q *cq.Query, yield func(Tuple) bool) error {
+	p, err := db.plans.Load().get(db, key, q)
+	if err != nil {
+		return err
+	}
+	db.evalPlanEach(p, snap, yield)
+	return nil
+}
+
+// EvalBool evaluates a query for satisfaction: true when at least one
+// answer (or, for a boolean query, any full match) exists. It runs the
+// early-exit existence executor and allocates nothing on the warm path.
 func (db *Database) EvalBool(q *cq.Query) (bool, error) {
-	rows, err := db.Eval(q)
+	p, err := db.plans.Load().get(db, cq.CanonicalKey(q), q)
 	if err != nil {
 		return false, err
 	}
-	return len(rows) > 0, nil
+	return db.evalPlanBool(p, db.Snapshot()), nil
 }
 
 // sortTuples orders answers lexicographically element-wise (all tuples in

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/clockcache"
@@ -56,13 +57,19 @@ type headOp struct {
 }
 
 // compiledPlan is an immutable compiled query; the only mutable fields are
-// the memoized constant resolutions, which are monotonic and atomic.
+// the memoized constant resolutions, which are monotonic and atomic. The
+// same compilation carries two executable forms: the slot program (steps,
+// interpreted tuple-at-a-time by planExec for boolean early-exit and as the
+// differential baseline) and the block program (vec, run by the vectorized
+// executor in vexec.go for everything else).
 type compiledPlan struct {
-	steps   []planStep
-	head    []headOp
-	consts  []*planConst
-	nSlots  int
-	boolean bool
+	steps     []planStep
+	vec       []vecStep
+	head      []headOp
+	headSlots []int32 // slots of variable head positions, in head order
+	consts    []*planConst
+	nSlots    int
+	boolean   bool
 }
 
 // compilePlan validates q against the database schema and compiles its
@@ -193,49 +200,107 @@ func compilePlan(db *Database, q *cq.Query) (*compiledPlan, error) {
 			p.head[i] = headOp{slot: slots[t.Value]}
 		}
 	}
+	p.compileVec()
 	return p, nil
 }
 
-// planExec is the per-evaluation scratch state of one plan run.
+// planExec is the per-evaluation state of one tuple-at-a-time plan run. The
+// recursion is retained for two callers: boolean/existence evaluation
+// (where first-row early exit beats block materialization) and the
+// differential tests that execute it against the vectorized executor. All
+// scratch — slot bindings, constant ids, the answer-dedup set — comes from
+// the arena, so it shares the block executor's allocation-free discipline.
 type planExec struct {
 	snap   *Snapshot
 	plan   *compiledPlan
-	cids   []uint32
-	slots  []uint32
-	seen   map[string]struct{}
-	keyBuf []byte
+	a      *execArena
 	out    []Tuple
-	done   bool // boolean query satisfied: stop the search
+	exists bool // existence check: stop at the first full match, emit nothing
+	done   bool // search satisfied (existence) — stop unwinding
 }
 
-// run executes the plan against a snapshot. It never blocks: the snapshot
-// is immutable and constant resolution is memoized after the first lookup.
-func (p *compiledPlan) run(db *Database, snap *Snapshot) []Tuple {
-	cids := make([]uint32, len(p.consts))
-	for i, c := range p.consts {
-		v := c.id.Load()
-		if v == 0 {
-			id, ok := db.in.lookup(c.s)
-			if !ok {
-				// The constant has never been inserted anywhere, so no row
-				// of any current snapshot can match it.
-				return nil
-			}
-			c.id.Store(uint64(id) + 1)
-			v = uint64(id) + 1
+// evalPlan runs a compiled plan against a snapshot with pooled scratch and
+// returns materialized answers. It never blocks: the snapshot is immutable
+// and constant resolution is memoized after the first lookup.
+func (db *Database) evalPlan(p *compiledPlan, snap *Snapshot) []Tuple {
+	a := db.getArena()
+	defer db.putArena(a)
+	if !p.resolveConsts(db, a) {
+		// A constant that has never been inserted anywhere proves no row of
+		// any current snapshot can match.
+		return nil
+	}
+	if p.boolean {
+		if p.runExists(snap, a) {
+			return []Tuple{{}}
 		}
-		cids[i] = uint32(v - 1)
+		return nil
 	}
-	e := &planExec{
-		snap:  snap,
-		plan:  p,
-		cids:  cids,
-		slots: make([]uint32, p.nSlots),
-		seen:  make(map[string]struct{}),
+	if db.tupleExec.Load() {
+		return p.runTuple(snap, a)
 	}
+	n := p.runVec(snap, a)
+	return p.materializeVec(snap, a, n)
+}
+
+// evalPlanEach is evalPlan with the allocation-free visitor result path:
+// answers are yielded in sorted order through a row buffer owned by the
+// arena, valid only during the yield (callers copy what they retain). A
+// satisfied boolean query yields one empty row.
+func (db *Database) evalPlanEach(p *compiledPlan, snap *Snapshot, yield func(Tuple) bool) {
+	a := db.getArena()
+	defer db.putArena(a)
+	if !p.resolveConsts(db, a) {
+		return
+	}
+	if p.boolean {
+		if p.runExists(snap, a) {
+			yield(a.rowBuf[:0])
+		}
+		return
+	}
+	n := p.runVec(snap, a)
+	p.visitVec(snap, a, n, yield)
+}
+
+// evalPlanBool reports satisfaction — for a boolean query, or row existence
+// for any other — via the early-exit tuple executor, allocation-free.
+func (db *Database) evalPlanBool(p *compiledPlan, snap *Snapshot) bool {
+	a := db.getArena()
+	defer db.putArena(a)
+	if !p.resolveConsts(db, a) {
+		return false
+	}
+	return p.runExists(snap, a)
+}
+
+// runTuple is the retained tuple-at-a-time execution, on arena scratch.
+func (p *compiledPlan) runTuple(snap *Snapshot, a *execArena) []Tuple {
+	e := planExec{snap: snap, plan: p, a: a}
+	p.prepTuple(a)
 	e.step(0)
 	sortTuples(e.out)
 	return e.out
+}
+
+// runExists reports whether any full match exists, stopping at the first.
+func (p *compiledPlan) runExists(snap *Snapshot, a *execArena) bool {
+	e := planExec{snap: snap, plan: p, a: a, exists: true}
+	p.prepTuple(a)
+	e.step(0)
+	return e.done
+}
+
+// prepTuple sizes the arena's slot buffer and answer-dedup state for a
+// tuple-path run.
+func (p *compiledPlan) prepTuple(a *execArena) {
+	if cap(a.slots) < p.nSlots {
+		a.slots = make([]uint32, p.nSlots)
+	} else {
+		a.slots = a.slots[:p.nSlots]
+	}
+	a.headIDs = a.headIDs[:0]
+	a.dedup.reset(16)
 }
 
 func (e *planExec) step(depth int) {
@@ -252,9 +317,9 @@ func (e *planExec) step(depth int) {
 		a := st.args[st.probe]
 		var val uint32
 		if a.op == opConst {
-			val = e.cids[a.x]
+			val = e.a.cids[a.x]
 		} else {
-			val = e.slots[a.x]
+			val = e.a.slots[a.x]
 		}
 		ids, tail := t.probe(int(st.probe), val)
 		for _, id := range ids {
@@ -296,45 +361,45 @@ func (e *planExec) match(st *planStep, t *tableSnap, row int) bool {
 		v := t.cols[pos][row]
 		switch a.op {
 		case opConst:
-			if e.cids[a.x] != v {
+			if e.a.cids[a.x] != v {
 				return false
 			}
 		case opCheck:
-			if e.slots[a.x] != v {
+			if e.a.slots[a.x] != v {
 				return false
 			}
 		default:
-			e.slots[a.x] = v
+			e.a.slots[a.x] = v
 		}
 	}
 	return true
 }
 
+// emit records one full match. Existence checks (and boolean queries,
+// which are always run as existence checks) just stop the search; answer
+// queries deduplicate by interned head ids through the arena's hashed set —
+// no per-emit key rendering, no map of strings.
 func (e *planExec) emit() {
-	if e.plan.boolean {
-		e.out = append(e.out, Tuple{})
+	if e.exists || e.plan.boolean {
 		e.done = true
 		return
 	}
-	e.keyBuf = e.keyBuf[:0]
-	for i := range e.plan.head {
-		h := &e.plan.head[i]
-		if !h.isConst {
-			v := e.slots[h.slot]
-			e.keyBuf = append(e.keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-		}
+	a := e.a
+	base := len(a.headIDs)
+	for _, s := range e.plan.headSlots {
+		a.headIDs = append(a.headIDs, a.slots[s])
 	}
-	if _, dup := e.seen[string(e.keyBuf)]; dup {
+	if !a.dedup.insert(a.headIDs, len(e.plan.headSlots)) {
+		a.headIDs = a.headIDs[:base]
 		return
 	}
-	e.seen[string(e.keyBuf)] = struct{}{}
 	ans := make(Tuple, len(e.plan.head))
 	for i := range e.plan.head {
 		h := &e.plan.head[i]
 		if h.isConst {
 			ans[i] = h.val
 		} else {
-			ans[i] = e.snap.strs[e.slots[h.slot]]
+			ans[i] = e.snap.strs[a.slots[h.slot]]
 		}
 	}
 	e.out = append(e.out, ans)
@@ -349,30 +414,66 @@ const DefaultPlanCacheCapacity = 4096
 
 type planCache struct {
 	c *clockcache.Cache[*compiledPlan]
+
+	// Singleflight guard: concurrent misses on one canonical key compile
+	// once. inflight maps the key to the flight every latecomer waits on.
+	mu       sync.Mutex
+	inflight map[string]*planFlight
+}
+
+// planFlight is one in-progress compilation; done closes when p/err are
+// final.
+type planFlight struct {
+	done chan struct{}
+	p    *compiledPlan
+	err  error
 }
 
 func newPlanCache(capacity int) *planCache {
 	if capacity <= 0 {
 		capacity = DefaultPlanCacheCapacity
 	}
-	return &planCache{c: clockcache.New[*compiledPlan](capacity)}
+	return &planCache{
+		c:        clockcache.New[*compiledPlan](capacity),
+		inflight: make(map[string]*planFlight),
+	}
 }
 
 // get returns the cached plan for q's canonical form, compiling and
-// inserting it on a miss; key must be q's canonical key. Compilation
-// happens outside any lock (on a racing miss the first inserted entry
-// wins); compilation errors are returned and never cached.
+// inserting it on a miss; key must be q's canonical key. Concurrent misses
+// on one key are collapsed into a single compilation: the first miss
+// registers a flight and compiles outside the lock, latecomers wait on it.
+// Compilation errors propagate to every waiter and are never cached.
 func (pc *planCache) get(db *Database, key string, q *cq.Query) (*compiledPlan, error) {
 	fp := cq.FingerprintKey(key)
 	if p, ok := pc.c.Get(fp, key); ok {
 		return p, nil
 	}
-	p, err := compilePlan(db, q)
-	if err != nil {
-		return nil, err
+	pc.mu.Lock()
+	if f, ok := pc.inflight[key]; ok {
+		pc.mu.Unlock()
+		<-f.done
+		return f.p, f.err
 	}
-	pc.c.Add(fp, key, p)
-	return p, nil
+	// A flight that completed between the missed Get and the lock left the
+	// plan in the cache; Peek avoids double-counting the lookup.
+	if p, ok := pc.c.Peek(fp, key); ok {
+		pc.mu.Unlock()
+		return p, nil
+	}
+	f := &planFlight{done: make(chan struct{})}
+	pc.inflight[key] = f
+	pc.mu.Unlock()
+
+	f.p, f.err = compilePlan(db, q)
+	if f.err == nil {
+		pc.c.Add(fp, key, f.p)
+	}
+	pc.mu.Lock()
+	delete(pc.inflight, key)
+	pc.mu.Unlock()
+	close(f.done)
+	return f.p, f.err
 }
 
 // PlanCacheStats is a point-in-time snapshot of plan-cache counters.

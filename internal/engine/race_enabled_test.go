@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether this test binary was built with -race, which
+// perturbs sync.Pool (puts are randomly dropped to widen interleavings) and
+// so makes allocation counts nondeterministic.
+const raceEnabled = true

@@ -1,0 +1,447 @@
+package engine
+
+import "sort"
+
+// This file implements stage-3 block-vectorized evaluation: instead of the
+// tuple-at-a-time recursion of the original slot-program executor
+// (retained in plan.go for boolean early-exit and as a differential
+// baseline), a plan runs as a sequence of block transformations. The
+// intermediate state after step i is a vecBatch — one uint32 column per
+// live slot, all of equal length — and each step either
+//
+//   - materializes its binding-independent candidate rows once (constant
+//     index buckets intersected as sorted u32 lists, plus a linear tail
+//     scan) and crosses them with the incoming block column-at-a-time, or
+//   - probes the table index per incoming binding, filtering candidates
+//     through a bitset of the rows that satisfy the step's constant
+//     arguments (built once per step, amortized over the whole block) and
+//     through tight column compares for the join checks.
+//
+// Answers are deduplicated by interned head ids in the arena's u64-keyed
+// dedupSet and sorted through a permutation, so the only allocations of an
+// evaluation are the caller-visible result — and EvalEach avoids even
+// those by yielding rows out of the arena.
+
+// vecColConst compares a column against a resolved plan constant.
+type vecColConst struct {
+	col int32
+	cid int32 // index into arena cids
+}
+
+// vecColSlot ties a column to a slot: a cross-step check compares against
+// the incoming block's column for the slot, a bind writes the slot.
+type vecColSlot struct {
+	col  int32
+	slot int32
+}
+
+// vecColPair is a within-row equality between two columns — the compiled
+// form of a variable repeated inside one atom.
+type vecColPair struct {
+	a, b int32
+}
+
+// vecStep is the block-executor form of one plan step, derived from the
+// same argOps the tuple executor interprets.
+type vecStep struct {
+	relID     int32
+	probeCol  int32 // column probed with a per-binding slot value; -1 = independent step
+	probeSlot int32
+	consts    []vecColConst
+	cross     []vecColSlot // checks against slots bound by earlier steps
+	selfPairs []vecColPair // checks against slots bound earlier in this step
+	binds     []vecColSlot // first occurrences that later steps or the head read
+	carry     []int32      // earlier-bound slots still live after this step
+}
+
+// compileVec derives the block program from the compiled slot program.
+// Slots are assigned in first-occurrence order across the ordered steps, so
+// a slot index below the count of slots bound before a step identifies a
+// cross-step dependency.
+func (p *compiledPlan) compileVec() {
+	nv := len(p.steps)
+	p.vec = make([]vecStep, nv)
+	startCount := make([]int, nv+1)
+	for i, st := range p.steps {
+		v := &p.vec[i]
+		v.relID = st.relID
+		v.probeCol = -1
+		start := startCount[i]
+		maxSlot := start
+		bindCol := make(map[int32]int32, len(st.args))
+		for pos, a := range st.args {
+			switch a.op {
+			case opConst:
+				v.consts = append(v.consts, vecColConst{col: int32(pos), cid: a.x})
+			case opBind:
+				v.binds = append(v.binds, vecColSlot{col: int32(pos), slot: a.x})
+				bindCol[a.x] = int32(pos)
+				if int(a.x)+1 > maxSlot {
+					maxSlot = int(a.x) + 1
+				}
+			default: // opCheck
+				if int(a.x) < start {
+					v.cross = append(v.cross, vecColSlot{col: int32(pos), slot: a.x})
+				} else {
+					v.selfPairs = append(v.selfPairs, vecColPair{a: bindCol[a.x], b: int32(pos)})
+				}
+			}
+		}
+		startCount[i+1] = maxSlot
+		// Mirror the tuple executor's probe choice: the step's compiled
+		// probe position, when it names a slot bound by an earlier step.
+		if st.probe >= 0 && st.args[st.probe].op == opCheck && int(st.args[st.probe].x) < start {
+			v.probeCol = st.probe
+			v.probeSlot = st.args[st.probe].x
+		}
+	}
+
+	// Head bookkeeping: the slots of variable head positions, in order.
+	for _, h := range p.head {
+		if !h.isConst {
+			p.headSlots = append(p.headSlots, h.slot)
+		}
+	}
+
+	// Backward liveness: a slot is materialized in a block only while some
+	// later step or the head still reads it.
+	live := make([]bool, p.nSlots)
+	for _, s := range p.headSlots {
+		live[s] = true
+	}
+	for i := nv - 1; i >= 0; i-- {
+		v := &p.vec[i]
+		for s := 0; s < startCount[i]; s++ {
+			if live[s] {
+				v.carry = append(v.carry, int32(s))
+			}
+		}
+		kept := v.binds[:0]
+		for _, b := range v.binds {
+			if live[b.slot] {
+				kept = append(kept, b)
+			}
+		}
+		v.binds = kept
+		for s := startCount[i]; s < startCount[i+1]; s++ {
+			live[s] = false
+		}
+		if v.probeCol >= 0 {
+			live[v.probeSlot] = true
+		}
+		for _, c := range v.cross {
+			live[c.slot] = true
+		}
+	}
+}
+
+// resolveConsts fills the arena's constant-id block, memoizing resolutions
+// on the plan. It reports false when a constant has never been interned —
+// proof the query returns no rows on any current snapshot.
+func (p *compiledPlan) resolveConsts(db *Database, a *execArena) bool {
+	if cap(a.cids) < len(p.consts) {
+		a.cids = make([]uint32, len(p.consts))
+	} else {
+		a.cids = a.cids[:len(p.consts)]
+	}
+	for i, c := range p.consts {
+		v := c.id.Load()
+		if v == 0 {
+			id, ok := db.in.lookup(c.s)
+			if !ok {
+				return false
+			}
+			c.id.Store(uint64(id) + 1)
+			v = uint64(id) + 1
+		}
+		a.cids[i] = uint32(v - 1)
+	}
+	return true
+}
+
+// runVec executes the block program against a snapshot, leaving the
+// deduplicated answers in the arena (headIDs + perm, sorted) and returning
+// their count.
+func (p *compiledPlan) runVec(snap *Snapshot, a *execArena) int {
+	a.cur.reset(p.nSlots)
+	a.cur.n = 1 // one empty binding
+	for si := range p.vec {
+		st := &p.vec[si]
+		t := snap.tables[st.relID]
+		if t.n == 0 {
+			return 0
+		}
+		a.next.reset(p.nSlots)
+		if st.probeCol < 0 {
+			stepIndependent(st, t, a)
+		} else {
+			stepProbe(st, t, a)
+		}
+		if a.next.n == 0 {
+			return 0
+		}
+		a.cur, a.next = a.next, a.cur
+	}
+	return p.collectAnswers(snap, a)
+}
+
+// stepIndependent handles a step with no dependency on earlier bindings:
+// its matching rows are computed once — constant buckets intersected as
+// sorted u32 lists over the indexed base region, then the unindexed tail —
+// and crossed with the incoming block column-at-a-time.
+func stepIndependent(st *vecStep, t *tableSnap, a *execArena) {
+	a.rows = a.rows[:0]
+	indexed := 0
+	if len(st.consts) > 0 {
+		if b := t.base; b != nil && b.n0 > 0 {
+			indexed = b.n0
+			cand := b.column(int(st.consts[0].col))[a.cids[st.consts[0].cid]]
+			for _, c := range st.consts[1:] {
+				if len(cand) == 0 {
+					break
+				}
+				cand = intersectSorted(cand, b.column(int(c.col))[a.cids[c.cid]], &a.rows2)
+			}
+			for _, id := range cand {
+				if rowSelfMatch(st, t, id) {
+					a.rows = append(a.rows, id)
+				}
+			}
+		}
+	}
+	// Tail (or, without usable constants, the whole table) scans linearly.
+	for r := int32(indexed); r < int32(t.n); r++ {
+		if rowConstMatch(st, t, r, a.cids) && rowSelfMatch(st, t, r) {
+			a.rows = append(a.rows, r)
+		}
+	}
+	if len(a.rows) == 0 {
+		return
+	}
+	// Cross product, column-at-a-time: every incoming binding pairs with
+	// every matched row.
+	m := len(a.rows)
+	for _, s := range st.carry {
+		col := a.cur.cols[s]
+		out := a.next.cols[s]
+		for r := 0; r < a.cur.n; r++ {
+			v := col[r]
+			for j := 0; j < m; j++ {
+				out = append(out, v)
+			}
+		}
+		a.next.cols[s] = out
+	}
+	for _, b := range st.binds {
+		src := t.cols[b.col]
+		out := a.next.cols[b.slot]
+		for r := 0; r < a.cur.n; r++ {
+			for _, id := range a.rows {
+				out = append(out, src[id])
+			}
+		}
+		a.next.cols[b.slot] = out
+	}
+	a.next.n = a.cur.n * m
+}
+
+// stepProbe handles a step joined to earlier bindings: each incoming
+// binding probes the table index with its slot value, candidates are
+// filtered through the step's constant bitset and column compares, and the
+// short unindexed tail is scanned per binding.
+func stepProbe(st *vecStep, t *tableSnap, a *execArena) {
+	var bucket map[uint32][]int32
+	n0 := 0
+	if b := t.base; b != nil && b.n0 > 0 {
+		bucket = b.column(int(st.probeCol))
+		n0 = b.n0
+	}
+	// Constant filter, shared by the whole block: a bitset over the base
+	// region marking rows that satisfy every constant argument (and the
+	// within-row repeats), built from the first constant's bucket. Worth
+	// the build only when several bindings amortize it.
+	useBits := false
+	if len(st.consts) > 0 && n0 > 0 && a.cur.n > 2 {
+		a.bits.reset(n0)
+		first := t.base.column(int(st.consts[0].col))[a.cids[st.consts[0].cid]]
+		for _, id := range first {
+			if rowConstMatch(st, t, id, a.cids) && rowSelfMatch(st, t, id) {
+				a.bits.set(id)
+			}
+		}
+		useBits = true
+	}
+	probeSrc := t.cols[st.probeCol]
+	for r := 0; r < a.cur.n; r++ {
+		val := a.cur.cols[st.probeSlot][r]
+		if bucket != nil {
+			for _, id := range bucket[val] {
+				if useBits {
+					if !a.bits.test(id) {
+						continue
+					}
+				} else if !(rowConstMatch(st, t, id, a.cids) && rowSelfMatch(st, t, id)) {
+					continue
+				}
+				if rowCrossMatch(st, t, id, &a.cur, r) {
+					emitRow(st, t, a, r, id)
+				}
+			}
+		}
+		for id := int32(n0); id < int32(t.n); id++ {
+			if probeSrc[id] == val &&
+				rowConstMatch(st, t, id, a.cids) && rowSelfMatch(st, t, id) &&
+				rowCrossMatch(st, t, id, &a.cur, r) {
+				emitRow(st, t, a, r, id)
+			}
+		}
+	}
+}
+
+// emitRow appends one (binding, row) join result to the output block.
+func emitRow(st *vecStep, t *tableSnap, a *execArena, r int, id int32) {
+	for _, s := range st.carry {
+		a.next.cols[s] = append(a.next.cols[s], a.cur.cols[s][r])
+	}
+	for _, b := range st.binds {
+		a.next.cols[b.slot] = append(a.next.cols[b.slot], t.cols[b.col][id])
+	}
+	a.next.n++
+}
+
+func rowConstMatch(st *vecStep, t *tableSnap, id int32, cids []uint32) bool {
+	for _, c := range st.consts {
+		if t.cols[c.col][id] != cids[c.cid] {
+			return false
+		}
+	}
+	return true
+}
+
+func rowSelfMatch(st *vecStep, t *tableSnap, id int32) bool {
+	for _, p := range st.selfPairs {
+		if t.cols[p.a][id] != t.cols[p.b][id] {
+			return false
+		}
+	}
+	return true
+}
+
+func rowCrossMatch(st *vecStep, t *tableSnap, id int32, cur *vecBatch, r int) bool {
+	for _, c := range st.cross {
+		if t.cols[c.col][id] != cur.cols[c.slot][r] {
+			return false
+		}
+	}
+	return true
+}
+
+// intersectSorted intersects two ascending row-id lists into *scratch
+// (reusing its capacity) and returns the result.
+func intersectSorted(x, y []int32, scratch *[]int32) []int32 {
+	out := (*scratch)[:0]
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			i++
+		case x[i] > y[j]:
+			j++
+		default:
+			out = append(out, x[i])
+			i++
+			j++
+		}
+	}
+	*scratch = out
+	return out
+}
+
+// collectAnswers deduplicates the final block by interned head ids and
+// sorts a permutation over the distinct answers lexicographically by their
+// rendered strings; it returns the answer count. Answers live in the arena
+// until materialized or visited.
+func (p *compiledPlan) collectAnswers(snap *Snapshot, a *execArena) int {
+	k := len(p.headSlots)
+	a.headIDs = a.headIDs[:0]
+	a.dedup.reset(a.cur.n)
+	nAns := 0
+	for r := 0; r < a.cur.n; r++ {
+		base := len(a.headIDs)
+		for _, s := range p.headSlots {
+			a.headIDs = append(a.headIDs, a.cur.cols[s][r])
+		}
+		if a.dedup.insert(a.headIDs, k) {
+			nAns++
+		} else {
+			a.headIDs = a.headIDs[:base]
+		}
+	}
+	if cap(a.perm) < nAns {
+		a.perm = make([]int32, nAns)
+	} else {
+		a.perm = a.perm[:nAns]
+	}
+	for i := range a.perm {
+		a.perm[i] = int32(i)
+	}
+	a.sorter = answerSorter{perm: a.perm, ids: a.headIDs, strs: snap.strs, k: k}
+	sort.Sort(&a.sorter)
+	return nAns
+}
+
+// materializeVec renders the arena's sorted answers as caller-owned tuples
+// (one backing array, full-capacity subslices so an append never bleeds
+// into a neighbor).
+func (p *compiledPlan) materializeVec(snap *Snapshot, a *execArena, nAns int) []Tuple {
+	if nAns == 0 {
+		return nil
+	}
+	k := len(p.headSlots)
+	w := len(p.head)
+	out := make([]Tuple, nAns)
+	backing := make([]string, nAns*w)
+	for oi, ai := range a.perm[:nAns] {
+		row := backing[oi*w : (oi+1)*w : (oi+1)*w]
+		vi := int(ai) * k
+		for hi := range p.head {
+			h := &p.head[hi]
+			if h.isConst {
+				row[hi] = h.val
+			} else {
+				row[hi] = snap.strs[a.headIDs[vi]]
+				vi++
+			}
+		}
+		out[oi] = row
+	}
+	return out
+}
+
+// visitVec yields the arena's sorted answers through a reused row buffer —
+// the allocation-free result path under EvalEach. It reports whether the
+// visitor ran to completion.
+func (p *compiledPlan) visitVec(snap *Snapshot, a *execArena, nAns int, yield func(Tuple) bool) bool {
+	k := len(p.headSlots)
+	w := len(p.head)
+	if cap(a.rowBuf) < w {
+		a.rowBuf = make(Tuple, w)
+	}
+	row := a.rowBuf[:w]
+	for _, ai := range a.perm[:nAns] {
+		vi := int(ai) * k
+		for hi := range p.head {
+			h := &p.head[hi]
+			if h.isConst {
+				row[hi] = h.val
+			} else {
+				row[hi] = snap.strs[a.headIDs[vi]]
+				vi++
+			}
+		}
+		if !yield(row) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,8 @@
 package label
 
 import (
+	"sync"
+
 	"repro/internal/clockcache"
 	"repro/internal/cq"
 )
@@ -75,6 +77,70 @@ func (l *CachedLabeler) LabelCanonical(key string, q *cq.Query) (Label, error) {
 	}
 	l.cache.Add(fp, key, lbl)
 	return lbl, nil
+}
+
+// LabelBatchCanonical labels a whole batch with one cache-lookup round:
+// positions are grouped by canonical key, each distinct form costs exactly
+// one counted Get, and the forms that miss are labeled concurrently and
+// inserted once. Repeated templates inside a batch — the dominant shape of
+// app-ecosystem traffic — therefore pay one lookup and at most one labeling
+// no matter how often they recur, and the effectiveness counters report
+// per-form (not per-query) traffic for batches.
+//
+// keys must be the canonical keys (cq.CanonicalKey) of qs, positionally
+// aligned. The returned labels and errors are aligned with qs; positions
+// sharing a canonical form share the outcome. Labeling errors are never
+// cached. Callers must treat returned labels as immutable, as with Label.
+func (l *CachedLabeler) LabelBatchCanonical(keys []string, qs []*cq.Query) ([]Label, []error) {
+	labels := make([]Label, len(qs))
+	errs := make([]error, len(qs))
+
+	// Group batch positions by canonical form, preserving first-seen order.
+	groups := make(map[string][]int, len(qs))
+	order := make([]string, 0, len(qs))
+	for i, k := range keys {
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	// One counted lookup per distinct form; collect the misses.
+	missed := order[:0]
+	for _, k := range order {
+		if lbl, ok := l.cache.Get(cq.FingerprintKey(k), k); ok {
+			for _, i := range groups[k] {
+				labels[i] = lbl
+			}
+			continue
+		}
+		missed = append(missed, k)
+	}
+
+	// Label the missed forms concurrently (each is independent read-only
+	// work against the wrapped labeler) and fan each outcome out to every
+	// position that shares the form.
+	var wg sync.WaitGroup
+	for _, k := range missed {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			idx := groups[k]
+			lbl, err := l.inner.Label(qs[idx[0]])
+			if err != nil {
+				for _, i := range idx {
+					errs[i] = err
+				}
+				return
+			}
+			l.cache.Add(cq.FingerprintKey(k), k, lbl)
+			for _, i := range idx {
+				labels[i] = lbl
+			}
+		}(k)
+	}
+	wg.Wait()
+	return labels, errs
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness counters.

@@ -198,3 +198,59 @@ func TestCachedLabelerReset(t *testing.T) {
 		t.Fatalf("want a fresh miss after reset, got %s", st)
 	}
 }
+
+// TestLabelBatchCanonical: the batch path must produce the labels of the
+// one-at-a-time path, share outcomes between isomorphic queries, and charge
+// the cache one lookup per distinct canonical form — not per query.
+func TestLabelBatchCanonical(t *testing.T) {
+	cat := testCatalog(t)
+	cached := label.NewCachedLabeler(label.NewLabeler(cat), 0)
+	reference := label.NewCachedLabeler(label.NewLabeler(cat), 0)
+
+	qs := workloadQueries(t, 99, 9, 200)
+	// Append isomorphic repeats so the batch has heavy within-batch reuse.
+	base := len(qs)
+	for i := 0; i < base; i += 3 {
+		qs = append(qs, qs[i])
+	}
+	keys := make([]string, len(qs))
+	distinct := map[string]bool{}
+	for i, q := range qs {
+		keys[i] = cq.CanonicalKey(q)
+		distinct[keys[i]] = true
+	}
+
+	labels, errs := cached.LabelBatchCanonical(keys, qs)
+	if len(labels) != len(qs) || len(errs) != len(qs) {
+		t.Fatalf("batch returned %d labels / %d errs for %d queries", len(labels), len(errs), len(qs))
+	}
+	for i, q := range qs {
+		if errs[i] != nil {
+			t.Fatalf("query %d (%s): %v", i, q, errs[i])
+		}
+		want, err := reference.Label(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !labels[i].EquivTo(want) {
+			t.Fatalf("query %d: batch label mismatch for %s:\n  batch  %s\n  single %s",
+				i, q, labels[i].Render(cat), want.Render(cat))
+		}
+	}
+	st := cached.Stats()
+	if got := st.Hits + st.Misses; got != uint64(len(distinct)) {
+		t.Fatalf("batch charged %d lookups for %d distinct forms (%s)", got, len(distinct), st)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("cold batch should miss every distinct form once, got %s", st)
+	}
+
+	// A second identical batch is all hits — still one per distinct form.
+	if _, errs := cached.LabelBatchCanonical(keys, qs); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	st = cached.Stats()
+	if st.Misses != uint64(len(distinct)) || st.Hits != uint64(len(distinct)) {
+		t.Fatalf("warm batch: want %d hits + %d misses, got %s", len(distinct), len(distinct), st)
+	}
+}

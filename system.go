@@ -271,15 +271,18 @@ type BatchResult struct {
 }
 
 // SubmitBatch submits a batch of queries for one principal through a
-// three-stage pipeline: all queries are labeled concurrently (hitting the
-// canonical-form cache), the policy decisions are then applied sequentially
-// in slice order — so cumulative-disclosure semantics are exactly those of
-// calling Submit in a loop — and finally the admitted queries are evaluated
-// concurrently against one shared snapshot. Results are positionally
-// aligned with qs.
+// three-stage pipeline: all queries are canonicalized concurrently and
+// labeled in a single batch pass — one label-cache lookup (and at most one
+// labeling) per distinct canonical form in the batch — the policy decisions
+// are then applied sequentially in slice order — so cumulative-disclosure
+// semantics are exactly those of calling Submit in a loop — and finally
+// each distinct admitted form is evaluated once against one shared
+// snapshot, with its answer rows shared by every query of that form.
+// Results are positionally aligned with qs; isomorphic queries in one
+// batch may alias the same Rows slice, which callers must treat as
+// read-only (as with all evaluation results).
 func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 	out := make([]BatchResult, len(qs))
-	labels := make([]Label, len(qs))
 	keys := make([]string, len(qs))
 
 	// Fail the whole batch before labeling if the principal is unknown
@@ -295,21 +298,21 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 		return out
 	}
 
-	// Stage 1: concurrent labeling (one canonicalization per query, reused
-	// by the plan cache in stage 3).
-	labeler := sys.labeler.Load()
+	// Stage 1: concurrent canonicalization (the per-query cost that cannot
+	// be deduplicated), then one batch labeling round over the distinct
+	// canonical forms. The keys are reused by the plan cache in stage 3.
 	forEachConcurrent(len(qs), func(i int) {
 		sys.queries.Add(1)
 		keys[i] = cq.CanonicalKey(qs[i])
-		lbl, err := labeler.LabelCanonical(keys[i], qs[i])
+	})
+	labels, labelErrs := sys.labeler.Load().LabelBatchCanonical(keys, qs)
+	for i, err := range labelErrs {
 		if err != nil {
 			sys.errored.Add(1)
 			out[i].Decision = Decision{Allowed: false}
 			out[i].Err = fmt.Errorf("disclosure: labeling %s: %w", qs[i].Name, err)
-			return
 		}
-		labels[i] = lbl
-	})
+	}
 
 	// Stage 2: sequential decisions in slice order.
 	for i := range qs {
@@ -336,20 +339,46 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 
 	// Stage 3: concurrent, lock-free evaluation of the admitted queries,
 	// all pinned to one snapshot so the whole batch reflects a single
-	// database state even while inserts land mid-batch.
+	// database state even while inserts land mid-batch. Admitted queries
+	// are grouped by canonical form first: isomorphic queries have
+	// identical answers (the same property the plan cache exploits), so
+	// each distinct form is evaluated once and its rows shared.
 	snap := sys.db.Snapshot()
-	forEachConcurrent(len(qs), func(i int) {
+	groups := make(map[string][]int, len(qs))
+	distinct := make([]string, 0, len(qs))
+	for i := range qs {
 		if out[i].Err != nil || !out[i].Decision.Allowed {
-			return
+			continue
 		}
-		rows, err := sys.db.EvalCanonicalAt(snap, keys[i], qs[i])
+		if _, ok := groups[keys[i]]; !ok {
+			distinct = append(distinct, keys[i])
+		}
+		groups[keys[i]] = append(groups[keys[i]], i)
+	}
+	forEachConcurrent(len(distinct), func(g int) {
+		idx := groups[distinct[g]]
+		rows, err := sys.db.EvalCanonicalAt(snap, keys[idx[0]], qs[idx[0]])
 		if err != nil {
-			out[i].Err = err
+			for _, i := range idx {
+				out[i].Err = err
+			}
 			return
 		}
-		out[i].Rows = rows
+		for _, i := range idx {
+			out[i].Rows = rows
+		}
 	})
 	return out
+}
+
+// SetPlanCacheCapacity replaces the engine's compiled-plan cache with an
+// empty one bounded to roughly the given number of canonical forms
+// (non-positive restores the default). Counters restart from zero. Like
+// SetCacheCapacity it is safe concurrently with submissions: the cache is
+// swapped atomically and in-flight evaluations finish against the cache
+// they started with.
+func (sys *System) SetPlanCacheCapacity(capacity int) {
+	sys.db.SetPlanCacheCapacity(capacity)
 }
 
 // forEachConcurrent runs f(0..n-1) across min(n, GOMAXPROCS) workers.

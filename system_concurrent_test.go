@@ -251,9 +251,12 @@ func TestInsertVsSubmitSnapshot(t *testing.T) {
 }
 
 // TestSubmitBatchSingleSnapshot: every admitted query of one batch is
-// evaluated against the same database snapshot, so a batch repeating one
-// query must report identical answers in every slot even while a writer
-// inserts between evaluations.
+// evaluated against the same database snapshot, so a batch mixing two
+// canonical forms with provably equal answer counts (project time only vs
+// project time and person, over rows whose times are all distinct) must
+// report identical counts in every slot even while a writer inserts
+// between evaluations. Isomorphic slots additionally share one evaluation,
+// so the cross-form comparison is what exercises the snapshot pin.
 func TestSubmitBatchSingleSnapshot(t *testing.T) {
 	s := MustSchema(MustRelation("Meetings", "time", "person"))
 	sys, err := NewSystem(s, MustParse("V1(t, p) :- Meetings(t, p)"))
@@ -267,7 +270,11 @@ func TestSubmitBatchSingleSnapshot(t *testing.T) {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		for i := 0; ; i++ {
+		// Bounded writer: enough churn that every round races an insert,
+		// small enough that per-round evaluation stays cheap under -race
+		// (an unbounded writer outruns the dedup'd batch evaluation and
+		// the table growth makes later rounds quadratic-ish).
+		for i := 0; i < 20_000; i++ {
 			select {
 			case <-stop:
 				return
@@ -280,7 +287,11 @@ func TestSubmitBatchSingleSnapshot(t *testing.T) {
 	}()
 	batch := make([]*Query, 16)
 	for i := range batch {
-		batch[i] = MustParse(fmt.Sprintf("Q%d(t) :- Meetings(t, p)", i))
+		if i%2 == 0 {
+			batch[i] = MustParse(fmt.Sprintf("Q%d(t) :- Meetings(t, p)", i))
+		} else {
+			batch[i] = MustParse(fmt.Sprintf("Q%d(t, q) :- Meetings(t, q)", i))
+		}
 	}
 	for round := 0; round < 50; round++ {
 		results := sys.SubmitBatch("app", batch)
@@ -393,4 +404,102 @@ func TestStatsCacheHitRate(t *testing.T) {
 	if rate := st.CacheHitRate(); rate < 0.94 || rate > 0.96 {
 		t.Fatalf("hit rate = %f, want 0.95", rate)
 	}
+}
+
+// TestSubmitBatchSharesIsomorphRows: isomorphic queries in one batch are
+// evaluated once and share the same answer slice.
+func TestSubmitBatchSharesIsomorphRows(t *testing.T) {
+	sys := concurrentTestSystem(t)
+	if err := sys.SetPolicy("app", map[string][]string{"meetings": {"V1", "V2"}}); err != nil {
+		t.Fatal(err)
+	}
+	batch := []*Query{
+		MustParse("Q1(t) :- Meetings(t, p)"),
+		MustParse("Q2(u) :- Meetings(u, q)"), // isomorphic to Q1
+		MustParse("Q3(t) :- Meetings(t, 'p1')"),
+	}
+	res := sys.SubmitBatch("app", batch)
+	for i, r := range res {
+		if r.Err != nil || !r.Decision.Allowed {
+			t.Fatalf("slot %d: %+v %v", i, r.Decision, r.Err)
+		}
+	}
+	if len(res[0].Rows) == 0 || &res[0].Rows[0] != &res[1].Rows[0] {
+		t.Fatal("isomorphic batch queries should share one evaluated answer slice")
+	}
+	if len(res[2].Rows) == len(res[0].Rows) {
+		t.Fatal("distinct form unexpectedly matched the shared form's answer count")
+	}
+}
+
+// TestSubmitBatchVsCacheResize hammers SubmitBatch against concurrent
+// resizes of both the label cache and the compiled-plan cache (each swap
+// replaces the cache wholesale) plus a writer; run with -race. Decisions
+// must stay correct throughout: caches only memoize, they never change
+// outcomes.
+func TestSubmitBatchVsCacheResize(t *testing.T) {
+	sys := concurrentTestSystem(t)
+	// One partition, so every query of the batch stays admissible no matter
+	// how earlier admissions advance the session.
+	if err := sys.SetPolicy("app", map[string][]string{"all": {"V2", "V3"}}); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]*Query, 12)
+	for i := range batch {
+		if i%2 == 0 {
+			batch[i] = MustParse(fmt.Sprintf("Q%d(t%d) :- Meetings(t%d, p%d)", i, i, i, i))
+		} else {
+			batch[i] = MustParse(fmt.Sprintf("Q%d(p, e) :- Contacts(p, e, r%d)", i, i))
+		}
+	}
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sys.SetPlanCacheCapacity(16 + i%256)
+			sys.SetCacheCapacity(64 + i%512)
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := sys.Insert("Meetings", fmt.Sprint(i%24), fmt.Sprintf("x%d", i)); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 60; round++ {
+				for i, r := range sys.SubmitBatch("app", batch) {
+					if r.Err != nil {
+						t.Errorf("round %d slot %d: %v", round, i, r.Err)
+						return
+					}
+					if !r.Decision.Allowed {
+						t.Errorf("round %d slot %d: within-policy query refused during cache resize", round, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
 }
