@@ -7,30 +7,37 @@
 //
 //	disclosurebench -exp figure5 [-queries N] [-seed S] [-tsv|-json]
 //	disclosurebench -exp figure6 [-labels N] [-principals 1000,50000,1000000] [-tsv|-json]
+//	disclosurebench -exp footnote3 [-queries N] [-seed S] [-tsv|-json]
 //	disclosurebench -exp cached [-queries N] [-pool N] [-goroutines 1,4,16] [-tsv|-json]
 //	disclosurebench -exp engine [-queries N] [-users 100,300,1000] [-goroutines 1,4] [-tsv|-json]
 //	disclosurebench -exp serve [-clients 64] [-requests N] [-batch N] [-users 300] [-json]
 //	disclosurebench -exp wal [-queries N] [-users 100,300] [-goroutines 1,4] [-tsv|-json]
 //	disclosurebench -exp adversarial [-queries N] [-principals 256] [-zipf-s 1.2] [-goroutines 1,4,16] [-json]
+//	disclosurebench -exp shard [-queries N] [-shards 1,8] [-goroutines 1,8] [-tsv|-json]
 //
-// The defaults use the paper's parameters (one million queries/labels per
-// point); use -queries/-labels to scale down for a quick run. The cached
-// experiment replays the Figure-5 workload from a bounded template pool and
-// measures the canonical-fingerprint label cache against the uncached
-// labeler at several goroutine counts. The engine experiment evaluates the
-// same workload against synthetic social graphs of increasing size,
-// comparing the compiled-plan snapshot executor against the retained
-// pre-refactor backtracking evaluator. The serve experiment measures the
-// whole request path of the disclosured HTTP service under a closed loop of
-// concurrent clients, each an authenticated principal with its own
-// deterministic query stream, and reports throughput plus latency
+// An unknown -exp exits non-zero and names every experiment above. The
+// defaults use the paper's parameters (one million queries/labels per
+// point); use -queries/-labels to scale down for a quick run. The
+// footnote3 experiment sweeps labeler throughput over growing schemas.
+// The cached experiment replays the Figure-5 workload from a bounded
+// template pool and measures the canonical-fingerprint label cache against
+// the uncached labeler at several goroutine counts. The engine experiment
+// evaluates the same workload against synthetic social graphs of
+// increasing size, comparing the compiled-plan snapshot executor against
+// the retained pre-refactor backtracking evaluator. The serve experiment
+// measures the whole request path of the disclosured HTTP service under a
+// closed loop of concurrent clients, each an authenticated principal with
+// its own deterministic query stream, and reports throughput plus latency
 // percentiles. The wal experiment measures the durability tax: submit and
 // bulk-load throughput with the write-ahead log off, on with per-operation
 // fsync, and on without it. The adversarial experiment measures worst-case
 // tail latency: Zipf-skewed principals concentrating the per-principal
-// monitor locks, in a cache-friendly "repetitive" mode and a "hostile" mode
-// where every submission is a fresh template against shrunken label and
-// plan caches. -json emits a machine-readable archive (redirect to
+// monitor locks, in a cache-friendly "repetitive" mode and a "hostile"
+// mode where every submission is a fresh template against shrunken label
+// and plan caches. The shard experiment sweeps the sharded durable submit
+// pipeline over data-shard count × concurrency, with and without
+// group-commit fsync coalescing, against the 1-shard per-operation-fsync
+// baseline. -json emits a machine-readable archive (redirect to
 // BENCH_<exp>.json).
 package main
 
@@ -45,8 +52,13 @@ import (
 	"repro/internal/bench"
 )
 
+// experiments is the canonical list of -exp modes; the flag help and the
+// unknown-experiment error both print it, so neither can drift from the
+// switch below without failing TestMainUnknownExperiment.
+const experiments = "figure5, figure6, footnote3, cached, engine, serve, wal, adversarial or shard"
+
 func main() {
-	exp := flag.String("exp", "figure5", "experiment to run: figure5, figure6, footnote3, cached, engine, serve, wal or adversarial")
+	exp := flag.String("exp", "figure5", "experiment to run: "+experiments)
 	queries := flag.Int("queries", 1_000_000, "figure5: queries per measurement point")
 	labels := flag.Int("labels", 1_000_000, "figure6: labels per measurement point")
 	labelPool := flag.Int("label-pool", 200_000, "figure6: distinct pre-labeled queries to draw from")
@@ -60,6 +72,7 @@ func main() {
 	users := flag.String("users", "100,300,1000", "engine: comma-separated social-graph sizes")
 	cacheCap := flag.Int("cache-capacity", 0, "cached: label-cache entry bound (0 = 2×pool, the warm regime; set below pool to study eviction)")
 	zipfS := flag.Float64("zipf-s", 1.2, "adversarial: Zipf exponent of the principal draw (>1, larger = more skew)")
+	shards := flag.String("shards", "1,8", "shard: comma-separated data-shard counts")
 	clients := flag.String("clients", "64", "serve: comma-separated concurrent-client counts")
 	requests := flag.Int("requests", 200, "serve: requests per client")
 	batch := flag.Int("batch", 1, "serve: queries per submit request")
@@ -265,8 +278,47 @@ func main() {
 		} else {
 			fmt.Print(bench.FormatAdversarial(report))
 		}
+	case "shard":
+		cfg := bench.DefaultShardConfig()
+		cfg.Seed = *seed
+		// The shared flags keep their other experiments' defaults, so the
+		// shard defaults win unless a flag was set explicitly (the graph
+		// has one size: the first -users value is taken).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "queries":
+				cfg.Queries = *queries
+			case "pool":
+				cfg.Pool = *pool
+			case "goroutines":
+				cfg.Goroutines = ints(*goroutines)
+			case "shards":
+				cfg.Shards = ints(*shards)
+			case "users":
+				if us := ints(*users); len(us) > 0 {
+					cfg.Users = us[0]
+				}
+			}
+		})
+		series, err := bench.RunShard(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		format(series,
+			fmt.Sprintf("Sharded WAL — durable submit throughput over shards × concurrency (%d queries per point, seconds per 1M queries)", cfg.Queries),
+			"concurrent submitters")
+		if !*jsonOut && !*tsv {
+			base := findSeries(series, "submit s=1 gc=off")
+			for _, s := range cfg.Shards {
+				gc := findSeries(series, fmt.Sprintf("submit s=%d gc=on", s))
+				if base != nil && gc != nil {
+					fmt.Printf("\nspeedup of s=%d gc=on over the s=1 gc=off baseline per point: %s\n",
+						s, floats(bench.Speedup(*base, *gc)))
+				}
+			}
+		}
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want figure5, figure6, footnote3, cached, engine, serve, wal or adversarial)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want %s)", *exp, experiments))
 	}
 }
 

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMainUnknownExperiment: an unknown -exp must exit non-zero and name
+// every experiment, so the error message cannot drift from the switch.
+func TestMainUnknownExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a child process; skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "disclosurebench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building disclosurebench: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-exp", "bogus").CombinedOutput()
+	if err == nil {
+		t.Fatalf("-exp bogus exited zero:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("-exp bogus: err = %v, want exit code 1", err)
+	}
+	msg := string(out)
+	if !strings.Contains(msg, `unknown experiment "bogus"`) {
+		t.Errorf("error does not name the bad experiment:\n%s", msg)
+	}
+	for _, exp := range []string{"figure5", "figure6", "footnote3", "cached", "engine", "serve", "wal", "adversarial", "shard"} {
+		if !strings.Contains(msg, exp) {
+			t.Errorf("error does not list experiment %q:\n%s", exp, msg)
+		}
+	}
+}

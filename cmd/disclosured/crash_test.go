@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -37,16 +38,18 @@ type daemon struct {
 }
 
 // startDaemon launches the built binary on an ephemeral port and waits for
-// its "serving on" log line to learn the address.
-func startDaemon(t *testing.T, bin, cfgPath, dataDir string) *daemon {
+// its "serving on" log line to learn the address. Extra flags (e.g.
+// -shards) are appended to the base invocation.
+func startDaemon(t *testing.T, bin, cfgPath, dataDir string, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := append([]string{
 		"-admin-token", "root",
 		"-config", cfgPath,
 		"-data-dir", dataDir,
 		"-addr", "127.0.0.1:0",
 		"-checkpoint-interval", "0",
-	)
+	}, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatalf("stderr pipe: %v", err)
@@ -87,6 +90,8 @@ func startDaemon(t *testing.T, bin, cfgPath, dataDir string) *daemon {
 // flight, restarted over the same data directory, and must come back with
 // its rows, policies, submission tokens — and the cumulative-disclosure
 // state that makes it refuse the exact query it refused before the crash.
+// It runs once on the single-shard layout and once sharded: the recovery
+// guarantees must not depend on how the log is partitioned.
 func TestCrashRecoverySIGKILL(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and kills a child process; skipped in -short mode")
@@ -96,14 +101,25 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
 		t.Fatalf("building disclosured: %v\n%s", err, out)
 	}
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			runCrashRecovery(t, bin, shards)
+		})
+	}
+}
+
+// runCrashRecovery is one crash/recover cycle at a given shard count.
+func runCrashRecovery(t *testing.T, bin string, shards int) {
+	scratch := t.TempDir()
 	cfgPath := filepath.Join(scratch, "deployment.json")
 	if err := os.WriteFile(cfgPath, []byte(crashConfig), 0o644); err != nil {
 		t.Fatalf("writing config: %v", err)
 	}
 	dataDir := filepath.Join(scratch, "data")
+	shardFlag := []string{"-shards", strconv.Itoa(shards)}
 
 	// ---- First life: seed state, exercise the Chinese Wall, then die. ----
-	p1 := startDaemon(t, bin, cfgPath, dataDir)
+	p1 := startDaemon(t, bin, cfgPath, dataDir, shardFlag...)
 	admin := &server.Client{BaseURL: p1.base, Token: "root"}
 	if err := admin.SetPolicy("app", "tok", map[string][]string{"W1": {"V1"}, "W2": {"V3"}}); err != nil {
 		t.Fatalf("SetPolicy app: %v", err)
@@ -161,7 +177,7 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	t.Logf("killed with SIGKILL after %d acknowledged background loads", ackedRows)
 
 	// ---- Second life: recover and verify. ----
-	p2 := startDaemon(t, bin, cfgPath, dataDir)
+	p2 := startDaemon(t, bin, cfgPath, dataDir, shardFlag...)
 	defer func() {
 		_ = p2.cmd.Process.Signal(syscall.SIGTERM)
 		_ = p2.cmd.Wait()

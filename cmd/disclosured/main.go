@@ -21,10 +21,17 @@
 // -checkpoint-interval and on graceful shutdown, and a restart recovers
 // rows, policies, submission tokens and each principal's cumulative
 // disclosure state — a recovered monitor keeps refusing exactly what it
-// refused before the crash. On a recovered directory the -preset/-config
-// deployment must match the stored configuration; its initial data and
-// policies are NOT re-applied (the recovered state wins). See
-// docs/OPERATIONS.md for the operational procedures.
+// refused before the crash. The log is partitioned across -shards data
+// shards (plus a meta shard for rows and bulk loads): each principal's
+// operations are routed to one shard, so concurrent submitters neither
+// share a lock nor an fsync across shards, and within a shard concurrent
+// commits coalesce into shared fsync windows (disable with
+// -wal-no-group-commit to measure). The shard count is fixed at
+// initialization: a recovered directory must be opened with the same
+// count (or -shards 0 to adopt it). On a recovered directory the
+// -preset/-config deployment must match the stored configuration; its
+// initial data and policies are NOT re-applied (the recovered state
+// wins). See docs/OPERATIONS.md for the operational procedures.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // at once, in-flight requests get -shutdown-timeout to finish, and a final
@@ -63,6 +70,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory (write-ahead log + checkpoints); empty runs in-memory")
 	checkpointInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint cadence with -data-dir (0 disables the timer; graceful shutdown always checkpoints)")
 	walNoSync := flag.Bool("wal-no-sync", false, "skip the per-operation fsync of the write-ahead log (survives process crashes, may lose the tail on power loss)")
+	shards := flag.Int("shards", 0, "data shards the write-ahead log and monitor state are partitioned across (0: one shard on a fresh -data-dir, the existing count on recovery)")
+	walNoGroupCommit := flag.Bool("wal-no-group-commit", false, "fsync every logged operation individually instead of coalescing concurrent commits into shared fsync windows")
+	checkpointOps := flag.Int("checkpoint-ops", 50000, "logged operations after which a shard checkpoints just itself, between -checkpoint-interval ticks (0 disables per-shard rotation)")
 	flag.Parse()
 
 	if *adminToken == "" {
@@ -80,14 +90,19 @@ func main() {
 	var sys *disclosure.System
 	var dur *disclosure.Durable
 	if *dataDir != "" {
-		dur, err = disclosure.OpenDurable(*dataDir, disclosure.DurabilityOptions{NoSync: *walNoSync}, dep.schema, dep.views...)
+		dur, err = disclosure.OpenDurable(*dataDir, disclosure.DurabilityOptions{
+			NoSync:        *walNoSync,
+			Shards:        *shards,
+			NoGroupCommit: *walNoGroupCommit,
+			CheckpointOps: *checkpointOps,
+		}, dep.schema, dep.views...)
 		if err != nil {
 			fatal(err)
 		}
 		sys = dur.System()
 		if dur.Recovered() {
-			log.Printf("disclosured: recovered %s: generation %d, %d logged operations replayed, %d principals",
-				*dataDir, dur.Generation(), dur.Replayed(), sys.Principals())
+			log.Printf("disclosured: recovered %s: %d data shards, generation %d, %d logged operations replayed, %d principals",
+				*dataDir, dur.Shards(), dur.Generation(), dur.Replayed(), sys.Principals())
 		} else {
 			if err := dep.seed(sys); err != nil {
 				fatal(err)
@@ -97,7 +112,7 @@ func main() {
 			if err := dur.Checkpoint(); err != nil {
 				fatal(err)
 			}
-			log.Printf("disclosured: initialized %s (generation %d)", *dataDir, dur.Generation())
+			log.Printf("disclosured: initialized %s (%d data shards, generation %d)", *dataDir, dur.Shards(), dur.Generation())
 		}
 	} else {
 		sys, err = disclosure.NewSystem(dep.schema, dep.views...)

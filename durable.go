@@ -1,13 +1,16 @@
 package disclosure
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cq"
 	"repro/internal/engine"
 	"repro/internal/policy"
+	"repro/internal/ring"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -20,137 +23,328 @@ type DurabilityOptions struct {
 	// lost on a power failure or kernel crash. The throughput difference
 	// is measured by `disclosurebench -exp wal`.
 	NoSync bool
+
+	// Shards is the number of data shards the principal space is
+	// partitioned across. Each shard owns its slice of the reference-
+	// monitor state, its own write-ahead log generation sequence
+	// (wal-<shard>-<gen>.log), its own append lock and its own checkpoint
+	// cadence, so submissions for principals on different shards never
+	// contend on a lock or an fsync. Zero means one shard on a fresh
+	// directory and "whatever the directory holds" on recovery; a
+	// non-zero count that differs from a recovered directory's is
+	// refused, because the principal → shard routing is a function of the
+	// count (see docs/OPERATIONS.md for the re-partitioning story).
+	Shards int
+
+	// NoGroupCommit disables fsync coalescing: every logged operation
+	// pays its own write and fsync while holding its shard's lock — the
+	// pre-group-commit behavior, kept as the measurable baseline of
+	// `disclosurebench -exp shard`. With coalescing on (the default),
+	// concurrent operations on one shard share a single buffered write
+	// and one fsync per commit window, without weakening the
+	// ack-after-durable contract.
+	NoGroupCommit bool
+
+	// CheckpointOps, when positive, gives every shard its own checkpoint
+	// cadence: after this many logged operations a shard rotates its own
+	// generation — capturing only its slice of the state, under only its
+	// own lock — so checkpoint pressure scales with per-shard write
+	// traffic instead of stopping the world. Zero leaves rotation to
+	// explicit Checkpoint calls (the daemon's timer and shutdown path).
+	CheckpointOps int
 }
 
-// Durable couples a System with its write-ahead log and checkpoints. Open
-// one with OpenDurable; every state-changing operation of the wrapped
-// System — row inserts, policy installs and removals, and each
-// reference-monitor decision — is then logged before it takes effect, and
-// Checkpoint serializes the full state so recovery is a checkpoint load
-// plus a short log-tail replay.
+// walShard is one write-ahead-log partition: the meta shard (rows,
+// configuration, bulk loads) or a data shard owning a slice of the
+// principal space. The shard mutex serializes log-order reservation with
+// state application — the invariant replay depends on — but is NOT held
+// across the fsync: appenders enqueue and apply under the lock, then wait
+// for the group-commit window outside it.
+type walShard struct {
+	name string // wal.MetaShard or a data-shard index
+	id   int    // ring index; -1 for the meta shard
+
+	mu  sync.Mutex
+	log *wal.GroupLog
+	gen uint64
+	ops int // operations logged since the last rotation
+	// broken is set when an append or commit fails: the file offset may
+	// sit inside a torn frame and in-memory state may be ahead of the
+	// log, so every further state-changing operation on this shard is
+	// refused; the fix is to restart and recover, which truncates the
+	// torn tail. Other shards keep serving.
+	broken bool
+}
+
+// Durable couples a System with its sharded write-ahead log and
+// checkpoints. Open one with OpenDurable; every state-changing operation
+// of the wrapped System — row inserts, policy installs and removals, and
+// each reference-monitor decision — is then logged before it is
+// acknowledged, and Checkpoint serializes the full state so recovery is a
+// per-shard checkpoint load plus a short log-tail replay.
+//
+// The log is partitioned: a consistent-hash router (internal/ring) maps
+// each principal to one of N data shards, and every per-principal
+// operation — policy installs, removals, submission tokens, and each
+// monitor decision — is logged to that principal's shard, while rows and
+// bulk loads go to a dedicated meta shard. Each shard has its own append
+// lock, its own generation sequence of wal-<shard>-<gen>.log /
+// checkpoint-<shard>-<gen>.ckpt files, and recovers by replaying its own
+// log independently (in parallel): the only order correctness needs is
+// per-principal apply order, which shard-locality preserves because one
+// principal's operations always land in one shard's log.
+//
+// Within a shard, concurrent operations group-commit: the shard lock
+// covers only log-order reservation and state application, and the fsync
+// happens outside it in coalesced commit windows (wal.GroupLog), so N
+// concurrent submitters pay ~1 fsync per window instead of N. The
+// ack-after-durable contract is unchanged — no operation returns success
+// before its log record is on disk (or handed to the OS under NoSync).
 //
 // The serving layer logs submission tokens through LogToken (Durable
 // implements server.TokenJournal) and re-seeds them after recovery from
 // Tokens.
 //
 // Concurrency contract: all methods are safe for concurrent use. When
-// durability is on, state-changing operations additionally serialize on
-// the log — the write order of the log is exactly the apply order of the
-// operations, which is what makes replay faithful — while the System's
-// read path (admitted evaluations, explains, stats) is untouched and
-// remains lock-free.
+// durability is on, state-changing operations serialize per shard — the
+// write order of each shard's log is exactly the apply order of its
+// operations — while the System's read path (admitted evaluations,
+// explains, stats) is untouched and remains lock-free.
 type Durable struct {
-	sys    *System
-	dir    string
-	noSync bool
+	sys      *System
+	dir      string
+	noSync   bool
+	coalesce bool
+	ckptOps  int
 
-	mu        sync.Mutex // serializes log appends with state application and checkpoints
-	log       *wal.Log
-	gen       uint64
-	tokens    map[string]string
+	router *ring.Ring
+	shards []*walShard // data shards, index == ring shard
+	meta   *walShard
+
+	closed atomic.Bool
+
+	tokMu  sync.Mutex
+	tokens map[string]string
+
 	recovered bool
 	replayed  int
-	closed    bool
-	// broken is set when an append fails: the file offset may sit inside
-	// a torn frame (anything appended after it would be unrecoverable)
-	// and, on a failed batch commit, the engine cores may hold unlogged
-	// rows. Every further state-changing operation is refused; the fix is
-	// to restart and recover, which truncates the torn tail.
-	broken bool
 }
 
 // OpenDurable opens (creating or recovering) a durable System rooted at
-// dir. An empty directory is initialized with the given schema and
-// security views: a generation-0 checkpoint of the empty deployment is
-// written and an empty log segment started. A directory that already
-// holds a checkpoint is recovered instead: the newest loadable checkpoint
-// is restored — rows, policies, per-principal session state (live
-// partitions, cumulative disclosure, decision counts) and tokens — and
-// the log segments after it are replayed; the schema and views must then
-// match the checkpointed configuration exactly (a mismatched catalog
-// would silently relabel recovered sessions). Pass a nil schema to
-// recover whatever configuration the directory holds.
+// dir. An empty directory is initialized with the given schema, security
+// views and shard count: a generation-0 checkpoint per shard is written
+// and empty log segments started. A directory that already holds
+// checkpoints is recovered instead: each shard's newest loadable
+// checkpoint is restored — the meta shard's rows and configuration, each
+// data shard's policies, per-principal session state (live partitions,
+// cumulative disclosure, decision counts) and tokens — and the log
+// segments after it are replayed, data shards in parallel; the schema and
+// views must then match the checkpointed configuration exactly (a
+// mismatched catalog would silently relabel recovered sessions), and a
+// non-zero opts.Shards must match the directory's shard count. Pass a nil
+// schema (and zero Shards) to recover whatever configuration the
+// directory holds.
 //
 // The returned Durable owns the directory until Close; running two
 // processes over one directory is not supported.
 func OpenDurable(dir string, opts DurabilityOptions, s *Schema, views ...*Query) (*Durable, error) {
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("disclosure: negative shard count %d", opts.Shards)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("disclosure: durable dir: %w", err)
 	}
-	ckpts, segs, err := wal.ScanDir(dir)
+	scan, legacy, err := wal.ScanShards(dir)
 	if err != nil {
 		return nil, fmt.Errorf("disclosure: %w", err)
 	}
-	d := &Durable{dir: dir, noSync: opts.NoSync, tokens: make(map[string]string)}
-	if len(ckpts) == 0 {
+	if legacy {
+		return nil, fmt.Errorf("disclosure: %s uses the pre-sharding single-log layout; re-initialize it from a fresh directory (see docs/OPERATIONS.md, \"Changing the shard count\")", dir)
+	}
+	d := &Durable{
+		dir:      dir,
+		noSync:   opts.NoSync,
+		coalesce: !opts.NoGroupCommit,
+		ckptOps:  opts.CheckpointOps,
+		tokens:   make(map[string]string),
+	}
+	if len(scan) == 0 {
 		if s == nil {
 			return nil, fmt.Errorf("disclosure: %s holds no checkpoint and no schema was given", dir)
+		}
+		n := opts.Shards
+		if n == 0 {
+			n = 1
 		}
 		d.sys, err = NewSystem(s, views...)
 		if err != nil {
 			return nil, err
 		}
-		if err := d.rotateLocked(0); err != nil {
-			return nil, err
+		d.initShards(n)
+		for _, sh := range d.allShards() {
+			if err := d.rotateShardLocked(sh, 0); err != nil {
+				return nil, err
+			}
 		}
-	} else if err := d.recover(dir, opts, ckpts, segs, s, views); err != nil {
+	} else if err := d.recover(scan, opts, s, views); err != nil {
 		return nil, err
 	}
 	d.sys.dur = d
 	return d, nil
 }
 
-// recover restores the newest loadable checkpoint and replays the log
-// segments after it, leaving d ready to append.
-func (d *Durable) recover(dir string, opts DurabilityOptions, ckpts, segs []uint64, s *Schema, views []*Query) error {
-	// Load the newest checkpoint that reads and decodes cleanly. The
-	// previous generation is retained on disk precisely for this fallback:
-	// checkpoint g plus a full replay of wal-<g>.log reproduces checkpoint
-	// g+1, so starting one generation back loses nothing.
-	var ck *wal.Checkpoint
-	var ckGen uint64
-	var lastErr error
-	for i := len(ckpts) - 1; i >= 0; i-- {
-		payload, err := wal.ReadSnapshotFile(wal.CheckpointPath(dir, ckpts[i]))
-		if err == nil {
-			var derr error
-			if ck, derr = wal.DecodeCheckpoint(payload); derr == nil {
-				ckGen = ckpts[i]
-				break
-			}
-			err = derr
-		}
-		ck, lastErr = nil, err
+// initShards builds the router and the shard handles for n data shards.
+func (d *Durable) initShards(n int) {
+	d.router = ring.New(n, 0)
+	d.meta = &walShard{name: wal.MetaShard, id: -1}
+	d.shards = make([]*walShard, n)
+	for i := range d.shards {
+		d.shards[i] = &walShard{name: wal.DataShard(i), id: i}
 	}
-	if ck == nil {
-		return fmt.Errorf("disclosure: no loadable checkpoint in %s: %w", dir, lastErr)
+}
+
+// allShards returns the meta shard followed by the data shards.
+func (d *Durable) allShards() []*walShard {
+	return append([]*walShard{d.meta}, d.shards...)
+}
+
+// shardOf routes a principal to its data shard.
+func (d *Durable) shardOf(principal string) *walShard {
+	return d.shards[d.router.Shard(principal)]
+}
+
+// recover restores every shard from its newest loadable checkpoint plus a
+// log-tail replay: the meta shard first (it defines the configuration the
+// System is rebuilt from, and its rows), then all data shards in parallel
+// — their logs are mutually independent, because a principal's operations
+// all live in one shard's log and per-principal apply order is the only
+// order the monitor semantics need.
+func (d *Durable) recover(scan map[string]*wal.ShardFiles, opts DurabilityOptions, s *Schema, views []*Query) error {
+	metaFiles := scan[wal.MetaShard]
+	if metaFiles == nil || len(metaFiles.Checkpoints) == 0 {
+		return fmt.Errorf("disclosure: %s holds shard files but no meta-shard checkpoint", d.dir)
+	}
+	n := 0
+	for name := range scan {
+		if name != wal.MetaShard {
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("disclosure: %s holds no data-shard files", d.dir)
+	}
+	for i := 0; i < n; i++ {
+		if scan[wal.DataShard(i)] == nil {
+			return fmt.Errorf("disclosure: %s holds %d data shards but shard %d is missing", d.dir, n, i)
+		}
+	}
+	if opts.Shards != 0 && opts.Shards != n {
+		return fmt.Errorf("disclosure: %s holds %d data shards but %d were requested; changing the shard count of an existing directory is refused — the principal → shard routing would change under recovered logs (see docs/OPERATIONS.md)", d.dir, n, opts.Shards)
+	}
+	d.initShards(n)
+
+	// Meta shard: configuration, rows, bulk-load log.
+	ck, ckGen, err := d.loadShardCheckpoint(wal.MetaShard, metaFiles.Checkpoints)
+	if err != nil {
+		return err
 	}
 	if s != nil {
 		if err := verifyConfig(ck.Config, s, views); err != nil {
 			return err
 		}
 	}
+	if ck.Shards != 0 && ck.Shards != n {
+		return fmt.Errorf("disclosure: meta checkpoint records %d data shards, directory holds %d", ck.Shards, n)
+	}
 	sys, err := systemFromConfig(ck.Config)
 	if err != nil {
 		return fmt.Errorf("disclosure: rebuilding system from checkpoint %d: %w", ckGen, err)
 	}
 	d.sys = sys
-	if err := d.restoreCheckpoint(ck); err != nil {
-		return fmt.Errorf("disclosure: restoring checkpoint %d: %w", ckGen, err)
+	if err := d.restoreRows(ck); err != nil {
+		return fmt.Errorf("disclosure: restoring meta checkpoint %d: %w", ckGen, err)
+	}
+	metaReplayed, err := d.recoverShardLog(d.meta, metaFiles, ckGen)
+	if err != nil {
+		return err
+	}
+	d.replayed += metaReplayed
+
+	// Data shards: principals, sessions, tokens, decision logs — replayed
+	// in parallel, one goroutine per shard.
+	errs := make([]error, n)
+	counts := make([]int, n)
+	var wg sync.WaitGroup
+	for i, sh := range d.shards {
+		wg.Add(1)
+		go func(i int, sh *walShard) {
+			defer wg.Done()
+			files := scan[sh.name]
+			if len(files.Checkpoints) == 0 {
+				errs[i] = fmt.Errorf("disclosure: shard %s has no checkpoint", sh.name)
+				return
+			}
+			ck, ckGen, err := d.loadShardCheckpoint(sh.name, files.Checkpoints)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if ck.Shards != 0 && ck.Shards != n {
+				errs[i] = fmt.Errorf("disclosure: shard %s checkpoint records %d data shards, directory holds %d", sh.name, ck.Shards, n)
+				return
+			}
+			if err := d.restorePrincipals(ck); err != nil {
+				errs[i] = fmt.Errorf("disclosure: restoring shard %s checkpoint %d: %w", sh.name, ckGen, err)
+				return
+			}
+			counts[i], errs[i] = d.recoverShardLog(sh, files, ckGen)
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return err
+		}
+		d.replayed += counts[i]
 	}
 	d.recovered = true
+	return nil
+}
 
-	// Replay every segment at or after the checkpoint's generation, in
-	// order. Only the last segment can carry a torn tail (earlier ones
-	// were completed before a later generation began); its valid length
-	// becomes the truncation point for appending.
-	d.gen = ckGen
+// loadShardCheckpoint loads the shard's newest checkpoint that reads and
+// decodes cleanly. The previous generation is retained on disk precisely
+// for this fallback: checkpoint g plus a full replay of the shard's
+// wal-<g> segment reproduces checkpoint g+1, so starting one generation
+// back loses nothing.
+func (d *Durable) loadShardCheckpoint(shard string, gens []uint64) (*wal.Checkpoint, uint64, error) {
+	var lastErr error
+	for i := len(gens) - 1; i >= 0; i-- {
+		payload, err := wal.ReadSnapshotFile(wal.ShardCheckpointPath(d.dir, shard, gens[i]))
+		if err == nil {
+			var ck *wal.Checkpoint
+			if ck, err = wal.DecodeCheckpoint(payload); err == nil {
+				return ck, gens[i], nil
+			}
+		}
+		lastErr = err
+	}
+	return nil, 0, fmt.Errorf("disclosure: no loadable checkpoint for shard %s in %s: %w", shard, d.dir, lastErr)
+}
+
+// recoverShardLog replays the shard's segments at or after its checkpoint
+// generation, opens the newest one for appending past its valid prefix,
+// and prunes generations the retention policy no longer needs. Only the
+// last segment can carry a torn tail (earlier ones were completed before
+// a later generation began).
+func (d *Durable) recoverShardLog(sh *walShard, files *wal.ShardFiles, ckGen uint64) (int, error) {
+	sh.gen = ckGen
+	replayed := 0
 	var lastValid int64
-	for _, g := range segs {
+	for _, g := range files.Segments {
 		if g < ckGen {
 			continue
 		}
-		valid, n, err := wal.Replay(wal.SegmentPath(dir, g), func(payload []byte) error {
+		valid, n, err := wal.Replay(wal.ShardSegmentPath(d.dir, sh.name, g), func(payload []byte) error {
 			op, err := wal.DecodeOp(payload)
 			if err != nil {
 				return err
@@ -158,25 +352,26 @@ func (d *Durable) recover(dir string, opts DurabilityOptions, ckpts, segs []uint
 			return d.applyOp(op)
 		})
 		if err != nil {
-			return fmt.Errorf("disclosure: replaying generation %d: %w", g, err)
+			return replayed, fmt.Errorf("disclosure: replaying shard %s generation %d: %w", sh.name, g, err)
 		}
-		d.replayed += n
-		d.gen, lastValid = g, valid
+		replayed += n
+		sh.gen, lastValid = g, valid
 	}
-	d.log, err = wal.OpenAppend(wal.SegmentPath(dir, d.gen), lastValid, !opts.NoSync)
+	var err error
+	sh.log, err = wal.OpenAppendGroup(wal.ShardSegmentPath(d.dir, sh.name, sh.gen), lastValid, !d.noSync, d.coalesce)
 	if err != nil {
-		return fmt.Errorf("disclosure: %w", err)
+		return replayed, fmt.Errorf("disclosure: %w", err)
 	}
 	// Prune generations the retention policy (current + previous) no
 	// longer needs; a crash between checkpoint and cleanup leaves these.
-	for _, g := range ckpts {
-		if d.gen >= 2 && g <= d.gen-2 {
-			if err := wal.RemoveGeneration(dir, g); err != nil {
-				return fmt.Errorf("disclosure: %w", err)
+	for _, g := range files.Checkpoints {
+		if sh.gen >= 2 && g <= sh.gen-2 {
+			if err := wal.RemoveShardGeneration(d.dir, sh.name, g); err != nil {
+				return replayed, fmt.Errorf("disclosure: %w", err)
 			}
 		}
 	}
-	return nil
+	return replayed, nil
 }
 
 // System returns the durable System. Its full surface is usable as usual;
@@ -186,26 +381,30 @@ func (d *Durable) System() *System { return d.sys }
 // Dir returns the data directory.
 func (d *Durable) Dir() string { return d.dir }
 
+// Shards returns the data-shard count the directory is partitioned into.
+func (d *Durable) Shards() int { return len(d.shards) }
+
 // Recovered reports whether OpenDurable restored existing state (true) or
 // initialized an empty directory (false).
 func (d *Durable) Recovered() bool { return d.recovered }
 
 // Replayed returns the number of logged operations replayed during
-// recovery (zero for a fresh directory).
+// recovery, summed across shards (zero for a fresh directory).
 func (d *Durable) Replayed() int { return d.replayed }
 
-// Generation returns the current checkpoint generation.
+// Generation returns the meta shard's current checkpoint generation.
+// Data shards rotate independently; their generations are internal.
 func (d *Durable) Generation() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.gen
+	d.meta.mu.Lock()
+	defer d.meta.mu.Unlock()
+	return d.meta.gen
 }
 
 // Tokens returns a copy of the current principal → submission-token map:
 // after recovery, the credentials to re-seed the serving layer with.
 func (d *Durable) Tokens() map[string]string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.tokMu.Lock()
+	defer d.tokMu.Unlock()
 	out := make(map[string]string, len(d.tokens))
 	for k, v := range d.tokens {
 		out[k] = v
@@ -215,90 +414,251 @@ func (d *Durable) Tokens() map[string]string {
 
 // LogToken durably records a principal's submission token before it
 // becomes active — the serving layer calls this on every token install or
-// rotation (Durable implements server.TokenJournal). Removing the
-// principal (System.RemovePolicy) also retires its token.
+// rotation (Durable implements server.TokenJournal). The token is logged
+// to the principal's shard, alongside the rest of its history. Removing
+// the principal (System.RemovePolicy) also retires its token.
 func (d *Durable) LogToken(principal, token string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.appendLocked(wal.Op{Token: &wal.TokenOp{Principal: principal, Token: token}}); err != nil {
-		return err
-	}
-	d.tokens[principal] = token
-	return nil
+	return d.appendApply(d.shardOf(principal), wal.Op{Token: &wal.TokenOp{Principal: principal, Token: token}}, func() {
+		d.tokMu.Lock()
+		d.tokens[principal] = token
+		d.tokMu.Unlock()
+	})
 }
 
-// Checkpoint serializes the full deployment state into a new checkpoint
-// generation and starts a fresh log segment, bounding recovery time and
-// disk growth. State-changing operations block for the duration (reads
-// proceed); the capture itself is a lock-free snapshot read plus a walk
-// of the per-principal monitors. Generations older than the previous one
-// are deleted. On error the previous generation remains current and the
-// log keeps appending where it was.
-func (d *Durable) Checkpoint() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return fmt.Errorf("disclosure: durable handle is closed")
-	}
-	if d.broken {
-		// A checkpoint of a broken handle could capture state the engine
-		// cores hold but the log never acknowledged; refuse it too.
-		return fmt.Errorf("disclosure: write-ahead log is broken from an earlier failure; restart to recover")
-	}
-	return d.rotateLocked(d.gen + 1)
-}
+// errShardBroken is the sticky refusal after an append or commit failure.
+var errShardBroken = errors.New("disclosure: write-ahead log is broken from an earlier failure; restart to recover")
 
-// Close syncs and closes the log. The System remains usable in memory,
-// but further state-changing calls fail; Close is final.
-func (d *Durable) Close() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return nil
-	}
-	d.closed = true
-	if d.log != nil {
-		return d.log.Close()
-	}
-	return nil
-}
+// errClosed refuses state-changing operations on a closed handle.
+var errClosed = errors.New("disclosure: durable handle is closed")
 
-// appendLocked encodes and appends one operation. An append failure marks
-// the handle broken — the log may end in a torn frame, so acknowledging
-// anything after it would violate the crash-consistency contract — and
-// every subsequent state-changing operation fails until the process
-// restarts and recovers. Callers hold d.mu.
-func (d *Durable) appendLocked(op wal.Op) error {
-	if d.closed {
-		return fmt.Errorf("disclosure: durable handle is closed")
-	}
-	if d.broken {
-		return fmt.Errorf("disclosure: write-ahead log is broken from an earlier failure; restart to recover")
-	}
+// appendApply is the durable write path: op is framed into sh's open
+// commit window and apply (if non-nil) runs, both under the shard mutex —
+// so the shard's log order is exactly its apply order — and then the
+// caller blocks outside the mutex until the record's commit window is on
+// disk. Concurrent writers on one shard therefore coalesce their fsyncs;
+// writers on different shards never meet at all. No success is reported
+// before durability. A commit failure marks the shard broken (in-memory
+// state may be ahead of its log) and every further operation on it fails
+// until the process restarts and recovers.
+func (d *Durable) appendApply(sh *walShard, op wal.Op, apply func()) error {
 	payload, err := wal.EncodeOp(&op)
 	if err != nil {
 		return err
 	}
-	if err := d.log.Append(payload); err != nil {
-		d.broken = true
-		return fmt.Errorf("disclosure: wal append: %w", err)
+	if d.closed.Load() {
+		return errClosed
+	}
+	sh.mu.Lock()
+	if sh.broken {
+		sh.mu.Unlock()
+		return errShardBroken
+	}
+	lg := sh.log
+	ticket, err := lg.Enqueue(payload)
+	if err != nil {
+		if !errors.Is(err, wal.ErrLogClosed) {
+			sh.broken = true
+		}
+		sh.mu.Unlock()
+		if errors.Is(err, wal.ErrLogClosed) {
+			return errClosed
+		}
+		return fmt.Errorf("disclosure: wal append (shard %s): %w", sh.name, err)
+	}
+	if apply != nil {
+		apply()
+	}
+	sh.ops++
+	due := d.ckptOps > 0 && sh.ops >= d.ckptOps
+	if due {
+		sh.ops = 0
+	}
+	sh.mu.Unlock()
+	if err := lg.WaitDurable(ticket); err != nil {
+		if errors.Is(err, wal.ErrLogClosed) {
+			return errClosed
+		}
+		sh.mu.Lock()
+		sh.broken = true
+		sh.mu.Unlock()
+		return fmt.Errorf("disclosure: wal commit (shard %s): %w", sh.name, err)
+	}
+	if due {
+		d.checkpointShard(sh)
 	}
 	return nil
 }
 
-// rotateLocked captures the current state as generation newGen, writes its
-// checkpoint atomically, switches appending to a fresh segment, and prunes
-// generations older than the previous one. Callers hold d.mu (or own d
-// exclusively during OpenDurable).
+// decide logs a submission to the principal's shard and applies the
+// monitor decision under the shard lock, acknowledging only after the
+// record is durable — System.decide's durable path. Refusals are logged
+// too: they advance the session's refusal count.
+func (d *Durable) decide(principal string, q *Query, lbl Label) (Decision, error) {
+	var dec Decision
+	var derr error
+	err := d.appendApply(d.shardOf(principal), wal.Op{Submit: &wal.SubmitOp{Principal: principal, Query: q.String()}}, func() {
+		dec, derr = d.sys.store.Submit(principal, lbl)
+	})
+	if err != nil {
+		return Decision{Allowed: false}, err
+	}
+	return dec, derr
+}
+
+// setPolicy durably installs a validated policy on the principal's shard.
+func (d *Durable) setPolicy(principal string, partitions map[string][]string, p *Policy) error {
+	return d.appendApply(d.shardOf(principal), wal.Op{Policy: &wal.PolicyOp{Principal: principal, Partitions: partitions}}, func() {
+		d.sys.store.SetPolicy(principal, p)
+	})
+}
+
+// removePolicy durably removes a principal (policy, session, token).
+func (d *Durable) removePolicy(principal string) error {
+	return d.appendApply(d.shardOf(principal), wal.Op{Remove: &wal.RemoveOp{Principal: principal}}, func() {
+		d.sys.store.Remove(principal)
+		d.tokMu.Lock()
+		delete(d.tokens, principal)
+		d.tokMu.Unlock()
+	})
+}
+
+// loadBatch is System.LoadBatch's durable path: the batch's inserted rows
+// are framed into the meta shard's commit window as one record before the
+// snapshot publishes, and the call acknowledges only after that record is
+// durable. Bulk loads for different relations still serialize (the meta
+// shard has one lock, as the engine has one write lock), but they no
+// longer contend with any submission.
+func (d *Durable) loadBatch(fn func(ld *Loader) error) error {
+	if d.closed.Load() {
+		return errClosed
+	}
+	sh := d.meta
+	sh.mu.Lock()
+	if sh.broken {
+		sh.mu.Unlock()
+		return errShardBroken
+	}
+	lg := sh.log
+	var ticket uint64
+	logged := false
+	err := d.sys.db.LoadRecorded(fn, func(rows []engine.Row) error {
+		op := wal.RowsOp{Rows: make([]wal.Row, len(rows))}
+		for i, r := range rows {
+			op.Rows[i] = wal.Row{Rel: r.Rel, Values: r.Values}
+		}
+		payload, perr := wal.EncodeOp(&wal.Op{Rows: &op})
+		if perr != nil {
+			return perr
+		}
+		t, perr := lg.Enqueue(payload)
+		if perr != nil {
+			if !errors.Is(perr, wal.ErrLogClosed) {
+				sh.broken = true
+			}
+			return fmt.Errorf("disclosure: wal append (shard %s): %w", sh.name, perr)
+		}
+		ticket, logged = t, true
+		sh.ops++
+		return nil
+	})
+	due := logged && d.ckptOps > 0 && sh.ops >= d.ckptOps
+	if due {
+		sh.ops = 0
+	}
+	sh.mu.Unlock()
+	if logged {
+		if werr := lg.WaitDurable(ticket); werr != nil {
+			if !errors.Is(werr, wal.ErrLogClosed) {
+				sh.mu.Lock()
+				sh.broken = true
+				sh.mu.Unlock()
+			}
+			if err == nil {
+				err = fmt.Errorf("disclosure: wal commit (shard %s): %w", sh.name, werr)
+			}
+			return err
+		}
+		if due {
+			d.checkpointShard(sh)
+		}
+	}
+	return err
+}
+
+// Checkpoint serializes the full deployment state into a new checkpoint
+// generation per shard, each rotated independently under only its own
+// lock: the meta shard captures the configuration and rows, every data
+// shard captures its slice of the per-principal monitors and tokens.
+// State-changing operations on a shard block only while that shard
+// rotates (reads always proceed). Generations older than the previous one
+// are deleted per shard. On error the failing shard's previous generation
+// remains current and its log keeps appending where it was.
+func (d *Durable) Checkpoint() error {
+	if d.closed.Load() {
+		return errClosed
+	}
+	for _, sh := range d.allShards() {
+		sh.mu.Lock()
+		if sh.broken {
+			sh.mu.Unlock()
+			return errShardBroken
+		}
+		err := d.rotateShardLocked(sh, sh.gen+1)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpointShard is the self-rotation a shard performs when its
+// CheckpointOps cadence comes due. Best effort: a rotation failure leaves
+// the previous generation current (explicitly safe) and surfaces on the
+// next explicit Checkpoint call instead of failing the triggering
+// operation, whose record is already durable.
+func (d *Durable) checkpointShard(sh *walShard) {
+	sh.mu.Lock()
+	if !sh.broken && !d.closed.Load() {
+		_ = d.rotateShardLocked(sh, sh.gen+1)
+	}
+	sh.mu.Unlock()
+}
+
+// Close flushes and closes every shard's log. The System remains usable
+// in memory, but further state-changing calls fail; Close is final.
+func (d *Durable) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	for _, sh := range d.allShards() {
+		sh.mu.Lock()
+		if sh.log != nil {
+			if err := sh.log.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// rotateShardLocked captures the shard's slice of the state as generation
+// newGen, flushes the old segment (the group-commit barrier: everything
+// captured is durable before the new generation exists), writes the
+// checkpoint atomically, switches appending to a fresh segment, and
+// prunes generations older than the previous one. Callers hold sh.mu (or
+// own d exclusively during OpenDurable).
 //
 // The segment is created before the checkpoint is written: an empty
-// wal-<g+1>.log next to a still-missing checkpoint-<g+1>.ckpt recovers
-// through checkpoint g (the empty segment replays as nothing), whereas
-// the reverse order would leave a checkpoint whose generation shadows
+// wal-<s>-<g+1>.log next to a still-missing checkpoint recovers through
+// checkpoint g (the empty segment replays as nothing), whereas the
+// reverse order would leave a checkpoint whose generation shadows
 // operations still being appended to the old segment. On any error the
 // previous generation stays current and appending continues where it was.
-func (d *Durable) rotateLocked(newGen uint64) error {
-	ck, err := d.captureLocked(newGen)
+func (d *Durable) rotateShardLocked(sh *walShard, newGen uint64) error {
+	ck, err := d.captureShardLocked(sh, newGen)
 	if err != nil {
 		return err
 	}
@@ -306,23 +666,30 @@ func (d *Durable) rotateLocked(newGen uint64) error {
 	if err != nil {
 		return err
 	}
-	nl, err := wal.Create(wal.SegmentPath(d.dir, newGen), !d.noSync)
+	if sh.log != nil {
+		if err := sh.log.Flush(); err != nil {
+			sh.broken = true
+			return fmt.Errorf("disclosure: flushing shard %s: %w", sh.name, err)
+		}
+	}
+	nl, err := wal.CreateGroup(wal.ShardSegmentPath(d.dir, sh.name, newGen), !d.noSync, d.coalesce)
 	if err != nil {
 		return fmt.Errorf("disclosure: %w", err)
 	}
-	if err := wal.WriteSnapshotFile(wal.CheckpointPath(d.dir, newGen), payload); err != nil {
+	if err := wal.WriteSnapshotFile(wal.ShardCheckpointPath(d.dir, sh.name, newGen), payload); err != nil {
 		nl.Close()
 		return fmt.Errorf("disclosure: %w", err)
 	}
-	if d.log != nil {
-		_ = d.log.Close()
+	if sh.log != nil {
+		_ = sh.log.Close()
 	}
-	d.log = nl
-	d.gen = newGen
+	sh.log = nl
+	sh.gen = newGen
+	sh.ops = 0
 	if newGen >= 2 {
 		for g := newGen - 2; ; g-- {
-			ckptGone := removeMissingOK(wal.CheckpointPath(d.dir, g))
-			segGone := removeMissingOK(wal.SegmentPath(d.dir, g))
+			ckptGone := removeMissingOK(wal.ShardCheckpointPath(d.dir, sh.name, g))
+			segGone := removeMissingOK(wal.ShardSegmentPath(d.dir, sh.name, g))
 			if (ckptGone && segGone) || g == 0 {
 				break
 			}
@@ -338,28 +705,37 @@ func removeMissingOK(path string) bool {
 	return err != nil && os.IsNotExist(err)
 }
 
-// captureLocked serializes the deployment state: configuration, rows,
-// per-principal sessions, tokens. Callers hold d.mu, so no state-changing
-// operation is in flight and the published snapshot is the state.
-func (d *Durable) captureLocked(gen uint64) (*wal.Checkpoint, error) {
+// captureShardLocked serializes one shard's slice of the deployment
+// state. The meta shard captures the configuration and every table row;
+// a data shard captures the sessions and tokens of exactly the principals
+// the router assigns to it. Callers hold sh.mu, so no state-changing
+// operation is in flight on this shard and its slice is quiescent; other
+// shards keep writing theirs, which is safe because the slices are
+// disjoint.
+func (d *Durable) captureShardLocked(sh *walShard, gen uint64) (*wal.Checkpoint, error) {
 	sys := d.sys
 	ck := &wal.Checkpoint{
 		Generation: gen,
+		Shard:      sh.name,
+		Shards:     len(d.shards),
 		Config:     store.Snapshot(sys.db.Schema(), sys.cat, nil),
 	}
-	snap := sys.db.Snapshot()
-	for _, rel := range sys.db.Schema().Relations() {
-		t := snap.Table(rel.Name())
-		if t == nil {
-			continue
+	if sh == d.meta {
+		snap := sys.db.Snapshot()
+		for _, rel := range sys.db.Schema().Relations() {
+			t := snap.Table(rel.Name())
+			if t == nil {
+				continue
+			}
+			for row := range t.All() {
+				ck.Rows = append(ck.Rows, wal.Row{Rel: rel.Name(), Values: row})
+			}
 		}
-		for row := range t.All() {
-			ck.Rows = append(ck.Rows, wal.Row{Rel: rel.Name(), Values: row})
-		}
+		return ck, nil
 	}
 	var perr error
 	sys.store.Each(func(principal string, m *policy.Monitor) {
-		if perr != nil {
+		if perr != nil || d.router.Shard(principal) != sh.id {
 			return
 		}
 		parts := make(map[string][]string)
@@ -384,33 +760,42 @@ func (d *Durable) captureLocked(gen uint64) (*wal.Checkpoint, error) {
 	if perr != nil {
 		return nil, perr
 	}
-	if len(d.tokens) > 0 {
-		ck.Tokens = make(map[string]string, len(d.tokens))
-		for k, v := range d.tokens {
+	d.tokMu.Lock()
+	for k, v := range d.tokens {
+		if d.router.Shard(k) == sh.id {
+			if ck.Tokens == nil {
+				ck.Tokens = make(map[string]string)
+			}
 			ck.Tokens[k] = v
 		}
 	}
+	d.tokMu.Unlock()
 	return ck, nil
 }
 
-// restoreCheckpoint loads rows, principals and tokens into the freshly
-// built System. It runs before any replay and before the Durable is
-// attached, so nothing here is re-logged.
-func (d *Durable) restoreCheckpoint(ck *wal.Checkpoint) error {
-	sys := d.sys
-	if len(ck.Rows) > 0 {
-		err := sys.db.Load(func(ld *engine.Loader) error {
-			for _, r := range ck.Rows {
-				if err := ld.Insert(r.Rel, r.Values...); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
+// restoreRows loads the meta checkpoint's rows into the freshly built
+// System. It runs before any replay and before the Durable is attached,
+// so nothing here is re-logged.
+func (d *Durable) restoreRows(ck *wal.Checkpoint) error {
+	if len(ck.Rows) == 0 {
+		return nil
 	}
+	return d.sys.db.Load(func(ld *engine.Loader) error {
+		for _, r := range ck.Rows {
+			if err := ld.Insert(r.Rel, r.Values...); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// restorePrincipals installs one data-shard checkpoint's principals —
+// policy, live partitions, cumulative disclosure, session counts — and
+// tokens. Shards restore disjoint principal sets, so the parallel
+// recovery goroutines never collide on a principal.
+func (d *Durable) restorePrincipals(ck *wal.Checkpoint) error {
+	sys := d.sys
 	for _, ps := range ck.Principals {
 		p, err := policy.New(sys.cat, ps.Partitions)
 		if err != nil {
@@ -426,16 +811,23 @@ func (d *Durable) restoreCheckpoint(ck *wal.Checkpoint) error {
 		}
 		sys.store.Install(ps.Name, m)
 	}
-	for k, v := range ck.Tokens {
-		d.tokens[k] = v
+	if len(ck.Tokens) > 0 {
+		d.tokMu.Lock()
+		for k, v := range ck.Tokens {
+			d.tokens[k] = v
+		}
+		d.tokMu.Unlock()
 	}
 	return nil
 }
 
 // applyOp replays one logged operation against the recovering System,
-// without re-logging it. Replay order equals the original apply order, so
-// each operation reproduces its original effect; a submission whose
-// principal was since removed skips exactly as it errored live.
+// without re-logging it. Each shard's replay order equals its original
+// apply order, and all of one principal's operations live in one shard's
+// log, so per-principal apply order — the only order the monitor
+// semantics depend on — is reproduced exactly even though shards replay
+// in parallel; a submission whose principal was since removed skips
+// exactly as it errored live.
 func (d *Durable) applyOp(op *wal.Op) error {
 	sys := d.sys
 	switch {
@@ -456,9 +848,13 @@ func (d *Durable) applyOp(op *wal.Op) error {
 		sys.store.SetPolicy(op.Policy.Principal, p)
 	case op.Remove != nil:
 		sys.store.Remove(op.Remove.Principal)
+		d.tokMu.Lock()
 		delete(d.tokens, op.Remove.Principal)
+		d.tokMu.Unlock()
 	case op.Token != nil:
+		d.tokMu.Lock()
 		d.tokens[op.Token.Principal] = op.Token.Token
+		d.tokMu.Unlock()
 	case op.Submit != nil:
 		q, err := cq.ParseQuery(op.Submit.Query)
 		if err != nil {

@@ -146,11 +146,13 @@ func TestDurableCheckpointRotation(t *testing.T) {
 	if got := d.Generation(); got != 2 {
 		t.Fatalf("generation = %d, want 2", got)
 	}
-	if _, err := os.Stat(wal.CheckpointPath(dir, 0)); !errors.Is(err, os.ErrNotExist) {
-		t.Errorf("generation 0 checkpoint not pruned (err=%v)", err)
-	}
-	if _, err := os.Stat(wal.CheckpointPath(dir, 1)); err != nil {
-		t.Errorf("previous generation checkpoint missing: %v", err)
+	for _, shard := range []string{wal.MetaShard, wal.DataShard(0)} {
+		if _, err := os.Stat(wal.ShardCheckpointPath(dir, shard, 0)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("shard %s generation 0 checkpoint not pruned (err=%v)", shard, err)
+		}
+		if _, err := os.Stat(wal.ShardCheckpointPath(dir, shard, 1)); err != nil {
+			t.Errorf("shard %s previous generation checkpoint missing: %v", shard, err)
+		}
 	}
 	// Post-checkpoint tail.
 	if err := sys.Insert("M", "12", "Eve"); err != nil {
@@ -179,7 +181,7 @@ func TestDurableTornTailDiscarded(t *testing.T) {
 	if err := d.System().Insert("M", "10", "Cathy"); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	seg := wal.SegmentPath(dir, d.Generation())
+	seg := wal.ShardSegmentPath(dir, wal.MetaShard, d.Generation())
 
 	// Crash mid-append: a partial frame lands after the valid records.
 	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
@@ -349,5 +351,221 @@ func TestDurableConcurrentSubmissions(t *testing.T) {
 	}
 	if got := d2.System().Table("M").Len(); got != rowsBefore {
 		t.Errorf("recovered M has %d rows, want %d", got, rowsBefore)
+	}
+}
+
+// TestDurableShardedPerPrincipalOrder is the sharding correctness
+// argument as a test: with submissions interleaved across many principals
+// on several shards, recovery — which replays the shards' logs in
+// parallel, with no cross-shard order at all — must reproduce every
+// session exactly, because per-principal apply order is the only order
+// the monitor semantics need and shard-locality preserves it. Each
+// principal runs the Chinese-Wall sequence whose outcome flips if its two
+// submissions replay in the wrong order: contacts first (admitted,
+// retires W1), meetings second (refused).
+func TestDurableShardedPerPrincipalOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, views := durableFixture()
+	d, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{Shards: 4}, s, views...)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	if got := d.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	sys := d.System()
+	if err := sys.Insert("C", "Cathy", "c@example.com", "Boss"); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	const principals = 12
+	qc := disclosure.MustParse("QC(p, e) :- C(p, e, r)")
+	qm := disclosure.MustParse("QM(t) :- M(t, p)")
+	for i := 0; i < principals; i++ {
+		app := fmt.Sprintf("app-%d", i)
+		if err := sys.SetPolicy(app, map[string][]string{"W1": {"V1"}, "W2": {"V3"}}); err != nil {
+			t.Fatalf("SetPolicy(%s): %v", app, err)
+		}
+		if err := d.LogToken(app, "tok-"+app); err != nil {
+			t.Fatalf("LogToken(%s): %v", app, err)
+		}
+	}
+	// Interleave: all contacts queries, then all meetings queries, so
+	// consecutive log records of one shard belong to different principals.
+	var wg sync.WaitGroup
+	for i := 0; i < principals; i++ {
+		wg.Add(1)
+		go func(app string) {
+			defer wg.Done()
+			if dec, _, err := sys.Submit(app, qc); err != nil || !dec.Allowed {
+				t.Errorf("%s contacts: allowed=%v err=%v, want admitted", app, dec.Allowed, err)
+			}
+		}(fmt.Sprintf("app-%d", i))
+	}
+	wg.Wait()
+	for i := 0; i < principals; i++ {
+		wg.Add(1)
+		go func(app string) {
+			defer wg.Done()
+			if dec, _, err := sys.Submit(app, qm); err != nil || dec.Allowed {
+				t.Errorf("%s meetings: allowed=%v err=%v, want refused", app, dec.Allowed, err)
+			}
+		}(fmt.Sprintf("app-%d", i))
+	}
+	wg.Wait()
+
+	// Crash-abandon the handle; recover and compare every session.
+	d2, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{Shards: 4}, s, views...)
+	if err != nil {
+		t.Fatalf("recovering OpenDurable: %v", err)
+	}
+	defer d2.Close()
+	if !d2.Recovered() || d2.Shards() != 4 {
+		t.Fatalf("recovered=%v shards=%d, want recovered 4-shard deployment", d2.Recovered(), d2.Shards())
+	}
+	for i := 0; i < principals; i++ {
+		app := fmt.Sprintf("app-%d", i)
+		live, acc, ref, err := d2.System().Session(app)
+		if err != nil {
+			t.Fatalf("Session(%s): %v", app, err)
+		}
+		if fmt.Sprint(live) != "[W2]" || acc != 1 || ref != 1 {
+			t.Errorf("%s recovered session = (%v, %d, %d), want ([W2], 1, 1)", app, live, acc, ref)
+		}
+		if got := d2.Tokens()[app]; got != "tok-"+app {
+			t.Errorf("%s recovered token = %q, want %q", app, got, "tok-"+app)
+		}
+		// The wall must still hold after recovery.
+		if dec, _, err := d2.System().Submit(app, qm); err != nil || dec.Allowed {
+			t.Errorf("%s recovered monitor admitted the walled-off query (allowed=%v err=%v)", app, dec.Allowed, err)
+		}
+	}
+}
+
+// TestDurableShardCountMismatch checks the re-partitioning refusal: a
+// directory initialized with N data shards reopens only with Shards == N
+// (or 0, which adopts the directory's count) — the principal → shard
+// routing is a function of the count, so a different one would look for
+// histories in the wrong logs.
+func TestDurableShardCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, views := durableFixture()
+	d, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{Shards: 2}, s, views...)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	if err := d.System().SetPolicy("app", map[string][]string{"all": {"V1"}}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{Shards: 3}, s, views...); err == nil {
+		t.Fatalf("OpenDurable accepted a shard-count change (2 on disk, 3 requested)")
+	}
+	d2, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{}, s, views...)
+	if err != nil {
+		t.Fatalf("OpenDurable with Shards 0: %v", err)
+	}
+	defer d2.Close()
+	if got := d2.Shards(); got != 2 {
+		t.Errorf("Shards() = %d, want the directory's 2", got)
+	}
+	if got := d2.System().Principals(); got != 1 {
+		t.Errorf("recovered %d principals, want 1", got)
+	}
+}
+
+// TestDurableNoGroupCommit runs the per-operation-fsync baseline mode
+// through the same write/recover cycle: group commit is a performance
+// choice, not a semantic one.
+func TestDurableNoGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	s, views := durableFixture()
+	d, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{Shards: 2, NoGroupCommit: true}, s, views...)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	sys := d.System()
+	if err := sys.Insert("M", "10", "Cathy"); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := sys.SetPolicy("app", map[string][]string{"all": {"V1", "V3"}}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	q := disclosure.MustParse("Q(t) :- M(t, p)")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, _, err := sys.Submit("app", q); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	d2, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{NoGroupCommit: true}, s, views...)
+	if err != nil {
+		t.Fatalf("recovering OpenDurable: %v", err)
+	}
+	defer d2.Close()
+	_, acc, ref, err := d2.System().Session("app")
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	if acc+ref != 40 {
+		t.Errorf("recovered %d decisions, want 40", acc+ref)
+	}
+}
+
+// TestDurableShardCheckpointCadence checks per-shard self-rotation: with
+// CheckpointOps set, a busy shard rotates its own generation without a
+// global Checkpoint call, and recovery still sees everything.
+func TestDurableShardCheckpointCadence(t *testing.T) {
+	dir := t.TempDir()
+	s, views := durableFixture()
+	d, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{Shards: 2, CheckpointOps: 5}, s, views...)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	sys := d.System()
+	if err := sys.SetPolicy("app", map[string][]string{"all": {"V1", "V3"}}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	q := disclosure.MustParse("Q(t) :- M(t, p)")
+	for i := 0; i < 23; i++ {
+		if _, _, err := sys.Submit("app", q); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	// 24 ops on app's shard (policy + 23 submissions) at cadence 5: the
+	// shard must have rotated several times on its own; the meta shard,
+	// which saw no traffic, must still be at generation 0.
+	if got := d.Generation(); got != 0 {
+		t.Errorf("meta generation = %d, want 0 (no meta traffic)", got)
+	}
+	d2, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{}, s, views...)
+	if err != nil {
+		t.Fatalf("recovering OpenDurable: %v", err)
+	}
+	defer d2.Close()
+	_, acc, ref, err := d2.System().Session("app")
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	if acc+ref != 23 {
+		t.Errorf("recovered %d decisions, want 23", acc+ref)
+	}
+	// Self-rotation prunes like explicit checkpoints: at most the current
+	// and previous generation remain on disk for the busy shard.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) > 12 {
+		t.Errorf("%d files in data dir, want ≤ 12 (2 generations × 2 files × 3 shards)", len(entries))
 	}
 }

@@ -254,3 +254,74 @@ func TestLabelBatchCanonical(t *testing.T) {
 		t.Fatalf("warm batch: want %d hits + %d misses, got %s", len(distinct), len(distinct), st)
 	}
 }
+
+// TestLabelBatchCanonicalEmpty: an empty batch returns empty (non-nil
+// caller-indexable) slices and touches the cache not at all.
+func TestLabelBatchCanonicalEmpty(t *testing.T) {
+	cached := label.NewCachedLabeler(label.NewLabeler(testCatalog(t)), 0)
+	labels, errs := cached.LabelBatchCanonical(nil, nil)
+	if len(labels) != 0 || len(errs) != 0 {
+		t.Fatalf("empty batch returned %d labels / %d errs", len(labels), len(errs))
+	}
+	if st := cached.Stats(); st.Hits+st.Misses != 0 {
+		t.Fatalf("empty batch charged the cache: %s", st)
+	}
+}
+
+// TestLabelBatchCanonicalSingle: a one-element batch behaves exactly like
+// Label — same label, one cold miss, one warm hit.
+func TestLabelBatchCanonicalSingle(t *testing.T) {
+	cat := testCatalog(t)
+	cached := label.NewCachedLabeler(label.NewLabeler(cat), 0)
+
+	q := cq.MustParse("Q(n) :- friend('me', f, s), likes(f, p, n, '1')")
+	keys := []string{cq.CanonicalKey(q)}
+	for pass, wantHits := range []uint64{0, 1} {
+		labels, errs := cached.LabelBatchCanonical(keys, []*cq.Query{q})
+		if len(labels) != 1 || len(errs) != 1 || errs[0] != nil {
+			t.Fatalf("pass %d: labels=%d errs=%v", pass, len(labels), errs)
+		}
+		want, err := label.NewLabeler(cat).Label(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !labels[0].EquivTo(want) {
+			t.Fatalf("pass %d: batch label %s, want %s", pass, labels[0].Render(cat), want.Render(cat))
+		}
+		if st := cached.Stats(); st.Misses != 1 || st.Hits != wantHits {
+			t.Fatalf("pass %d: want 1 miss + %d hits, got %s", pass, wantHits, st)
+		}
+	}
+}
+
+// TestLabelBatchCanonicalAllIsomorphs: a batch made entirely of renamings
+// of one query costs one lookup and one labeling, and every position gets
+// the shared result.
+func TestLabelBatchCanonicalAllIsomorphs(t *testing.T) {
+	cat := testCatalog(t)
+	cached := label.NewCachedLabeler(label.NewLabeler(cat), 0)
+
+	qs := []*cq.Query{
+		cq.MustParse("Q(n) :- friend('me', f, s), likes(f, p, n, '1')"),
+		cq.MustParse("P(m) :- likes(g, r, m, '1'), friend('me', g, w)"),
+		cq.MustParse("R(a) :- friend('me', b, c), likes(b, d, a, '1')"),
+		cq.MustParse("S(z) :- likes(y, x, z, '1'), friend('me', y, v)"),
+	}
+	keys := make([]string, len(qs))
+	for i, q := range qs {
+		keys[i] = cq.CanonicalKey(q)
+	}
+	labels, errs := cached.LabelBatchCanonical(keys, qs)
+	for i := range qs {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if !labels[i].EquivTo(labels[0]) {
+			t.Fatalf("query %d: isomorph got a different label:\n  %s\n  %s",
+				i, labels[i].Render(cat), labels[0].Render(cat))
+		}
+	}
+	if st := cached.Stats(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("all-isomorph batch should cost exactly one cold lookup, got %s", st)
+	}
+}

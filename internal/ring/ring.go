@@ -1,0 +1,92 @@
+// Package ring is a consistent-hash router from string keys to shard
+// indices — the partitioning seam of the sharded durable pipeline. Every
+// shard owns a set of virtual points on a 64-bit hash circle; a key maps
+// to the shard owning the first point at or clockwise of the key's hash.
+//
+// Consistent hashing (rather than hash-mod-N) is chosen for the road the
+// ROADMAP plots: when the shard count eventually changes — or shards move
+// to other nodes — only the keys between a leaving/arriving shard's
+// points move, roughly 1/N of the space per shard, instead of nearly all
+// of them. In-process the routing must above all be deterministic across
+// processes and platforms: the ring hashes with FNV-1a over fixed byte
+// strings, no per-process seed, so a recovering deployment routes every
+// principal to the shard whose log holds its history.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-point count per shard used when New is
+// given a non-positive replica count. More points smooth the key
+// distribution across shards at the cost of a larger (still tiny) table.
+const DefaultReplicas = 128
+
+// Ring maps string keys to one of a fixed number of shards. It is
+// immutable after construction and safe for concurrent use.
+type Ring struct {
+	shards int
+	points []point // sorted by hash
+}
+
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// New builds a ring of the given shard count with `replicas` virtual
+// points per shard (non-positive means DefaultReplicas). Shard counts
+// below 1 are clamped to 1. The layout is a pure function of (shards,
+// replicas): two processes building the same ring route identically.
+func New(shards, replicas int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{shards: shards, points: make([]point, 0, shards*replicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("shard-%d#%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Shards returns the shard count the ring was built with.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard returns the shard index owning key, in [0, Shards()).
+func (r *Ring) Shard(key string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point owns the top arc
+	}
+	return r.points[i].shard
+}
+
+// hash64 is FNV-1a over the key's bytes, passed through the splitmix64
+// finalizer: FNV alone clusters structurally similar keys (the virtual
+// points are all "shard-i#v" strings) badly enough to skew the ring, and
+// the finalizer's avalanche fixes that. Both stages are stable across
+// processes and platforms (unlike Go's seeded map hash), which recovery
+// requires.
+func hash64(key string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(key))
+	h := f.Sum64()
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

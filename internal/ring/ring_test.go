@@ -1,0 +1,72 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: two independently built rings route every key
+// identically — the property recovery depends on.
+func TestRingDeterministic(t *testing.T) {
+	a, b := New(8, 0), New(8, 0)
+	for i := 0; i < 10_000; i++ {
+		k := fmt.Sprintf("principal-%d", i)
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("key %q routes to %d and %d on identical rings", k, a.Shard(k), b.Shard(k))
+		}
+	}
+}
+
+// TestRingBounds: every key lands in [0, shards), and a 1-shard ring
+// routes everything to shard 0.
+func TestRingBounds(t *testing.T) {
+	one := New(1, 0)
+	r := New(5, 0)
+	for i := 0; i < 5_000; i++ {
+		k := fmt.Sprintf("p%d", i)
+		if got := one.Shard(k); got != 0 {
+			t.Fatalf("1-shard ring routed %q to %d", k, got)
+		}
+		if got := r.Shard(k); got < 0 || got >= 5 {
+			t.Fatalf("5-shard ring routed %q to %d", k, got)
+		}
+	}
+}
+
+// TestRingDistribution: with enough virtual points, no shard owns a
+// grossly disproportionate share of a uniform key population.
+func TestRingDistribution(t *testing.T) {
+	const shards, keys = 8, 80_000
+	r := New(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("user-%d", i))]++
+	}
+	mean := keys / shards
+	for s, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("shard %d owns %d of %d keys (mean %d): distribution too skewed %v", s, c, keys, mean, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: growing the ring by one shard moves roughly
+// 1/(N+1) of the keys — the consistent-hashing property that makes the
+// layout a future re-partitioning seam. Plain hash-mod-N would move
+// ~N/(N+1) of them.
+func TestRingMinimalMovement(t *testing.T) {
+	const keys = 40_000
+	before, after := New(8, 0), New(9, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("user-%d", i)
+		if before.Shard(k) != after.Shard(k) {
+			moved++
+		}
+	}
+	// Expect ~keys/9 ≈ 11%; fail well above that but far below mod-N's ~89%.
+	if moved > keys/3 {
+		t.Fatalf("adding one shard moved %d of %d keys (%.1f%%), want ≈ 1/9",
+			moved, keys, 100*float64(moved)/keys)
+	}
+}

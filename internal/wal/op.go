@@ -146,8 +146,17 @@ type PrincipalState struct {
 // the newest checkpoint and replays the log tail on top.
 type Checkpoint struct {
 	// Generation is the checkpoint's generation number; the paired
-	// wal-<generation>.log segment holds the operations logged after it.
+	// wal-<shard>-<generation>.log segment holds the operations logged
+	// after it.
 	Generation uint64 `json:"generation"`
+	// Shard names the shard this checkpoint captures: MetaShard for the
+	// deployment-wide state (configuration and rows), a data-shard index
+	// for a slice of the principal space. Empty in pre-sharding archives.
+	Shard string `json:"shard,omitempty"`
+	// Shards is the deployment's data-shard count, recorded so recovery
+	// can refuse a re-partitioned open (the principal → shard routing is
+	// a function of this count).
+	Shards int `json:"shards,omitempty"`
 	// Config is the schema and security-view catalog (store.Config with
 	// its Policies field unused — policies live in Principals, with their
 	// session state).

@@ -20,12 +20,15 @@
 //
 // # Generations
 //
-// A data directory holds pairs of files per generation g:
+// A data directory holds pairs of files per shard s and generation g:
 //
-//	checkpoint-<g>.ckpt   the full state at the moment generation g began
-//	wal-<g>.log           every state-changing operation logged since
+//	checkpoint-<s>-<g>.ckpt   the shard's full state when generation g began
+//	wal-<s>-<g>.log           every operation the shard logged since
 //
-// so state(g) = checkpoint(g) + replay(wal-<g>.log). Taking a checkpoint
+// where s is "meta" (rows, configuration, bulk loads) or a data-shard
+// index owning a slice of the principal space; each shard's generations
+// advance independently, so state(s, g) = checkpoint(s, g) +
+// replay(wal-<s>-<g>.log) per shard. Taking a shard's checkpoint
 // writes checkpoint-<g+1> (a single framed record, written to a temporary
 // file and renamed into place), starts an empty wal-<g+1>.log, and deletes
 // generations older than g — the previous generation is retained so that a
@@ -63,6 +66,16 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // headerSize is the per-record frame overhead: length plus checksum.
 const headerSize = 8
+
+// appendFrame appends one framed record (length, CRC-32C, payload) to dst
+// and returns the extended slice — the encoding Replay reads back.
+func appendFrame(dst, payload []byte) []byte {
+	var header [headerSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, header[:]...)
+	return append(dst, payload...)
+}
 
 // Log is an append-only record log backed by one file. It is not safe for
 // concurrent use; the owning durability layer serializes appends (which it
@@ -115,11 +128,7 @@ func (l *Log) Append(payload []byte) error {
 	if len(payload) > MaxRecordBytes {
 		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), MaxRecordBytes)
 	}
-	buf := make([]byte, headerSize+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
-	copy(buf[headerSize:], payload)
-	if _, err := l.f.Write(buf); err != nil {
+	if _, err := l.f.Write(appendFrame(nil, payload)); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	if l.sync {
@@ -308,6 +317,118 @@ func genOf(name, prefix, suffix string) (uint64, bool) {
 // ignoring files already absent.
 func RemoveGeneration(dir string, gen uint64) error {
 	for _, p := range []string{CheckpointPath(dir, gen), SegmentPath(dir, gen)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("wal: remove %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// MetaShard names the shard that owns the deployment-wide state: the row
+// store, the configuration, and bulk loads. Per-principal state lives in
+// the numbered data shards instead.
+const MetaShard = "meta"
+
+// DataShard returns the shard name of data shard i ("0", "1", ...).
+func DataShard(i int) string { return strconv.Itoa(i) }
+
+// ShardCheckpointPath returns the checkpoint file path for one shard's
+// generation: checkpoint-<shard>-<gen>.ckpt.
+func ShardCheckpointPath(dir, shard string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%s-%016d%s", checkpointPrefix, shard, gen, checkpointSuffix))
+}
+
+// ShardSegmentPath returns the log-segment file path for one shard's
+// generation: wal-<shard>-<gen>.log.
+func ShardSegmentPath(dir, shard string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%s-%016d%s", segmentPrefix, shard, gen, segmentSuffix))
+}
+
+// ShardFiles lists one shard's on-disk generations, each sorted ascending.
+type ShardFiles struct {
+	// Checkpoints holds the generations with a checkpoint file.
+	Checkpoints []uint64
+	// Segments holds the generations with a log-segment file.
+	Segments []uint64
+}
+
+// ScanShards lists the per-shard generations present in dir, keyed by
+// shard name (MetaShard or a data-shard index). Files in the pre-sharding
+// single-log layout (wal-<gen>.log with no shard component) set legacy
+// instead of contributing to the map, so callers can refuse or migrate
+// such directories explicitly. Files matching neither naming scheme
+// (including .tmp leftovers) are ignored; a missing directory scans empty.
+func ScanShards(dir string) (shards map[string]*ShardFiles, legacy bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: scan %s: %w", dir, err)
+	}
+	shards = make(map[string]*ShardFiles)
+	add := func(shard string, gen uint64, checkpoint bool) {
+		sf := shards[shard]
+		if sf == nil {
+			sf = &ShardFiles{}
+			shards[shard] = sf
+		}
+		if checkpoint {
+			sf.Checkpoints = append(sf.Checkpoints, gen)
+		} else {
+			sf.Segments = append(sf.Segments, gen)
+		}
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		var mid string
+		var checkpoint bool
+		switch {
+		case strings.HasPrefix(name, checkpointPrefix) && strings.HasSuffix(name, checkpointSuffix):
+			mid = name[len(checkpointPrefix) : len(name)-len(checkpointSuffix)]
+			checkpoint = true
+		case strings.HasPrefix(name, segmentPrefix) && strings.HasSuffix(name, segmentSuffix):
+			mid = name[len(segmentPrefix) : len(name)-len(segmentSuffix)]
+		default:
+			continue
+		}
+		cut := strings.LastIndexByte(mid, '-')
+		if cut < 0 {
+			if _, err := strconv.ParseUint(mid, 10, 64); err == nil {
+				legacy = true
+			}
+			continue
+		}
+		shard, genStr := mid[:cut], mid[cut+1:]
+		gen, err := strconv.ParseUint(genStr, 10, 64)
+		if err != nil || !validShardName(shard) {
+			continue
+		}
+		add(shard, gen, checkpoint)
+	}
+	for _, sf := range shards {
+		sort.Slice(sf.Checkpoints, func(i, j int) bool { return sf.Checkpoints[i] < sf.Checkpoints[j] })
+		sort.Slice(sf.Segments, func(i, j int) bool { return sf.Segments[i] < sf.Segments[j] })
+	}
+	return shards, legacy, nil
+}
+
+// validShardName reports whether s names the meta shard or a data shard.
+func validShardName(s string) bool {
+	if s == MetaShard {
+		return true
+	}
+	n, err := strconv.Atoi(s)
+	return err == nil && n >= 0 && s == strconv.Itoa(n)
+}
+
+// RemoveShardGeneration deletes one shard generation's checkpoint and
+// segment files, ignoring files already absent.
+func RemoveShardGeneration(dir, shard string, gen uint64) error {
+	for _, p := range []string{ShardCheckpointPath(dir, shard, gen), ShardSegmentPath(dir, shard, gen)} {
 		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("wal: remove %s: %w", p, err)
 		}

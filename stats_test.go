@@ -31,10 +31,10 @@ func TestStatsIdentity(t *testing.T) {
 	admittedQ := MustParse("Free(t) :- Meetings(t, p)")
 	refusedQ := MustParse("Q1(x) :- Meetings(x, 'Cathy')")
 
-	sys.Submit("app", admittedQ)        // admitted
-	sys.Submit("app", refusedQ)         // refused
-	sys.Submit("nobody", admittedQ)     // errored: no policy
-	sys.Submit("app", unsafeQuery())    // errored: labeling failure
+	sys.Submit("app", admittedQ)     // admitted
+	sys.Submit("app", refusedQ)      // refused
+	sys.Submit("nobody", admittedQ)  // errored: no policy
+	sys.Submit("app", unsafeQuery()) // errored: labeling failure
 	sys.SubmitBatch("app", []*Query{admittedQ, refusedQ, unsafeQuery()})
 	sys.SubmitBatch("nobody", []*Query{admittedQ, refusedQ}) // all errored
 
@@ -109,6 +109,90 @@ func TestStatsMonotoneUnderLoad(t *testing.T) {
 		t.Fatalf("identity broken at rest: %+v", st)
 	}
 }
+
+// TestStatsIdentityShardedDurable drives the same outcome classes through
+// a sharded durable System under concurrent submitters — the path where a
+// decision is a write-ahead-logged, group-committed operation — and checks
+// that the quiescent identity Queries == Admitted + Refused + Errored
+// still holds exactly, then holds again after recovery re-derives the
+// per-principal sessions. Durability must change where outcomes are
+// recorded, never how many there are.
+func TestStatsIdentityShardedDurable(t *testing.T) {
+	s := MustSchema(
+		MustRelation("Meetings", "time", "person"),
+		MustRelation("Contacts", "person", "email", "position"),
+	)
+	views := []*Query{
+		MustParse("V1(t, p) :- Meetings(t, p)"),
+		MustParse("V2(t) :- Meetings(t, p)"),
+		MustParse("V3(p, e, r) :- Contacts(p, e, r)"),
+	}
+	d, err := OpenDurable(t.TempDir(), DurabilityOptions{Shards: 4}, s, views...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	sys := d.System()
+
+	const principals = 6
+	for i := 0; i < principals; i++ {
+		if err := sys.SetPolicy(principal(i), map[string][]string{"times": {"V2"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []*Query{
+		MustParse("Free(t) :- Meetings(t, p)"),     // admitted
+		MustParse("Q1(x) :- Meetings(x, 'Cathy')"), // refused under "times"
+		unsafeQuery(), // errored: labeling failure
+	}
+
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p := principal((w + i) % principals)
+				if i%11 == 0 {
+					p = "nobody" // errored: no policy
+				}
+				sys.Submit(p, queries[(w+i)%len(queries)])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := sys.Stats()
+	if want := uint64(workers * perWorker); st.Queries != want {
+		t.Fatalf("Queries = %d, want %d", st.Queries, want)
+	}
+	if st.Queries != st.Admitted+st.Refused+st.Errored {
+		t.Fatalf("identity broken at rest on sharded durable system: %+v", st)
+	}
+
+	// Recovery rebuilds every session from the sharded logs; the summed
+	// per-principal decision counts must equal the live admitted+refused.
+	d2, err := OpenDurable(d.Dir(), DurabilityOptions{}, s, views...)
+	if err != nil {
+		t.Fatalf("recovering OpenDurable: %v", err)
+	}
+	defer d2.Close()
+	total := 0
+	for i := 0; i < principals; i++ {
+		_, acc, ref, err := d2.System().Session(principal(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += acc + ref
+	}
+	if uint64(total) != st.Admitted+st.Refused {
+		t.Fatalf("recovered sessions count %d decisions, live system counted %d", total, st.Admitted+st.Refused)
+	}
+}
+
+// principal names the i-th test principal.
+func principal(i int) string { return "app-" + string(rune('a'+i)) }
 
 // TestExplainDecision checks the structured explanation: a refused query's
 // explanation names the offending live partitions and carries the session's

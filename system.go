@@ -11,7 +11,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/label"
 	"repro/internal/policy"
-	"repro/internal/wal"
 )
 
 // ErrNoPolicy is returned (wrapped, with the principal name) by Submit,
@@ -89,15 +88,6 @@ func (sys *System) SetCacheCapacity(capacity int) {
 	sys.labeler.Store(label.NewCachedLabeler(sys.labeler.Load().Unwrap(), capacity))
 }
 
-// Database returns the system's raw database handle.
-//
-// Deprecated: use Insert for single rows, LoadBatch for bulk data, and
-// Table for read access. Beyond skipping the System's bulk-loading
-// surface, the raw handle bypasses the durability layer: rows inserted
-// directly through it are never write-ahead logged, so on a System opened
-// with OpenDurable they silently vanish at the next recovery.
-func (sys *System) Database() *Database { return sys.db }
-
 // Insert adds a tuple to the named relation and publishes a database
 // snapshot containing it; it is safe concurrently with submissions, which
 // keep evaluating against the previous snapshot until publication. On a
@@ -117,24 +107,17 @@ func (sys *System) Insert(rel string, values ...string) error {
 // failing). fn must not call back into the System's write methods.
 //
 // On a durable System the batch's inserted rows are appended to the
-// write-ahead log as one record — and synced — before the snapshot
-// publishes, so a batch whose LoadBatch call returned survives a crash in
-// full, and a batch interrupted by a crash is recovered either whole or
-// not at all (the log record is framed and checksummed as a unit).
+// write-ahead log's meta shard as one record — and made durable — before
+// LoadBatch returns, so a batch whose LoadBatch call returned survives a
+// crash in full, and a batch interrupted by a crash is recovered either
+// whole or not at all (the log record is framed and checksummed as a
+// unit). Bulk loads never contend with submissions, which log to the data
+// shards.
 func (sys *System) LoadBatch(fn func(ld *Loader) error) error {
-	d := sys.dur
-	if d == nil {
-		return sys.db.Load(fn)
+	if d := sys.dur; d != nil {
+		return d.loadBatch(fn)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return sys.db.LoadRecorded(fn, func(rows []engine.Row) error {
-		op := wal.RowsOp{Rows: make([]wal.Row, len(rows))}
-		for i, r := range rows {
-			op.Rows[i] = wal.Row{Rel: r.Rel, Values: r.Values}
-		}
-		return d.appendLocked(wal.Op{Rows: &op})
-	})
+	return sys.db.Load(fn)
 }
 
 // Table returns a read-only snapshot view of the named relation, or nil for
@@ -158,11 +141,7 @@ func (sys *System) SetPolicy(principal string, partitions map[string][]string) e
 		return err
 	}
 	if d := sys.dur; d != nil {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		if err := d.appendLocked(wal.Op{Policy: &wal.PolicyOp{Principal: principal, Partitions: partitions}}); err != nil {
-			return err
-		}
+		return d.setPolicy(principal, partitions, p)
 	}
 	sys.store.SetPolicy(principal, p)
 	return nil
@@ -173,14 +152,7 @@ func (sys *System) SetPolicy(principal string, partitions map[string][]string) e
 // source is the write-ahead log; an in-memory System always returns nil.
 func (sys *System) RemovePolicy(principal string) error {
 	if d := sys.dur; d != nil {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		if err := d.appendLocked(wal.Op{Remove: &wal.RemoveOp{Principal: principal}}); err != nil {
-			return err
-		}
-		sys.store.Remove(principal)
-		delete(d.tokens, principal)
-		return nil
+		return d.removePolicy(principal)
 	}
 	sys.store.Remove(principal)
 	return nil
@@ -246,19 +218,17 @@ func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error)
 }
 
 // decide runs a labeled submission through the principal's reference
-// monitor. On a durable System the submission is logged first — under the
-// log lock, so log order equals decision order and replay reproduces the
-// session exactly (decisions are deterministic given that order; refusals
-// are logged too, since they advance the session's refusal count).
+// monitor. On a durable System the submission is logged to the
+// principal's write-ahead-log shard and the decision applied under that
+// shard's lock — so each shard's log order equals its apply order, and
+// replay reproduces every session exactly (decisions are deterministic
+// given per-principal order; refusals are logged too, since they advance
+// the session's refusal count) — then the caller waits, outside the lock,
+// for the record's group-commit window to reach disk before the decision
+// is released.
 func (sys *System) decide(principal string, q *Query, lbl Label) (Decision, error) {
-	d := sys.dur
-	if d == nil {
-		return sys.store.Submit(principal, lbl)
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.appendLocked(wal.Op{Submit: &wal.SubmitOp{Principal: principal, Query: q.String()}}); err != nil {
-		return Decision{Allowed: false}, err
+	if d := sys.dur; d != nil {
+		return d.decide(principal, q, lbl)
 	}
 	return sys.store.Submit(principal, lbl)
 }
