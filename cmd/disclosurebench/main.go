@@ -14,6 +14,7 @@
 //	disclosurebench -exp wal [-queries N] [-users 100,300] [-goroutines 1,4] [-tsv|-json]
 //	disclosurebench -exp adversarial [-queries N] [-principals 256] [-zipf-s 1.2] [-goroutines 1,4,16] [-json]
 //	disclosurebench -exp shard [-queries N] [-shards 1,8] [-goroutines 1,8] [-tsv|-json]
+//	disclosurebench -exp repl [-followers 0,1,2,4] [-clients 32] [-requests N] [-json]
 //
 // An unknown -exp exits non-zero and names every experiment above. The
 // defaults use the paper's parameters (one million queries/labels per
@@ -37,8 +38,11 @@
 // and plan caches. The shard experiment sweeps the sharded durable submit
 // pipeline over data-shard count × concurrency, with and without
 // group-commit fsync coalescing, against the 1-shard per-operation-fsync
-// baseline. -json emits a machine-readable archive (redirect to
-// BENCH_<exp>.json).
+// baseline. The repl experiment builds a durable primary plus in-process
+// followers and measures read (explain) throughput scaling with node count
+// against the single-node baseline, and the decision-RPC overhead of
+// submitting through a follower versus the primary directly. -json emits a
+// machine-readable archive (redirect to BENCH_<exp>.json).
 package main
 
 import (
@@ -55,7 +59,7 @@ import (
 // experiments is the canonical list of -exp modes; the flag help and the
 // unknown-experiment error both print it, so neither can drift from the
 // switch below without failing TestMainUnknownExperiment.
-const experiments = "figure5, figure6, footnote3, cached, engine, serve, wal, adversarial or shard"
+const experiments = "figure5, figure6, footnote3, cached, engine, serve, wal, adversarial, shard or repl"
 
 func main() {
 	exp := flag.String("exp", "figure5", "experiment to run: "+experiments)
@@ -73,7 +77,8 @@ func main() {
 	cacheCap := flag.Int("cache-capacity", 0, "cached: label-cache entry bound (0 = 2×pool, the warm regime; set below pool to study eviction)")
 	zipfS := flag.Float64("zipf-s", 1.2, "adversarial: Zipf exponent of the principal draw (>1, larger = more skew)")
 	shards := flag.String("shards", "1,8", "shard: comma-separated data-shard counts")
-	clients := flag.String("clients", "64", "serve: comma-separated concurrent-client counts")
+	followers := flag.String("followers", "0,1,2,4", "repl: comma-separated follower counts (0 = primary-only baseline)")
+	clients := flag.String("clients", "64", "serve: comma-separated concurrent-client counts; repl: one concurrent-client count (first value)")
 	requests := flag.Int("requests", 200, "serve: requests per client")
 	batch := flag.Int("batch", 1, "serve: queries per submit request")
 	tsv := flag.Bool("tsv", false, "emit tab-separated values instead of a table")
@@ -316,6 +321,43 @@ func main() {
 						s, floats(bench.Speedup(*base, *gc)))
 				}
 			}
+		}
+	case "repl":
+		cfg := bench.DefaultReplConfig()
+		cfg.Followers = ints(*followers)
+		cfg.Seed = *seed
+		// The shared flags keep their other experiments' defaults, so the
+		// repl defaults win unless a flag was set explicitly (the graph has
+		// one size and the cells one client count: first values are taken).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "requests":
+				cfg.Requests = *requests
+				cfg.SubmitRequests = *requests
+			case "clients":
+				if cs := ints(*clients); len(cs) > 0 {
+					cfg.Clients = cs[0]
+				}
+			case "users":
+				if us := ints(*users); len(us) > 0 {
+					cfg.Users = us[0]
+				}
+			case "pool":
+				cfg.Pool = *pool
+			}
+		})
+		report, err := bench.RunRepl(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			out, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.FormatRepl(report))
 		}
 	default:
 		fatal(fmt.Errorf("unknown experiment %q (want %s)", *exp, experiments))

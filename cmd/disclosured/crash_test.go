@@ -37,18 +37,25 @@ type daemon struct {
 	base string
 }
 
-// startDaemon launches the built binary on an ephemeral port and waits for
-// its "serving on" log line to learn the address. Extra flags (e.g.
-// -shards) are appended to the base invocation.
+// startDaemon launches the built binary as a durable primary on an
+// ephemeral port and waits for its "serving on" log line to learn the
+// address. Extra flags (e.g. -shards) are appended to the base invocation.
 func startDaemon(t *testing.T, bin, cfgPath, dataDir string, extra ...string) *daemon {
 	t.Helper()
-	args := append([]string{
+	return startArgs(t, bin, append([]string{
 		"-admin-token", "root",
 		"-config", cfgPath,
 		"-data-dir", dataDir,
 		"-addr", "127.0.0.1:0",
 		"-checkpoint-interval", "0",
-	}, extra...)
+	}, extra...)...)
+}
+
+// startArgs launches the built binary with the given flags verbatim and
+// waits for the "serving on" log line. Both serving modes log it, so this
+// starts primaries and followers alike.
+func startArgs(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {

@@ -33,10 +33,24 @@
 // initial data and policies are NOT re-applied (the recovered state
 // wins). See docs/OPERATIONS.md for the operational procedures.
 //
+// With -follow the process runs as a read follower of another durable
+// disclosured: it bootstraps an in-memory replica from the primary's
+// checkpoints, tails the primary's write-ahead log over HTTP (poll cadence
+// -repl-poll), and serves /v1/submit, /v1/explain and /v1/stats against
+// the replica. Answer rows, explanations and stats are bounded-stale
+// (every data response carries an X-Disclosure-Staleness header;
+// -max-lag gates reads with 503 past the bound), while every submission's
+// admit/refuse decision is delegated to the primary over the decision RPC,
+// so cumulative disclosure stays primary-consistent no matter how far the
+// follower lags. -admin-token must be the primary's admin token (it
+// authenticates the replication stream); a follower holds no disk state
+// and rebuilds its replica from fresh checkpoints on restart.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // at once, in-flight requests get -shutdown-timeout to finish, and a final
 // checkpoint is taken. See ARCHITECTURE.md for a curl walkthrough of the
-// API and the recovery sequence.
+// API and the recovery sequence, and its "Replication" section for the
+// primary/follower design.
 package main
 
 import (
@@ -53,6 +67,7 @@ import (
 
 	disclosure "repro"
 	"repro/internal/fb"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -73,10 +88,23 @@ func main() {
 	shards := flag.Int("shards", 0, "data shards the write-ahead log and monitor state are partitioned across (0: one shard on a fresh -data-dir, the existing count on recovery)")
 	walNoGroupCommit := flag.Bool("wal-no-group-commit", false, "fsync every logged operation individually instead of coalescing concurrent commits into shared fsync windows")
 	checkpointOps := flag.Int("checkpoint-ops", 50000, "logged operations after which a shard checkpoints just itself, between -checkpoint-interval ticks (0 disables per-shard rotation)")
+	follow := flag.String("follow", "", "run as a read follower of the primary at this base URL (e.g. http://primary:8080); -admin-token must be the primary's admin token")
+	maxLag := flag.Duration("max-lag", 0, "follower mode: refuse submit/explain with 503 while the replica's staleness exceeds this bound (0 serves at any lag)")
+	replPoll := flag.Duration("repl-poll", 250*time.Millisecond, "follower mode: primary poll cadence")
 	flag.Parse()
 
 	if *adminToken == "" {
 		fatal(fmt.Errorf("-admin-token is required"))
+	}
+	if *follow != "" {
+		if *dataDir != "" {
+			fatal(fmt.Errorf("-follow and -data-dir are mutually exclusive: a follower holds no disk state"))
+		}
+		if *preset != "" || *configPath != "" {
+			fatal(fmt.Errorf("-follow takes its deployment from the primary; drop -preset/-config"))
+		}
+		runFollower(*addr, *follow, *adminToken, *maxLag, *replPoll, *maxBytes, *maxBatch, *shutdownTimeout)
+		return
 	}
 	if (*preset == "") == (*configPath == "") {
 		fatal(fmt.Errorf("set exactly one of -preset or -config"))
@@ -132,6 +160,13 @@ func main() {
 	if dur != nil {
 		opts.Journal = dur
 		opts.Tokens = dur.Tokens()
+		// A durable deployment is a valid replication primary: expose the
+		// WAL-shipping surface followers bootstrap and tail from.
+		p, err := repl.NewPrimary(dur, *adminToken)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Repl = p.Handler()
 	}
 	srv, err := server.New(sys, opts)
 	if err != nil {
@@ -192,6 +227,52 @@ func main() {
 			if err := dur.Close(); err != nil {
 				log.Printf("disclosured: closing log: %v", err)
 			}
+		}
+		log.Printf("disclosured: stopped")
+	}
+}
+
+// runFollower is the -follow mode: bootstrap a replica from the primary,
+// serve the read endpoints against it, and keep tailing the primary's log
+// until SIGINT/SIGTERM.
+func runFollower(addr, primary, token string, maxLag, poll time.Duration, maxBytes int64, maxBatch int, shutdownTimeout time.Duration) {
+	f, err := repl.NewFollower(repl.FollowerOptions{
+		Primary:  primary,
+		Token:    token,
+		Interval: poll,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.NewFollower(f, server.FollowerOptions{
+		MaxRequestBytes: maxBytes,
+		MaxBatch:        maxBatch,
+		MaxLag:          maxLag,
+	})
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("disclosured: serving on %s (follower of %s, %d principals replicated)", l.Addr(), primary, f.System().Principals())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go f.Run(ctx)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case err := <-done:
+		fatal(err)
+	case <-ctx.Done():
+		log.Printf("disclosured: shutting down (grace %s)", shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		if err := <-done; err != nil && err != http.ErrServerClosed {
+			fatal(err)
 		}
 		log.Printf("disclosured: stopped")
 	}

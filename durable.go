@@ -7,7 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/cq"
 	"repro/internal/engine"
 	"repro/internal/policy"
 	"repro/internal/ring"
@@ -111,7 +110,8 @@ type walShard struct {
 // operations — while the System's read path (admitted evaluations,
 // explains, stats) is untouched and remains lock-free.
 type Durable struct {
-	sys      *System
+	replayState // the System plus the apply/restore machinery replication shares
+
 	dir      string
 	noSync   bool
 	coalesce bool
@@ -122,9 +122,6 @@ type Durable struct {
 	meta   *walShard
 
 	closed atomic.Bool
-
-	tokMu  sync.Mutex
-	tokens map[string]string
 
 	recovered bool
 	replayed  int
@@ -162,11 +159,11 @@ func OpenDurable(dir string, opts DurabilityOptions, s *Schema, views ...*Query)
 		return nil, fmt.Errorf("disclosure: %s uses the pre-sharding single-log layout; re-initialize it from a fresh directory (see docs/OPERATIONS.md, \"Changing the shard count\")", dir)
 	}
 	d := &Durable{
-		dir:      dir,
-		noSync:   opts.NoSync,
-		coalesce: !opts.NoGroupCommit,
-		ckptOps:  opts.CheckpointOps,
-		tokens:   make(map[string]string),
+		replayState: replayState{tokens: make(map[string]string)},
+		dir:         dir,
+		noSync:      opts.NoSync,
+		coalesce:    !opts.NoGroupCommit,
+		ckptOps:     opts.CheckpointOps,
 	}
 	if len(scan) == 0 {
 		if s == nil {
@@ -402,12 +399,26 @@ func (d *Durable) Generation() uint64 {
 
 // Tokens returns a copy of the current principal → submission-token map:
 // after recovery, the credentials to re-seed the serving layer with.
-func (d *Durable) Tokens() map[string]string {
-	d.tokMu.Lock()
-	defer d.tokMu.Unlock()
-	out := make(map[string]string, len(d.tokens))
-	for k, v := range d.tokens {
-		out[k] = v
+func (d *Durable) Tokens() map[string]string { return d.copyTokens() }
+
+// ShardTails reports every shard's current replication tail: the open
+// generation and the committed byte offset within its segment — the
+// position up to which a follower may safely stream. Bytes past the
+// committed offset belong to commit windows still in flight; a crash could
+// truncate them, so the primary never serves them (wal.Cursor documents
+// the reader side of this contract).
+func (d *Durable) ShardTails() map[string]wal.Cursor {
+	out := make(map[string]wal.Cursor, len(d.shards)+1)
+	for _, sh := range d.allShards() {
+		sh.mu.Lock()
+		gen := sh.gen
+		lg := sh.log
+		sh.mu.Unlock()
+		var off int64
+		if lg != nil {
+			off = lg.CommittedOffset()
+		}
+		out[sh.name] = wal.Cursor{Gen: gen, Off: off}
 	}
 	return out
 }
@@ -771,107 +782,6 @@ func (d *Durable) captureShardLocked(sh *walShard, gen uint64) (*wal.Checkpoint,
 	}
 	d.tokMu.Unlock()
 	return ck, nil
-}
-
-// restoreRows loads the meta checkpoint's rows into the freshly built
-// System. It runs before any replay and before the Durable is attached,
-// so nothing here is re-logged.
-func (d *Durable) restoreRows(ck *wal.Checkpoint) error {
-	if len(ck.Rows) == 0 {
-		return nil
-	}
-	return d.sys.db.Load(func(ld *engine.Loader) error {
-		for _, r := range ck.Rows {
-			if err := ld.Insert(r.Rel, r.Values...); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-}
-
-// restorePrincipals installs one data-shard checkpoint's principals —
-// policy, live partitions, cumulative disclosure, session counts — and
-// tokens. Shards restore disjoint principal sets, so the parallel
-// recovery goroutines never collide on a principal.
-func (d *Durable) restorePrincipals(ck *wal.Checkpoint) error {
-	sys := d.sys
-	for _, ps := range ck.Principals {
-		p, err := policy.New(sys.cat, ps.Partitions)
-		if err != nil {
-			return fmt.Errorf("principal %q: %w", ps.Name, err)
-		}
-		cum, err := sys.cat.LabelFromViewSets(ps.Cumulative)
-		if err != nil {
-			return fmt.Errorf("principal %q: %w", ps.Name, err)
-		}
-		m, err := policy.RestoreMonitor(p, ps.Live, cum, ps.Accepted, ps.Refused)
-		if err != nil {
-			return fmt.Errorf("principal %q: %w", ps.Name, err)
-		}
-		sys.store.Install(ps.Name, m)
-	}
-	if len(ck.Tokens) > 0 {
-		d.tokMu.Lock()
-		for k, v := range ck.Tokens {
-			d.tokens[k] = v
-		}
-		d.tokMu.Unlock()
-	}
-	return nil
-}
-
-// applyOp replays one logged operation against the recovering System,
-// without re-logging it. Each shard's replay order equals its original
-// apply order, and all of one principal's operations live in one shard's
-// log, so per-principal apply order — the only order the monitor
-// semantics depend on — is reproduced exactly even though shards replay
-// in parallel; a submission whose principal was since removed skips
-// exactly as it errored live.
-func (d *Durable) applyOp(op *wal.Op) error {
-	sys := d.sys
-	switch {
-	case op.Rows != nil:
-		return sys.db.Load(func(ld *engine.Loader) error {
-			for _, r := range op.Rows.Rows {
-				if err := ld.Insert(r.Rel, r.Values...); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-	case op.Policy != nil:
-		p, err := policy.New(sys.cat, op.Policy.Partitions)
-		if err != nil {
-			return fmt.Errorf("policy for %q: %w", op.Policy.Principal, err)
-		}
-		sys.store.SetPolicy(op.Policy.Principal, p)
-	case op.Remove != nil:
-		sys.store.Remove(op.Remove.Principal)
-		d.tokMu.Lock()
-		delete(d.tokens, op.Remove.Principal)
-		d.tokMu.Unlock()
-	case op.Token != nil:
-		d.tokMu.Lock()
-		d.tokens[op.Token.Principal] = op.Token.Token
-		d.tokMu.Unlock()
-	case op.Submit != nil:
-		q, err := cq.ParseQuery(op.Submit.Query)
-		if err != nil {
-			return fmt.Errorf("submission for %q: %w", op.Submit.Principal, err)
-		}
-		if !sys.store.Has(op.Submit.Principal) {
-			return nil
-		}
-		lbl, err := sys.labeler.Load().Label(q)
-		if err != nil {
-			return fmt.Errorf("relabeling %s for %q: %w", q.Name, op.Submit.Principal, err)
-		}
-		_, _ = sys.store.Submit(op.Submit.Principal, lbl)
-	default:
-		return fmt.Errorf("empty operation record")
-	}
-	return nil
 }
 
 // systemFromConfig builds a System from a checkpointed configuration,

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -567,5 +568,176 @@ func TestDurableShardCheckpointCadence(t *testing.T) {
 	}
 	if len(entries) > 12 {
 		t.Errorf("%d files in data dir, want ≤ 12 (2 generations × 2 files × 3 shards)", len(entries))
+	}
+}
+
+// prefixState is one point of the prefix chain in
+// TestDurablePrefixReplayDeterminism: the decision-relevant session state
+// after the first k data-shard operations.
+type prefixState struct {
+	hasPolicy    bool
+	token        string
+	live         string
+	acc, ref     int
+	admissibleQM bool
+}
+
+// capturePrefixState snapshots the fixture principal's decision state.
+func capturePrefixState(t *testing.T, d *disclosure.Durable, qm *disclosure.Query) prefixState {
+	t.Helper()
+	sys := d.System()
+	st := prefixState{token: d.Tokens()["app"]}
+	live, acc, ref, err := sys.Session("app")
+	if err != nil {
+		if !errors.Is(err, disclosure.ErrNoPolicy) {
+			t.Fatalf("Session: %v", err)
+		}
+		return st
+	}
+	st.hasPolicy = true
+	st.live, st.acc, st.ref = fmt.Sprint(live), acc, ref
+	e, err := sys.ExplainDecision("app", qm)
+	if err != nil {
+		t.Fatalf("ExplainDecision: %v", err)
+	}
+	st.admissibleQM = e.Admissible
+	return st
+}
+
+// frameBoundaries returns the byte offset after each whole frame of buf,
+// computed through the exported decoder alone: Frames aborts on a callback
+// error and reports the bytes consumed up to the aborting frame.
+func frameBoundaries(t *testing.T, buf []byte) []int {
+	t.Helper()
+	stop := errors.New("stop")
+	total := 0
+	full, err := wal.Frames(buf, func([]byte) error { total++; return nil })
+	if err != nil {
+		t.Fatalf("Frames over the whole segment: %v", err)
+	}
+	if full != len(buf) {
+		t.Fatalf("segment has %d trailing bytes past the last whole frame", len(buf)-full)
+	}
+	bounds := make([]int, 0, total)
+	for k := 1; k < total; k++ {
+		calls := 0
+		b, err := wal.Frames(buf, func([]byte) error {
+			calls++
+			if calls > k {
+				return stop
+			}
+			return nil
+		})
+		if !errors.Is(err, stop) {
+			t.Fatalf("Frames aborted with %v, want the sentinel", err)
+		}
+		bounds = append(bounds, b)
+	}
+	return append(bounds, full)
+}
+
+// copyDir copies a flat durable data directory into a fresh temp dir.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("unexpected subdirectory %s in data dir", e.Name())
+		}
+		buf, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestDurablePrefixReplayDeterminism pins the determinism that both crash
+// recovery and replication rest on: recovering any frame-aligned prefix of
+// a shard's log yields exactly the session state the live system had after
+// those operations — same live partitions, same counts, same token, and
+// the same next decision. It runs the fixture workload, truncates a copy
+// of the data shard's segment at every frame boundary, and replays each
+// prefix. A replica applying the same frames runs this exact code path
+// (see replayState), so this test is also the replication convergence
+// proof in miniature.
+func TestDurablePrefixReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	d := openFixture(t, dir)
+	sys := d.System()
+	if err := sys.LoadBatch(func(ld *disclosure.Loader) error {
+		ld.MustInsert("M", "10", "Cathy")
+		ld.MustInsert("C", "Cathy", "c@example.com", "Boss")
+		return nil
+	}); err != nil {
+		t.Fatalf("LoadBatch: %v", err)
+	}
+
+	qc := disclosure.MustParse("QC(p, e) :- C(p, e, r)")
+	qd := disclosure.MustParse("QD(e) :- C(p, e, r)")
+	qm := disclosure.MustParse("QM(t) :- M(t, p)")
+
+	// Every step below appends exactly one frame to data shard 0 (rows went
+	// to the meta shard already). Capture the expected state after each.
+	states := []prefixState{capturePrefixState(t, d, qm)}
+	step := func(name string, fn func() error) {
+		t.Helper()
+		if err := fn(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		states = append(states, capturePrefixState(t, d, qm))
+	}
+	step("SetPolicy", func() error {
+		return sys.SetPolicy("app", map[string][]string{"W1": {"V1"}, "W2": {"V3"}})
+	})
+	step("LogToken", func() error { return d.LogToken("app", "tok") })
+	submit := func(q *disclosure.Query) func() error {
+		return func() error { _, _, err := sys.Submit("app", q); return err }
+	}
+	step("Submit QC", submit(qc))
+	step("Submit QM", submit(qm))
+	step("Submit QD", submit(qd))
+	step("Submit QM again", submit(qm))
+	// Crash: the handle is abandoned, never closed or checkpointed.
+
+	seg, err := os.ReadFile(wal.ShardSegmentPath(dir, wal.DataShard(0), 0))
+	if err != nil {
+		t.Fatalf("reading data shard segment: %v", err)
+	}
+	bounds := append([]int{0}, frameBoundaries(t, seg)...)
+	if len(bounds) != len(states) {
+		t.Fatalf("segment has %d frame boundaries for %d recorded states — the workload-to-frame mapping drifted", len(bounds), len(states))
+	}
+
+	for k, b := range bounds {
+		prefix := copyDir(t, dir)
+		if err := os.Truncate(wal.ShardSegmentPath(prefix, wal.DataShard(0), 0), int64(b)); err != nil {
+			t.Fatalf("truncating to boundary %d: %v", k, err)
+		}
+		rec := openFixture(t, prefix)
+		got := capturePrefixState(t, rec, qm)
+		want := states[k]
+		if got != want {
+			rec.Close()
+			t.Fatalf("prefix of %d operations recovered as %+v, want %+v", k, got, want)
+		}
+		// The next decision is part of the determinism contract: the
+		// recovered monitor must decide QM exactly as the live one would
+		// have at this point.
+		if want.hasPolicy {
+			dec, _, err := rec.System().Submit("app", qm)
+			if err != nil || dec.Allowed != want.admissibleQM {
+				rec.Close()
+				t.Fatalf("prefix of %d operations decides QM allowed=%v err=%v, want %v", k, dec.Allowed, err, want.admissibleQM)
+			}
+		}
+		rec.Close()
 	}
 }

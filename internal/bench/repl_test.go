@@ -1,0 +1,56 @@
+package bench
+
+import "testing"
+
+// TestRunReplSmoke drives the replication harness at unit scale: a durable
+// primary with its replication surface, two in-process followers serving
+// reads, and the decision-overhead submit pair.
+func TestRunReplSmoke(t *testing.T) {
+	cfg := ReplConfig{
+		Requests:       5,
+		SubmitRequests: 5,
+		Clients:        3,
+		Followers:      []int{0, 2},
+		Users:          30,
+		MaxAtoms:       9,
+		Pool:           20,
+		Seed:           7,
+	}
+	report, err := RunRepl(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Reads) != 2 {
+		t.Fatalf("%d read points, want 2", len(report.Reads))
+	}
+	for _, p := range report.Reads {
+		if p.Requests != cfg.Clients*cfg.Requests {
+			t.Errorf("read f=%d: requests %d, want %d", p.Followers, p.Requests, cfg.Clients*cfg.Requests)
+		}
+		if p.ThroughputQPS <= 0 || p.LatencyP50Ms <= 0 {
+			t.Errorf("read f=%d: degenerate measurements: %+v", p.Followers, p)
+		}
+	}
+	wantSubs := cfg.Clients * cfg.SubmitRequests
+	for _, p := range []ReplPoint{report.SubmitPrimary, report.SubmitFollower} {
+		if p.Requests != wantSubs || p.ThroughputQPS <= 0 {
+			t.Errorf("%s: %+v, want %d requests with positive throughput", p.Mode, p, wantSubs)
+		}
+	}
+}
+
+// TestRunReplValidation exercises the config checks.
+func TestRunReplValidation(t *testing.T) {
+	bad := []ReplConfig{
+		{Requests: 0, SubmitRequests: 1, Clients: 1, Followers: []int{0}, Users: 10, MaxAtoms: 9, Pool: 5},
+		{Requests: 1, SubmitRequests: 1, Clients: 0, Followers: []int{0}, Users: 10, MaxAtoms: 9, Pool: 5},
+		{Requests: 1, SubmitRequests: 1, Clients: 1, Followers: nil, Users: 10, MaxAtoms: 9, Pool: 5},
+		{Requests: 1, SubmitRequests: 1, Clients: 1, Followers: []int{-1}, Users: 10, MaxAtoms: 9, Pool: 5},
+		{Requests: 1, SubmitRequests: 1, Clients: 1, Followers: []int{0}, Users: 10, MaxAtoms: 7, Pool: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := RunRepl(cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}

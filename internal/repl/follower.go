@@ -1,0 +1,447 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	disclosure "repro"
+	"repro/internal/cq"
+	"repro/internal/wal"
+)
+
+// FollowerOptions configures a Follower.
+type FollowerOptions struct {
+	// Primary is the primary's base URL, e.g. "http://127.0.0.1:8080".
+	Primary string
+	// Token is the replication bearer token (the primary's admin token).
+	Token string
+	// HTTP is the client used for every primary request
+	// (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Interval is the poll cadence of Run (default 250ms). Tests drive
+	// SyncOnce directly with a large Interval for determinism.
+	Interval time.Duration
+	// ChunkBytes bounds one segment fetch (default DefaultMaxChunk).
+	ChunkBytes int
+	// Logf, when non-nil, receives sync-loop diagnostics (resyncs, transient
+	// fetch failures). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Follower replicates one primary: it bootstraps a disclosure.Replica from
+// the primary's checkpoints, then tails every shard's log — sealed
+// generations and the committed live prefix — applying each operation into
+// the replica. It is the backend a follower disclosured serves read
+// traffic from (it implements the serving layer's ReplicaBackend), and it
+// holds no disk state at all: on corruption, pruned generations, or a
+// process restart it simply rebuilds the replica from fresh checkpoints.
+//
+// Concurrency: SyncOnce/Run form the single writer (one sync loop per
+// Follower); every other method is safe concurrently with them.
+type Follower struct {
+	opts FollowerOptions
+
+	replica atomic.Pointer[disclosure.Replica]
+
+	mu      sync.Mutex
+	cursors map[string]wal.Cursor // next unconsumed position per shard
+	pending map[string][]byte     // fetched bytes past the cursor, not yet whole frames
+	synced  bool                  // at least one full sync completed
+	lastSyn time.Time             // when the replica last fully matched observed tails
+
+	applied atomic.Uint64 // operations applied across replica rebuilds
+	resyncs atomic.Uint64 // checkpoint re-bootstraps after the first
+}
+
+// NewFollower bootstraps a follower from the primary's current checkpoints
+// and returns it ready to serve (staleness measured from the bootstrap).
+// It fails if the primary is unreachable or refuses the token.
+func NewFollower(opts FollowerOptions) (*Follower, error) {
+	if opts.Primary == "" {
+		return nil, fmt.Errorf("repl: primary URL must be non-empty")
+	}
+	if opts.Token == "" {
+		return nil, fmt.Errorf("repl: replication token must be non-empty")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 250 * time.Millisecond
+	}
+	if opts.ChunkBytes <= 0 {
+		opts.ChunkBytes = DefaultMaxChunk
+	}
+	f := &Follower{opts: opts}
+	if err := f.bootstrap(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// logf emits a diagnostic if a logger is configured.
+func (f *Follower) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+// bootstrap builds a fresh replica from the primary's current checkpoints
+// and resets every cursor to {checkpoint generation, 0}. It is the initial
+// sync, the post-restart sync, and the resync path after divergence.
+func (f *Follower) bootstrap() error {
+	tails, err := f.fetchTails()
+	if err != nil {
+		return err
+	}
+	metaCk, metaGen, err := f.fetchCheckpoint(wal.MetaShard)
+	if err != nil {
+		return err
+	}
+	replica, err := disclosure.NewReplica(metaCk)
+	if err != nil {
+		return err
+	}
+	cursors := map[string]wal.Cursor{wal.MetaShard: {Gen: metaGen}}
+	for shard := range tails {
+		if shard == wal.MetaShard {
+			continue
+		}
+		ck, gen, err := f.fetchCheckpoint(shard)
+		if err != nil {
+			return err
+		}
+		if err := replica.RestoreShard(ck); err != nil {
+			return err
+		}
+		cursors[shard] = wal.Cursor{Gen: gen}
+	}
+	f.mu.Lock()
+	f.cursors = cursors
+	f.pending = make(map[string][]byte)
+	f.mu.Unlock()
+	f.replica.Store(replica)
+	// The fresh replica matches the checkpoints, not yet the tails: the
+	// first SyncOnce establishes syncedness. Bootstrap does not reset it —
+	// a resync during a long-lived follower keeps reporting the last time
+	// the replica matched the primary.
+	return nil
+}
+
+// resync discards the replica and rebuilds it from fresh checkpoints — the
+// recovery from pruned generations (the primary rotated past us) and from
+// stream divergence (the primary crashed and rewrote a tail we had read).
+func (f *Follower) resync(cause error) error {
+	f.resyncs.Add(1)
+	f.logf("repl: resyncing from fresh checkpoints: %v", cause)
+	if err := f.bootstrap(); err != nil {
+		return fmt.Errorf("repl: resync after %v: %w", cause, err)
+	}
+	return nil
+}
+
+// errDiverged marks segment-fetch outcomes that require a resync.
+var errDiverged = errors.New("repl: follower diverged from primary")
+
+// SyncOnce advances the replica to the primary's tails as observed at the
+// start of the call: every shard is streamed up to its observed cursor,
+// crossing sealed generations as needed. When every shard reaches its
+// target the follower is synced and its staleness clock resets to the
+// moment the tails were observed. Divergence (pruned generation, corrupt
+// stream, truncated tail) triggers one resync and the call reports success
+// with the rebuilt — fully fresh — replica.
+func (f *Follower) SyncOnce() error {
+	observed := time.Now()
+	tails, err := f.fetchTails()
+	if err != nil {
+		return err
+	}
+	for shard, target := range tails {
+		if err := f.syncShard(shard, target); err != nil {
+			if errors.Is(err, errDiverged) {
+				// The rebuilt replica reflects checkpoints the primary wrote
+				// after the observed tails, so the sync goal is met.
+				return f.resync(err)
+			}
+			return err
+		}
+	}
+	f.mu.Lock()
+	f.synced = true
+	f.lastSyn = observed
+	f.mu.Unlock()
+	return nil
+}
+
+// syncShard streams one shard from its cursor to the target observed by
+// SyncOnce, applying every whole frame.
+func (f *Follower) syncShard(shard string, target wal.Cursor) error {
+	for {
+		f.mu.Lock()
+		cur, ok := f.cursors[shard]
+		pend := f.pending[shard]
+		f.mu.Unlock()
+		if !ok {
+			// A shard the replica was not bootstrapped with: the primary's
+			// layout changed under us.
+			return fmt.Errorf("%w: unknown shard %s appeared", errDiverged, shard)
+		}
+		if cur.Gen > target.Gen || (cur.Gen == target.Gen && cur.Off >= target.Off) {
+			return nil
+		}
+		fetchOff := cur.Off + int64(len(pend))
+		chunk, sealed, limit, err := f.fetchSegment(shard, cur.Gen, fetchOff)
+		if err != nil {
+			return err
+		}
+		if len(chunk) > 0 {
+			pend = append(pend, chunk...)
+			consumed, err := f.applyFrames(pend)
+			if err != nil {
+				return fmt.Errorf("%w: shard %s generation %d: %v", errDiverged, shard, cur.Gen, err)
+			}
+			f.mu.Lock()
+			cur.Off += int64(consumed)
+			f.cursors[shard] = cur
+			f.pending[shard] = pend[consumed:]
+			f.mu.Unlock()
+			continue
+		}
+		// No bytes: the fetch offset is at the segment's committed limit.
+		if sealed {
+			// A sealed segment ends on a frame boundary (rotation flushes
+			// before the next generation exists), so trailing bytes that
+			// never completed a frame mean we read bytes the primary later
+			// rewrote.
+			if len(pend) > 0 {
+				return fmt.Errorf("%w: shard %s generation %d sealed with %d trailing bytes that never became a frame", errDiverged, shard, cur.Gen, len(pend))
+			}
+			f.mu.Lock()
+			f.cursors[shard] = wal.Cursor{Gen: cur.Gen + 1}
+			f.pending[shard] = nil
+			f.mu.Unlock()
+			continue
+		}
+		// Live segment drained to its committed offset short of the target:
+		// committed offsets are monotone within a primary's lifetime, so the
+		// limit went backwards — the primary restarted and truncated a tail
+		// we had already observed. Resync rather than spin.
+		if cur.Gen == target.Gen && cur.Off < target.Off {
+			return fmt.Errorf("%w: shard %s generation %d committed size went backwards (%d < %d)", errDiverged, shard, cur.Gen, limit, target.Off)
+		}
+		return nil
+	}
+}
+
+// applyFrames feeds buffered bytes through the frame decoder into the
+// replica and returns the bytes consumed.
+func (f *Follower) applyFrames(buf []byte) (int, error) {
+	replica := f.replica.Load()
+	return wal.Frames(buf, func(payload []byte) error {
+		op, err := wal.DecodeOp(payload)
+		if err != nil {
+			return err
+		}
+		if err := replica.Apply(op); err != nil {
+			return err
+		}
+		f.applied.Add(1)
+		return nil
+	})
+}
+
+// Run polls the primary until ctx is done, resyncing as needed; transient
+// errors (an unreachable primary) are logged and retried — the follower
+// keeps serving its bounded-stale replica, with staleness growing until
+// the primary returns.
+func (f *Follower) Run(ctx context.Context) {
+	t := time.NewTicker(f.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := f.SyncOnce(); err != nil {
+				f.logf("repl: sync: %v", err)
+			}
+		}
+	}
+}
+
+// System returns the current replica's System — the follower serving
+// layer's read surface. The pointer changes on resync; callers use it per
+// request, not cached.
+func (f *Follower) System() *disclosure.System { return f.replica.Load().System() }
+
+// TokenOwner resolves a replicated submission token to its principal.
+func (f *Follower) TokenOwner(token string) (string, bool) {
+	return f.replica.Load().TokenOwner(token)
+}
+
+// Decide delegates one submission's admit/refuse decision to the primary —
+// the decision RPC. The outcome is primary-consistent by construction:
+// whatever this follower's replica has or has not caught up with, the
+// decision ran against the primary's complete history (and was durably
+// logged there before returning). Any failure to reach or convince the
+// primary is an error, and the serving layer fails the submission closed.
+func (f *Follower) Decide(principal string, q *disclosure.Query) (disclosure.Decision, error) {
+	req := DecideRequest{
+		Principal:   principal,
+		Query:       q.String(),
+		Fingerprint: strconv.FormatUint(cq.FingerprintKey(cq.CanonicalKey(q)), 16),
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return disclosure.Decision{}, err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, f.opts.Primary+"/v1/repl/decide", bytes.NewReader(body))
+	if err != nil {
+		return disclosure.Decision{}, err
+	}
+	hreq.Header.Set("Authorization", "Bearer "+f.opts.Token)
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := f.httpc().Do(hreq)
+	if err != nil {
+		return disclosure.Decision{}, fmt.Errorf("repl: decision RPC: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return disclosure.Decision{}, fmt.Errorf("repl: decision RPC: %s", replErrorText(resp))
+	}
+	var dec DecideResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		return disclosure.Decision{}, fmt.Errorf("repl: decision RPC: %w", err)
+	}
+	return disclosure.Decision{Allowed: dec.Allowed, Live: dec.Live}, nil
+}
+
+// Staleness reports how long ago the replica last fully matched the
+// primary's observed tails, and whether it ever has. Before the first
+// completed sync the duration is meaningless and ok is false.
+func (f *Follower) Staleness() (age time.Duration, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.synced {
+		return 0, false
+	}
+	return time.Since(f.lastSyn), true
+}
+
+// Applied returns the number of log operations applied across the
+// follower's lifetime, including operations re-applied after resyncs.
+func (f *Follower) Applied() uint64 { return f.applied.Load() }
+
+// Resyncs returns how many times the follower rebuilt its replica from
+// fresh checkpoints after the initial bootstrap.
+func (f *Follower) Resyncs() uint64 { return f.resyncs.Load() }
+
+// Primary returns the primary's base URL.
+func (f *Follower) Primary() string { return f.opts.Primary }
+
+// httpc returns the configured HTTP client.
+func (f *Follower) httpc() *http.Client {
+	if f.opts.HTTP != nil {
+		return f.opts.HTTP
+	}
+	return http.DefaultClient
+}
+
+// get performs one authenticated GET and returns the response; non-2xx
+// statuses are mapped to errors (404 to os-style not-found via errPruned).
+func (f *Follower) get(path string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, f.opts.Primary+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+f.opts.Token)
+	return f.httpc().Do(req)
+}
+
+// replErrorText extracts the error body of a non-2xx replication response.
+func replErrorText(resp *http.Response) string {
+	var e errorResponse
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+		return fmt.Sprintf("%s (%s)", e.Error, resp.Status)
+	}
+	return resp.Status
+}
+
+// fetchTails fetches the primary's per-shard replication cursors.
+func (f *Follower) fetchTails() (map[string]wal.Cursor, error) {
+	resp, err := f.get("/v1/repl/tails")
+	if err != nil {
+		return nil, fmt.Errorf("repl: fetching tails: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("repl: fetching tails: %s", replErrorText(resp))
+	}
+	var t TailsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		return nil, fmt.Errorf("repl: fetching tails: %w", err)
+	}
+	return t.Shards, nil
+}
+
+// fetchCheckpoint fetches and decodes one shard's current checkpoint.
+func (f *Follower) fetchCheckpoint(shard string) (*wal.Checkpoint, uint64, error) {
+	resp, err := f.get("/v1/repl/checkpoint?shard=" + url.QueryEscape(shard))
+	if err != nil {
+		return nil, 0, fmt.Errorf("repl: fetching checkpoint %s: %w", shard, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("repl: fetching checkpoint %s: %s", shard, replErrorText(resp))
+	}
+	gen, err := strconv.ParseUint(resp.Header.Get(HeaderGeneration), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("repl: checkpoint %s: bad %s header: %w", shard, HeaderGeneration, err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("repl: fetching checkpoint %s: %w", shard, err)
+	}
+	ck, err := wal.DecodeCheckpoint(payload)
+	if err != nil {
+		return nil, 0, fmt.Errorf("repl: decoding checkpoint %s: %w", shard, err)
+	}
+	return ck, gen, nil
+}
+
+// fetchSegment fetches one chunk of committed segment bytes. A 404 (pruned
+// generation) and a 409 (offset past committed size) both report
+// errDiverged: the cursor no longer names bytes the primary holds.
+func (f *Follower) fetchSegment(shard string, gen uint64, off int64) (chunk []byte, sealed bool, limit int64, err error) {
+	path := fmt.Sprintf("/v1/repl/segment?shard=%s&gen=%d&off=%d&max=%d",
+		url.QueryEscape(shard), gen, off, f.opts.ChunkBytes)
+	resp, err := f.get(path)
+	if err != nil {
+		return nil, false, 0, fmt.Errorf("repl: fetching segment %s gen %d: %w", shard, gen, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound, http.StatusConflict:
+		return nil, false, 0, fmt.Errorf("%w: segment %s gen %d off %d: %s", errDiverged, shard, gen, off, replErrorText(resp))
+	default:
+		return nil, false, 0, fmt.Errorf("repl: fetching segment %s gen %d: %s", shard, gen, replErrorText(resp))
+	}
+	sealed = resp.Header.Get(HeaderSealed) == "true"
+	limit, err = strconv.ParseInt(resp.Header.Get(HeaderLimit), 10, 64)
+	if err != nil {
+		return nil, false, 0, fmt.Errorf("repl: segment %s: bad %s header: %w", shard, HeaderLimit, err)
+	}
+	chunk, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, 0, fmt.Errorf("repl: fetching segment %s gen %d: %w", shard, gen, err)
+	}
+	return chunk, sealed, limit, nil
+}

@@ -1,0 +1,214 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+
+	disclosure "repro"
+	"repro/internal/cq"
+	"repro/internal/wal"
+)
+
+// Primary serves one durable deployment's replication surface: its shard
+// tails, checkpoint payloads, committed segment bytes, and the delegated
+// decision RPC. Mount Handler under /v1/repl/ (the serving layer's
+// Options.Repl does this); every endpoint requires the replication bearer
+// token.
+//
+// The primary never re-frames anything: checkpoints and segments are
+// served as the bytes the durability layer wrote, so the CRC framing that
+// protects the log on disk protects it on the wire too, and a follower's
+// replay is byte-for-byte the replay a local recovery would run.
+type Primary struct {
+	dur   *disclosure.Durable
+	token string
+	// maxChunk bounds one segment response.
+	maxChunk int
+}
+
+// DefaultMaxChunk bounds the bytes served by one segment request.
+const DefaultMaxChunk = 1 << 20
+
+// NewPrimary wires the replication surface over an open durable
+// deployment. token authenticates followers; it must be non-empty.
+func NewPrimary(d *disclosure.Durable, token string) (*Primary, error) {
+	if token == "" {
+		return nil, fmt.Errorf("repl: replication token must be non-empty")
+	}
+	return &Primary{dur: d, token: token, maxChunk: DefaultMaxChunk}, nil
+}
+
+// Handler returns the replication endpoints as one handler, routed by full
+// /v1/repl/... paths so it mounts directly on the serving layer's mux.
+func (p *Primary) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/repl/tails", p.auth(p.handleTails))
+	mux.HandleFunc("GET /v1/repl/checkpoint", p.auth(p.handleCheckpoint))
+	mux.HandleFunc("GET /v1/repl/segment", p.auth(p.handleSegment))
+	mux.HandleFunc("POST /v1/repl/decide", p.auth(p.handleDecide))
+	return mux
+}
+
+// auth wraps a handler with the replication bearer-token check.
+func (p *Primary) auth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if bearer(r) != p.token {
+			replError(w, http.StatusUnauthorized, "replication token required")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// replError writes an errorResponse with the given status.
+func replError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// handleTails serves GET /v1/repl/tails.
+func (p *Primary) handleTails(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(TailsResponse{Shards: p.dur.ShardTails()})
+}
+
+// handleCheckpoint serves GET /v1/repl/checkpoint?shard=S: the shard's
+// current-generation checkpoint payload, with the generation in
+// HeaderGeneration. The current generation's checkpoint always exists
+// (rotation writes it before publishing the generation), but a racing
+// double rotation can prune it between the tails read and the file read —
+// the 404 makes the follower simply retry its bootstrap.
+func (p *Primary) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	shard := r.URL.Query().Get("shard")
+	cur, ok := p.dur.ShardTails()[shard]
+	if !ok {
+		replError(w, http.StatusNotFound, fmt.Sprintf("unknown shard %q", shard))
+		return
+	}
+	payload, err := wal.ReadSnapshotFile(wal.ShardCheckpointPath(p.dur.Dir(), shard, cur.Gen))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, os.ErrNotExist) {
+			status = http.StatusNotFound
+		}
+		replError(w, status, err.Error())
+		return
+	}
+	w.Header().Set(HeaderGeneration, strconv.FormatUint(cur.Gen, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(payload)
+}
+
+// handleSegment serves GET /v1/repl/segment?shard=S&gen=G&off=O&max=M: raw
+// framed bytes of one segment, clamped to its committed size so a follower
+// never reads into a commit window that could still fail and be truncated.
+// A pruned generation is 404 (resync from a checkpoint); an offset past
+// the committed size is 409 (the follower has bytes the primary does not —
+// divergence after a primary restart — and must resync).
+func (p *Primary) handleSegment(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	shard := q.Get("shard")
+	gen, err := strconv.ParseUint(q.Get("gen"), 10, 64)
+	if err != nil {
+		replError(w, http.StatusBadRequest, "bad gen parameter")
+		return
+	}
+	off, err := strconv.ParseInt(q.Get("off"), 10, 64)
+	if err != nil || off < 0 {
+		replError(w, http.StatusBadRequest, "bad off parameter")
+		return
+	}
+	max := p.maxChunk
+	if s := q.Get("max"); s != "" {
+		m, err := strconv.Atoi(s)
+		if err != nil || m <= 0 {
+			replError(w, http.StatusBadRequest, "bad max parameter")
+			return
+		}
+		if m < max {
+			max = m
+		}
+	}
+	cur, ok := p.dur.ShardTails()[shard]
+	if !ok {
+		replError(w, http.StatusNotFound, fmt.Sprintf("unknown shard %q", shard))
+		return
+	}
+	if gen > cur.Gen {
+		replError(w, http.StatusNotFound, fmt.Sprintf("shard %s has no generation %d", shard, gen))
+		return
+	}
+	sealed := gen < cur.Gen
+	chunk, size, err := wal.ReadSegmentAt(wal.ShardSegmentPath(p.dur.Dir(), shard, gen), off, max)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, os.ErrNotExist) {
+			status = http.StatusNotFound
+		}
+		replError(w, status, err.Error())
+		return
+	}
+	limit := size
+	if !sealed {
+		// The live segment is served only up to the group-commit committed
+		// offset; the file may be longer while a window is in flight.
+		limit = cur.Off
+	}
+	if off > limit {
+		replError(w, http.StatusConflict,
+			fmt.Sprintf("offset %d is past shard %s generation %d committed size %d", off, shard, gen, limit))
+		return
+	}
+	if end := off + int64(len(chunk)); end > limit {
+		chunk = chunk[:limit-off]
+	}
+	w.Header().Set(HeaderSealed, strconv.FormatBool(sealed))
+	w.Header().Set(HeaderLimit, strconv.FormatInt(limit, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(chunk)
+}
+
+// handleDecide serves POST /v1/repl/decide: the primary's half of a
+// follower submission. The query is re-parsed and re-canonicalized here —
+// the primary is the authority — and the follower's fingerprint is only
+// cross-checked against it, so a node pair that canonicalizes the same
+// query differently (version skew, or a query corrupted in transit) turns
+// into a hard 409 instead of a decision about a different canonical form
+// than the one the follower will evaluate. The decision itself is
+// System.Decide: labeled, durably logged, session state advanced, exactly
+// as a local submission — which is what makes the follower's replicated
+// copy of the session converge to it.
+func (p *Primary) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req DecideRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		replError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	query, err := disclosure.ParseQuery(req.Query)
+	if err != nil {
+		replError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fp := strconv.FormatUint(cq.FingerprintKey(cq.CanonicalKey(query)), 16)
+	if req.Fingerprint != "" && req.Fingerprint != fp {
+		replError(w, http.StatusConflict,
+			fmt.Sprintf("canonical fingerprint mismatch (follower %s, primary %s): node versions have drifted", req.Fingerprint, fp))
+		return
+	}
+	dec, err := p.dur.System().Decide(req.Principal, query)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, disclosure.ErrNoPolicy) {
+			status = http.StatusUnauthorized
+		}
+		replError(w, status, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(DecideResponse{Allowed: dec.Allowed, Live: dec.Live})
+}

@@ -1,0 +1,113 @@
+// Package repl is the WAL-shipping replication layer: a primary
+// disclosured process streams its per-shard write-ahead log — sealed
+// generations and the committed prefix of each live tail, in the exact
+// on-disk framing — to follower processes, which apply the operations into
+// an in-memory disclosure.Replica and serve read traffic against it.
+//
+// The design splits the reference monitor's two halves across the wire the
+// only way that keeps the paper's guarantee intact under replication:
+//
+//   - Followers EVALUATE. Explain, stats and the answer rows of admitted
+//     queries are served from the follower's bounded-stale replica,
+//     scaling read throughput with the number of followers.
+//   - The primary DECIDES. Cumulative-disclosure admission is only sound
+//     against complete history, so every submission a follower accepts is
+//     sent through a decision RPC to the primary, which labels the query,
+//     runs the principal's monitor, logs the submission to its WAL and
+//     returns admit/refuse. A lagging, partitioned or freshly restarted
+//     follower can therefore never re-admit a query the primary refused:
+//     it either relays the primary's refusal or fails the submission
+//     closed when the primary is unreachable. The fault-injection suite in
+//     repl_test.go (TestFollowerNeverReAdmits) pins this down.
+//
+// Wire protocol (mounted under /v1/repl/ on the primary, bearer-token
+// authenticated):
+//
+//	GET  /v1/repl/tails                         per-shard replication cursors
+//	GET  /v1/repl/checkpoint?shard=S            newest checkpoint payload for S
+//	GET  /v1/repl/segment?shard=S&gen=G&off=O   raw committed segment bytes
+//	POST /v1/repl/decide                        delegated admission decision
+//
+// Segment bytes are served only up to the shard's committed offset
+// (wal.GroupLog.CommittedOffset), so a follower never observes bytes a
+// primary crash could truncate; a pruned generation (404) or a framing
+// divergence (wal.ErrCorruptStream) makes the follower rebuild its replica
+// from fresh checkpoints — replicas are disposable by construction.
+package repl
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/internal/wal"
+)
+
+// TailsResponse is the body of GET /v1/repl/tails: every shard's current
+// replication cursor — the open generation and the committed byte offset a
+// follower may stream up to.
+type TailsResponse struct {
+	// Shards maps shard name (wal.MetaShard or a data shard) to its tail.
+	Shards map[string]wal.Cursor `json:"shards"`
+}
+
+// DecideRequest is the body of POST /v1/repl/decide: a follower delegating
+// one submission's admit/refuse decision to the primary.
+type DecideRequest struct {
+	// Principal is the submitting principal, resolved by the follower from
+	// its replicated token table.
+	Principal string `json:"principal"`
+	// Query is the submitted conjunctive query in datalog syntax.
+	Query string `json:"query"`
+	// Fingerprint is the hex form of the query's canonical-form fingerprint
+	// as the follower computed it. The primary recomputes the fingerprint
+	// from Query and refuses the RPC on mismatch: the nodes canonicalize
+	// the query differently (version skew, or corruption in transit), so a
+	// decision here would be about a different canonical form than the one
+	// the follower evaluates.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// DecideResponse is the body of a successful decision RPC. Refusals are
+// 200 responses with Allowed false — refusal is a policy outcome, exactly
+// as on the local submit path.
+type DecideResponse struct {
+	// Allowed reports the primary's reference-monitor decision.
+	Allowed bool `json:"allowed"`
+	// Live lists the policy partitions still consistent after the decision
+	// (when allowed) or live at refusal time.
+	Live []string `json:"live,omitempty"`
+}
+
+// errorResponse is the body of every non-2xx replication response; it
+// mirrors the serving layer's error shape without importing it.
+type errorResponse struct {
+	// Error is the human-readable failure.
+	Error string `json:"error"`
+}
+
+// Replication response headers.
+const (
+	// HeaderGeneration carries the checkpoint generation of a
+	// /v1/repl/checkpoint response; the follower starts that shard's cursor
+	// at {generation, 0}.
+	HeaderGeneration = "X-Disclosure-Generation"
+	// HeaderSealed is "true" on a /v1/repl/segment response for a
+	// generation older than the shard's open one: the segment is complete,
+	// and a follower that has consumed it entirely advances to the next
+	// generation at offset 0.
+	HeaderSealed = "X-Disclosure-Sealed"
+	// HeaderLimit carries the committed size of the requested segment: the
+	// file size for a sealed segment, the group-commit committed offset for
+	// the live one. Bytes at or past the limit are not served.
+	HeaderLimit = "X-Disclosure-Limit"
+)
+
+// bearer extracts a request's bearer token, or "".
+func bearer(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return h[len(prefix):]
+	}
+	return ""
+}

@@ -1,0 +1,533 @@
+package repl_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	disclosure "repro"
+	"repro/internal/repl"
+	"repro/internal/server"
+)
+
+// This file is the replication fault-injection suite. Every test builds a
+// two-node cluster in one process — a durable primary behind its
+// replication handler, a diskless follower behind a follower server — with
+// a TCP proxy between them so the tests can partition the pair at will.
+// The property under test is the design's core safety claim: a follower
+// that is lagging, partitioned, freshly restarted, or resyncing after the
+// primary pruned its generations can never admit a query the primary's
+// complete disclosure history refuses.
+
+// proxy is a blockable TCP forwarder between the follower and the primary.
+// Block severs every open connection and refuses new ones — a network
+// partition as the follower's HTTP client experiences one.
+type proxy struct {
+	l      net.Listener
+	target string
+
+	mu      sync.Mutex
+	blocked bool
+	conns   map[net.Conn]struct{}
+}
+
+func newProxy(t *testing.T, target string) *proxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	p := &proxy{l: l, target: target, conns: make(map[net.Conn]struct{})}
+	go p.accept()
+	t.Cleanup(func() {
+		l.Close()
+		p.setBlocked(true)
+	})
+	return p
+}
+
+func (p *proxy) url() string { return "http://" + p.l.Addr().String() }
+
+func (p *proxy) accept() {
+	for {
+		down, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.blocked {
+			p.mu.Unlock()
+			down.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			p.mu.Unlock()
+			down.Close()
+			continue
+		}
+		p.conns[down] = struct{}{}
+		p.conns[up] = struct{}{}
+		p.mu.Unlock()
+		go pipe(down, up)
+		go pipe(up, down)
+	}
+}
+
+func pipe(dst, src net.Conn) {
+	_, _ = io.Copy(dst, src)
+	dst.Close()
+	src.Close()
+}
+
+func (p *proxy) setBlocked(blocked bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.blocked = blocked
+	if blocked {
+		for c := range p.conns {
+			c.Close()
+		}
+		p.conns = make(map[net.Conn]struct{})
+	}
+}
+
+// cluster is one primary + one follower joined by a proxy. The follower's
+// sync loop never runs on its own (Interval is an hour): tests drive
+// SyncOnce explicitly, so lag is a controlled input, not a race.
+type cluster struct {
+	t       *testing.T
+	dur     *disclosure.Durable
+	primary *httptest.Server
+	proxy   *proxy
+	fol     *repl.Follower
+	folHTTP *httptest.Server
+
+	qc, qm *disclosure.Query
+}
+
+func newCluster(t *testing.T, folOpts server.FollowerOptions) *cluster {
+	t.Helper()
+	s := disclosure.MustSchema(
+		disclosure.MustRelation("M", "time", "person"),
+		disclosure.MustRelation("C", "person", "email", "position"),
+	)
+	d, err := disclosure.OpenDurable(t.TempDir(), disclosure.DurabilityOptions{}, s,
+		disclosure.MustParse("V1(t, p) :- M(t, p)"),
+		disclosure.MustParse("V3(p, e, r) :- C(p, e, r)"))
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	sys := d.System()
+	if err := sys.LoadBatch(func(ld *disclosure.Loader) error {
+		ld.MustInsert("M", "10", "Cathy")
+		ld.MustInsert("C", "Cathy", "c@example.com", "Boss")
+		return nil
+	}); err != nil {
+		t.Fatalf("LoadBatch: %v", err)
+	}
+	if err := sys.SetPolicy("app", map[string][]string{"W1": {"V1"}, "W2": {"V3"}}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	if err := d.LogToken("app", "tok"); err != nil {
+		t.Fatalf("LogToken: %v", err)
+	}
+
+	prim, err := repl.NewPrimary(d, "admin")
+	if err != nil {
+		t.Fatalf("NewPrimary: %v", err)
+	}
+	primHTTP := httptest.NewServer(prim.Handler())
+	t.Cleanup(primHTTP.Close)
+	px := newProxy(t, primHTTP.Listener.Addr().String())
+
+	fol, err := repl.NewFollower(repl.FollowerOptions{
+		Primary:  px.url(),
+		Token:    "admin",
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	folHTTP := httptest.NewServer(server.NewFollower(fol, folOpts).Handler())
+	t.Cleanup(folHTTP.Close)
+
+	return &cluster{
+		t:       t,
+		dur:     d,
+		primary: primHTTP,
+		proxy:   px,
+		fol:     fol,
+		folHTTP: folHTTP,
+		qc:      disclosure.MustParse("QC(p, e) :- C(p, e, r)"),
+		qm:      disclosure.MustParse("QM(t) :- M(t, p)"),
+	}
+}
+
+func (c *cluster) client(token string) *server.Client {
+	return &server.Client{BaseURL: c.folHTTP.URL, Token: token}
+}
+
+// sync runs one SyncOnce and fails the test on error.
+func (c *cluster) sync() {
+	c.t.Helper()
+	if err := c.fol.SyncOnce(); err != nil {
+		c.t.Fatalf("SyncOnce: %v", err)
+	}
+}
+
+// wall drives the fixture principal to its Chinese Wall on the primary:
+// the contacts query is admitted (retiring W1), after which the meetings
+// query is refused. Returns with the primary refusing QM.
+func (c *cluster) wall() {
+	c.t.Helper()
+	sys := c.dur.System()
+	if dec, _, err := sys.Submit("app", c.qc); err != nil || !dec.Allowed {
+		c.t.Fatalf("contacts query on primary: allowed=%v err=%v, want admitted", dec.Allowed, err)
+	}
+	if dec, _, err := sys.Submit("app", c.qm); err != nil || dec.Allowed {
+		c.t.Fatalf("meetings query on primary: allowed=%v err=%v, want refused", dec.Allowed, err)
+	}
+}
+
+// sessionsMatch asserts the replica's copy of the principal's session
+// equals the primary's.
+func (c *cluster) sessionsMatch() {
+	c.t.Helper()
+	pl, pa, pr, err := c.dur.System().Session("app")
+	if err != nil {
+		c.t.Fatalf("primary Session: %v", err)
+	}
+	fl, fa, fr, err := c.fol.System().Session("app")
+	if err != nil {
+		c.t.Fatalf("replica Session: %v", err)
+	}
+	if fmt.Sprint(fl) != fmt.Sprint(pl) || fa != pa || fr != pr {
+		c.t.Fatalf("replica session = (%v, %d, %d), primary = (%v, %d, %d)", fl, fa, fr, pl, pa, pr)
+	}
+}
+
+// TestFollowerNeverReAdmits is the headline safety test: the primary
+// refuses the meetings query after the contacts query retired the W1
+// partition, and no follower state — lagging, partitioned, or caught up —
+// may turn that refusal into an admission.
+func TestFollowerNeverReAdmits(t *testing.T) {
+	c := newCluster(t, server.FollowerOptions{})
+	c.sync()
+	c.wall()
+
+	// The follower has not synced since the wall went up: its replica still
+	// believes W1 is live, so a locally made decision WOULD admit QM. This
+	// is the premise that makes the refusal below meaningful.
+	if e, err := c.fol.System().ExplainDecision("app", c.qm); err != nil || !e.Admissible {
+		t.Fatalf("stale replica: Admissible=%v err=%v, want true — the lag premise is broken", e.Admissible, err)
+	}
+
+	cl := c.client("tok")
+	res, err := cl.Submit("QM(t) :- M(t, p)")
+	if err != nil {
+		t.Fatalf("submit via lagging follower: %v", err)
+	}
+	if res.Allowed {
+		t.Fatal("lagging follower re-admitted a query the primary refused")
+	}
+	if res.Error != "" {
+		t.Fatalf("lagging follower errored instead of refusing: %s", res.Error)
+	}
+	if res.Refusal == nil {
+		t.Fatal("refusal carried no explanation")
+	}
+
+	// Partition the pair. The follower must fail the submission closed —
+	// an error, never an admission decided from its own stale session.
+	c.proxy.setBlocked(true)
+	res, err = cl.Submit("QM(t) :- M(t, p)")
+	if err != nil {
+		t.Fatalf("submit via partitioned follower: %v", err)
+	}
+	if res.Allowed {
+		t.Fatal("partitioned follower admitted a query instead of failing closed")
+	}
+	if res.Error == "" {
+		t.Fatal("partitioned submission reported neither an error nor a refusal from the primary")
+	}
+	if err := c.fol.SyncOnce(); err == nil {
+		t.Fatal("SyncOnce succeeded across a partition")
+	}
+
+	// Heal and catch up: the replica now sees the wall itself, the refusal
+	// stands, and the two sessions agree.
+	c.proxy.setBlocked(false)
+	c.sync()
+	if e, err := c.fol.System().ExplainDecision("app", c.qm); err != nil || e.Admissible {
+		t.Fatalf("caught-up replica: Admissible=%v err=%v, want false", e.Admissible, err)
+	}
+	c.sessionsMatch()
+	res, err = cl.Submit("QM(t) :- M(t, p)")
+	if err != nil || res.Allowed || res.Error != "" {
+		t.Fatalf("submit via caught-up follower = (allowed=%v, error=%q, err=%v), want a clean refusal", res.Allowed, res.Error, err)
+	}
+}
+
+// TestFollowerRestartNeverReAdmits is the restart half of the headline
+// property: a follower is diskless, so killing it mid-stream and starting
+// a new one is a fresh bootstrap from the primary's checkpoints — and the
+// newborn follower, synced or not, still refuses what the primary refuses.
+// (The cross-process SIGKILL variant of this test lives in
+// cmd/disclosured.)
+func TestFollowerRestartNeverReAdmits(t *testing.T) {
+	c := newCluster(t, server.FollowerOptions{})
+	c.sync()
+	c.wall()
+
+	// Kill the follower mid-stream: abandon it with its cursors mid-history
+	// and bootstrap a replacement, exactly what a restarted process does.
+	// Its generation-0 checkpoints predate even the token, so until it
+	// syncs, authentication itself fails closed — a 401, not an admission.
+	fol2, err := repl.NewFollower(repl.FollowerOptions{
+		Primary:  c.proxy.url(),
+		Token:    "admin",
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("restarted NewFollower: %v", err)
+	}
+	folHTTP := httptest.NewServer(server.NewFollower(fol2, server.FollowerOptions{}).Handler())
+	defer folHTTP.Close()
+	cl := &server.Client{BaseURL: folHTTP.URL, Token: "tok"}
+	if _, err := cl.Submit("QM(t) :- M(t, p)"); err == nil {
+		t.Fatal("pre-sync restarted follower accepted a token it has not replicated")
+	}
+
+	// Restart again after the primary checkpoints: now the bootstrap's
+	// checkpoints carry the token and the walled session, and a submission
+	// before any log streaming is still decided — and refused — by the
+	// primary.
+	if err := c.dur.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	fol2, err = repl.NewFollower(repl.FollowerOptions{
+		Primary:  c.proxy.url(),
+		Token:    "admin",
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("post-checkpoint NewFollower: %v", err)
+	}
+	folHTTP2 := httptest.NewServer(server.NewFollower(fol2, server.FollowerOptions{}).Handler())
+	defer folHTTP2.Close()
+	cl = &server.Client{BaseURL: folHTTP2.URL, Token: "tok"}
+	res, err := cl.Submit("QM(t) :- M(t, p)")
+	if err != nil {
+		t.Fatalf("submit via restarted follower: %v", err)
+	}
+	if res.Allowed {
+		t.Fatal("restarted follower re-admitted a query the primary refused")
+	}
+
+	if err := fol2.SyncOnce(); err != nil {
+		t.Fatalf("restarted SyncOnce: %v", err)
+	}
+	res, err = cl.Submit("QM(t) :- M(t, p)")
+	if err != nil || res.Allowed || res.Error != "" {
+		t.Fatalf("submit after restart+sync = (allowed=%v, error=%q, err=%v), want a clean refusal", res.Allowed, res.Error, err)
+	}
+}
+
+// TestFollowerResyncsAfterPrunedGenerations covers deep lag: the primary
+// checkpoints twice while the follower stalls, pruning the generation the
+// follower's cursors point into. The next sync must detect the gap, resync
+// from fresh checkpoints, and land on a replica that refuses the walled
+// query — never skip ahead silently or spin.
+func TestFollowerResyncsAfterPrunedGenerations(t *testing.T) {
+	c := newCluster(t, server.FollowerOptions{})
+	c.sync()
+	c.wall()
+
+	// Two rotations prune generation 0 — the generation every follower
+	// cursor still points into (rotateShardLocked keeps only the last two).
+	if err := c.dur.Checkpoint(); err != nil {
+		t.Fatalf("first Checkpoint: %v", err)
+	}
+	if err := c.dur.Checkpoint(); err != nil {
+		t.Fatalf("second Checkpoint: %v", err)
+	}
+
+	c.sync() // detects the pruned generation and resyncs internally
+	if got := c.fol.Resyncs(); got == 0 {
+		t.Fatal("pruned generations did not trigger a resync")
+	}
+	if e, err := c.fol.System().ExplainDecision("app", c.qm); err != nil || e.Admissible {
+		t.Fatalf("resynced replica: Admissible=%v err=%v, want false", e.Admissible, err)
+	}
+
+	// The resynced follower tracks the primary cleanly from here: another
+	// wall advance replicates without further resyncs.
+	before := c.fol.Resyncs()
+	if dec, _, err := c.dur.System().Submit("app", c.qm); err != nil || dec.Allowed {
+		t.Fatalf("post-resync primary submit: allowed=%v err=%v", dec.Allowed, err)
+	}
+	c.sync()
+	if got := c.fol.Resyncs(); got != before {
+		t.Fatalf("clean catch-up resynced again (%d -> %d)", before, got)
+	}
+	c.sessionsMatch()
+
+	res, err := c.client("tok").Submit("QM(t) :- M(t, p)")
+	if err != nil || res.Allowed {
+		t.Fatalf("submit via resynced follower = (allowed=%v, err=%v), want refusal", res.Allowed, err)
+	}
+}
+
+// TestFollowerCrossesSealedGenerations checks ordinary log shipping across
+// a rotation: a checkpoint seals the generation the follower is tailing,
+// and the follower must finish the sealed segment, hop to the next
+// generation, and converge — without treating the seal as divergence.
+func TestFollowerCrossesSealedGenerations(t *testing.T) {
+	c := newCluster(t, server.FollowerOptions{})
+	c.sync()
+
+	if dec, _, err := c.dur.System().Submit("app", c.qc); err != nil || !dec.Allowed {
+		t.Fatalf("pre-rotation submit: allowed=%v err=%v", dec.Allowed, err)
+	}
+	if err := c.dur.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if dec, _, err := c.dur.System().Submit("app", c.qm); err != nil || dec.Allowed {
+		t.Fatalf("post-rotation submit: allowed=%v err=%v", dec.Allowed, err)
+	}
+
+	c.sync()
+	if got := c.fol.Resyncs(); got != 0 {
+		t.Fatalf("crossing a sealed generation resynced %d times, want streaming continuation", got)
+	}
+	c.sessionsMatch()
+	if c.fol.Applied() == 0 {
+		t.Fatal("follower applied no operations while crossing generations")
+	}
+}
+
+// TestFollowerStalenessGate covers the -max-lag contract: data endpoints
+// declare staleness in X-Disclosure-Staleness and return 503 once it
+// exceeds the bound (or before the first sync); stats is never gated,
+// because it is how an operator watches the lag.
+func TestFollowerStalenessGate(t *testing.T) {
+	const maxLag = 40 * time.Millisecond
+	c := newCluster(t, server.FollowerOptions{MaxLag: maxLag})
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, c.folHTTP.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer tok")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	explain := "/v1/explain?q=" + "QM(t)%20:-%20M(t,%20p)"
+
+	// Never synced: gated endpoints refuse and say why in the header.
+	resp := get(explain)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("explain before first sync = %s, want 503", resp.Status)
+	}
+	if h := resp.Header.Get(server.StalenessHeader); h != "unsynced" {
+		t.Fatalf("staleness header before first sync = %q, want \"unsynced\"", h)
+	}
+
+	c.sync()
+	resp = get(explain)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain after sync = %s, want 200", resp.Status)
+	}
+	if age, err := strconv.ParseFloat(resp.Header.Get(server.StalenessHeader), 64); err != nil || age < 0 {
+		t.Fatalf("staleness header after sync = %q (%v), want a non-negative decimal", resp.Header.Get(server.StalenessHeader), err)
+	}
+
+	// Let the replica go stale past the bound: gated endpoints 503, stats
+	// still serves and reports the lag.
+	time.Sleep(2 * maxLag)
+	if resp = get(explain); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("explain past max-lag = %s, want 503", resp.Status)
+	}
+	st, err := c.client("tok").FollowerStats()
+	if err != nil {
+		t.Fatalf("FollowerStats past max-lag: %v", err)
+	}
+	if !st.Follower.Synced || st.Follower.StalenessSeconds < maxLag.Seconds() {
+		t.Fatalf("stats follower block = %+v, want synced with staleness past the bound", st.Follower)
+	}
+	if st.Follower.Primary != c.proxy.url() {
+		t.Fatalf("stats primary = %q, want %q", st.Follower.Primary, c.proxy.url())
+	}
+
+	c.sync()
+	if resp = get(explain); resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain after re-sync = %s, want 200", resp.Status)
+	}
+}
+
+// TestFollowerServesReadsAndCounts checks the follower's serving surface:
+// admitted queries evaluate on the replica and return rows, administrative
+// endpoints are refused outright, and the node-local stats identity
+// (queries = admitted + refused + errored) holds with delegated decisions.
+func TestFollowerServesReadsAndCounts(t *testing.T) {
+	c := newCluster(t, server.FollowerOptions{})
+	c.sync()
+	cl := c.client("tok")
+
+	res, err := cl.Submit("QC(p, e) :- C(p, e, r)")
+	if err != nil {
+		t.Fatalf("admitted submit via follower: %v", err)
+	}
+	if !res.Allowed || res.Error != "" {
+		t.Fatalf("contacts query via follower = (allowed=%v, error=%q), want admitted", res.Allowed, res.Error)
+	}
+	if len(res.Rows) != 1 || fmt.Sprint(res.Rows[0]) != fmt.Sprint([]string{"Cathy", "c@example.com"}) {
+		t.Fatalf("rows evaluated on the replica = %v, want [[Cathy c@example.com]]", res.Rows)
+	}
+
+	if res, err = cl.Submit("QM(t) :- M(t, p)"); err != nil || res.Allowed {
+		t.Fatalf("walled query via follower = (allowed=%v, err=%v), want refusal", res.Allowed, err)
+	}
+
+	c.proxy.setBlocked(true)
+	if res, err = cl.Submit("QM(t) :- M(t, p)"); err != nil || res.Allowed || res.Error == "" {
+		t.Fatalf("partitioned submit = (allowed=%v, error=%q, err=%v), want a closed failure", res.Allowed, res.Error, err)
+	}
+	c.proxy.setBlocked(false)
+
+	st, err := cl.FollowerStats()
+	if err != nil {
+		t.Fatalf("FollowerStats: %v", err)
+	}
+	if st.Queries != 3 || st.Admitted != 1 || st.Refused != 1 || st.Errored != 1 {
+		t.Fatalf("follower counters = %d/%d/%d/%d (q/a/r/e), want 3/1/1/1", st.Queries, st.Admitted, st.Refused, st.Errored)
+	}
+	if st.Queries != st.Admitted+st.Refused+st.Errored {
+		t.Fatalf("stats identity broken: %d != %d+%d+%d", st.Queries, st.Admitted, st.Refused, st.Errored)
+	}
+	if st.Principals != 1 {
+		t.Fatalf("replicated principals = %d, want 1", st.Principals)
+	}
+
+	// Administrative and write endpoints belong to the primary.
+	if err := cl.SetPolicy("other", "t2", map[string][]string{"W": {"V1"}}); err == nil {
+		t.Fatal("follower accepted a policy installation")
+	}
+	if err := cl.Load([]server.LoadRow{{Rel: "M", Values: []string{"11", "Dave"}}}); err == nil {
+		t.Fatal("follower accepted a bulk load")
+	}
+}

@@ -94,6 +94,35 @@ type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
+// FollowerStatus is the replication block of a follower's stats response:
+// the lag metrics an operator monitors (docs/OPERATIONS.md, "Followers").
+type FollowerStatus struct {
+	// Primary is the primary's base URL.
+	Primary string `json:"primary"`
+	// Synced reports whether the replica has ever fully matched the
+	// primary's log tails.
+	Synced bool `json:"synced"`
+	// StalenessSeconds is how long ago the replica last fully matched the
+	// primary (-1 before the first completed sync). The same value is
+	// stamped on data responses as the X-Disclosure-Staleness header.
+	StalenessSeconds float64 `json:"staleness_seconds"`
+	// AppliedOps counts log operations applied over the follower's
+	// lifetime; Resyncs counts checkpoint re-bootstraps after divergence.
+	AppliedOps uint64 `json:"applied_ops"`
+	// Resyncs counts checkpoint re-bootstraps after the initial one.
+	Resyncs uint64 `json:"resyncs"`
+}
+
+// FollowerStatsResponse is the body of GET /v1/stats on a follower: the
+// node-local counters (the SystemStats identity holds per node — a
+// delegated decision also counts on the primary) plus the replication
+// status block.
+type FollowerStatsResponse struct {
+	StatsResponse
+	// Follower is the replication status block.
+	Follower FollowerStatus `json:"follower"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -118,3 +118,12 @@ func (c *Client) Stats() (StatsResponse, error) {
 	err := c.do(http.MethodGet, "/v1/stats", nil, &st)
 	return st, err
 }
+
+// FollowerStats fetches a follower's counters plus its replication status
+// block (lag, applied operations, resyncs). Against a primary the block
+// decodes as its zero value.
+func (c *Client) FollowerStats() (FollowerStatsResponse, error) {
+	var st FollowerStatsResponse
+	err := c.do(http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	disclosure "repro"
+)
+
+// ReplicaBackend is what a follower server serves from: a replicated,
+// bounded-stale copy of the primary's deployment plus the decision RPC
+// that keeps admission primary-consistent. repl.Follower implements it.
+type ReplicaBackend interface {
+	// System returns the replica's System — the local read surface
+	// (evaluation, explains, sessions). Its write surface is never used.
+	System() *disclosure.System
+	// TokenOwner resolves a replicated submission token to its principal.
+	TokenOwner(token string) (string, bool)
+	// Decide delegates one submission's admit/refuse decision to the
+	// primary. An error means the decision could not be made — the caller
+	// fails the submission closed; it never admits locally.
+	Decide(principal string, q *disclosure.Query) (disclosure.Decision, error)
+	// Staleness reports how long ago the replica last fully matched the
+	// primary, and false if it never has.
+	Staleness() (time.Duration, bool)
+	// Applied returns the log operations applied over the follower's
+	// lifetime; Resyncs how often it rebuilt from fresh checkpoints.
+	Applied() uint64
+	// Resyncs returns the number of checkpoint re-bootstraps.
+	Resyncs() uint64
+	// Primary returns the primary's base URL, for monitoring output.
+	Primary() string
+}
+
+// FollowerOptions configures a FollowerServer.
+type FollowerOptions struct {
+	// MaxRequestBytes bounds request-body size (default
+	// DefaultMaxRequestBytes).
+	MaxRequestBytes int64
+	// MaxBatch bounds the number of queries in one submit request (default
+	// DefaultMaxBatch).
+	MaxBatch int
+	// MaxLag, when positive, gates reads on replica freshness: submit and
+	// explain requests are refused with 503 while the replica's staleness
+	// exceeds it (or before the first completed sync). Stats is never
+	// gated — it is how lag is monitored.
+	MaxLag time.Duration
+}
+
+// FollowerServer is the read-path HTTP service of a follower disclosured:
+// it serves /v1/submit, /v1/explain and /v1/stats against a replicated
+// deployment, and refuses everything else — administrative and write
+// endpoints belong to the primary.
+//
+// The disclosure split is the replication design's core (see package
+// repl): answer rows, explanations and stats come from the local replica
+// (bounded-stale, staleness declared in the X-Disclosure-Staleness header
+// of every data response), while each submission's admit/refuse decision
+// is delegated to the primary, so cumulative disclosure is enforced
+// against complete history no matter how far this follower lags. When the
+// primary is unreachable the follower fails submissions closed: an error,
+// never a local admission.
+type FollowerServer struct {
+	back  ReplicaBackend
+	opts  FollowerOptions
+	mux   *http.ServeMux
+	start time.Time
+
+	// Counter identity, local to this node (see SystemStats): queries is
+	// incremented when a submission enters, exactly one of the other three
+	// before it returns. Delegated decisions also count on the primary.
+	queries  atomic.Uint64
+	admitted atomic.Uint64
+	refused  atomic.Uint64
+	errored  atomic.Uint64
+
+	httpMu sync.Mutex
+	http   *http.Server
+}
+
+// StalenessHeader declares a follower data response's replica staleness in
+// seconds (decimal). It is the serving half of the staleness contract:
+// every answer a follower returns is correct as of a primary state at most
+// that far in the past — except admit/refuse outcomes, which are always
+// primary-current.
+const StalenessHeader = "X-Disclosure-Staleness"
+
+// NewFollower wires a follower server over a replica backend.
+func NewFollower(back ReplicaBackend, opts FollowerOptions) *FollowerServer {
+	if opts.MaxRequestBytes <= 0 {
+		opts.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	f := &FollowerServer{back: back, opts: opts, mux: http.NewServeMux(), start: time.Now()}
+	f.mux.HandleFunc("POST /v1/submit", f.gated(f.handleSubmit))
+	f.mux.HandleFunc("GET /v1/explain", f.gated(f.handleExplain))
+	f.mux.HandleFunc("GET /v1/stats", f.handleStats)
+	f.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusForbidden, "read-only follower: administrative and write endpoints are served by the primary "+f.back.Primary())
+	})
+	return f
+}
+
+// gated stamps the staleness header and enforces MaxLag before running a
+// data handler.
+func (f *FollowerServer) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		age, ok := f.back.Staleness()
+		if ok {
+			w.Header().Set(StalenessHeader, strconv.FormatFloat(age.Seconds(), 'f', 3, 64))
+		} else {
+			w.Header().Set(StalenessHeader, "unsynced")
+		}
+		if f.opts.MaxLag > 0 && (!ok || age > f.opts.MaxLag) {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("follower replica staleness exceeds the %s bound; retry or use the primary %s", f.opts.MaxLag, f.back.Primary()))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// authPrincipal authenticates a submission request against the replicated
+// token table, writing 401 and returning ok=false on failure.
+func (f *FollowerServer) authPrincipal(w http.ResponseWriter, r *http.Request) (string, bool) {
+	tok := bearer(r)
+	if tok == "" {
+		writeError(w, http.StatusUnauthorized, "missing bearer token")
+		return "", false
+	}
+	principal, ok := f.back.TokenOwner(tok)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, "unknown token")
+		return "", false
+	}
+	return principal, true
+}
+
+// handleSubmit serves POST /v1/submit on the follower: authentication and
+// evaluation are local (replica), every admit/refuse decision is the
+// primary's. Queries of a batch are decided sequentially in slice order —
+// each decision advances the primary's session before the next is made,
+// exactly like a batch submitted to the primary itself.
+func (f *FollowerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	principal, ok := f.authPrincipal(w, r)
+	if !ok {
+		return
+	}
+	var req SubmitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	single := req.Query != ""
+	if single == (len(req.Queries) > 0) {
+		writeError(w, http.StatusBadRequest, "set exactly one of query or queries")
+		return
+	}
+	srcs := req.Queries
+	if single {
+		srcs = []string{req.Query}
+	}
+	if len(srcs) > f.opts.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds the %d-query bound", len(srcs), f.opts.MaxBatch))
+		return
+	}
+	qs := make([]*disclosure.Query, len(srcs))
+	for i, src := range srcs {
+		q, err := disclosure.ParseQuery(src)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	sys := f.back.System()
+	resp := SubmitResponse{Principal: principal, Results: make([]SubmitResult, len(qs))}
+	for i, q := range qs {
+		f.queries.Add(1)
+		out := SubmitResult{Query: q.Name}
+		dec, err := f.back.Decide(principal, q)
+		switch {
+		case err != nil:
+			// Fail closed: an unreachable or refusing primary is an error,
+			// never a locally improvised admission.
+			f.errored.Add(1)
+			out.Error = err.Error()
+		case !dec.Allowed:
+			f.refused.Add(1)
+			out.Live = dec.Live
+			// The refusal explanation is built from the replica's session
+			// copy: structurally primary-shaped, numerically bounded-stale
+			// (the decision itself came from the primary).
+			if e, eerr := sys.ExplainDecision(principal, q); eerr == nil {
+				out.Refusal = &e
+			}
+		default:
+			f.admitted.Add(1)
+			out.Allowed = true
+			out.Live = dec.Live
+			rows, eerr := sys.Evaluate(q)
+			if eerr != nil {
+				out.Error = eerr.Error()
+				break
+			}
+			out.Rows = make([][]string, len(rows))
+			for j, row := range rows {
+				out.Rows[j] = row
+			}
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExplain serves GET /v1/explain?q=... from the replica — the same
+// structured admissibility account the primary serves, against session
+// state at most the declared staleness old. It never contacts the primary
+// and never advances any session.
+func (f *FollowerServer) handleExplain(w http.ResponseWriter, r *http.Request) {
+	principal, ok := f.authPrincipal(w, r)
+	if !ok {
+		return
+	}
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	q, err := disclosure.ParseQuery(src)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	e, err := f.back.System().ExplainDecision(principal, q)
+	if err != nil {
+		if errors.Is(err, disclosure.ErrNoPolicy) {
+			writeError(w, http.StatusUnauthorized, err.Error())
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+// handleStats serves GET /v1/stats: this node's submission counters (the
+// SystemStats identity holds per node; delegated decisions are counted on
+// the primary too), the replica's cache gauges, and the follower block
+// with the lag metrics docs/OPERATIONS.md tells operators to watch. Never
+// gated on MaxLag.
+func (f *FollowerServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	sys := f.back.System()
+	repStats := sys.Stats()
+	age, ok := f.back.Staleness()
+	st := FollowerStatus{
+		Primary:          f.back.Primary(),
+		Synced:           ok,
+		StalenessSeconds: -1,
+		AppliedOps:       f.back.Applied(),
+		Resyncs:          f.back.Resyncs(),
+	}
+	if ok {
+		st.StalenessSeconds = age.Seconds()
+		w.Header().Set(StalenessHeader, strconv.FormatFloat(age.Seconds(), 'f', 3, 64))
+	} else {
+		w.Header().Set(StalenessHeader, "unsynced")
+	}
+	writeJSON(w, http.StatusOK, FollowerStatsResponse{
+		StatsResponse: StatsResponse{
+			SystemStats: disclosure.SystemStats{
+				Queries:  f.queries.Load(),
+				Admitted: f.admitted.Load(),
+				Refused:  f.refused.Load(),
+				Errored:  f.errored.Load(),
+				Cache:    repStats.Cache,
+				Plans:    repStats.Plans,
+			},
+			Principals:    sys.Principals(),
+			UptimeSeconds: time.Since(f.start).Seconds(),
+		},
+		Follower: st,
+	})
+}
+
+// Handler returns the follower service's HTTP handler with the
+// request-size limit applied.
+func (f *FollowerServer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, f.opts.MaxRequestBytes)
+		f.mux.ServeHTTP(w, r)
+	})
+}
+
+// Serve accepts connections on l until Shutdown, like Server.Serve.
+func (f *FollowerServer) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: f.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	f.httpMu.Lock()
+	f.http = srv
+	f.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// Shutdown gracefully stops a follower server started with Serve.
+func (f *FollowerServer) Shutdown(ctx context.Context) error {
+	f.httpMu.Lock()
+	srv := f.http
+	f.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}

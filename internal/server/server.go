@@ -55,6 +55,10 @@ type Options struct {
 	// the recovery path, fed from disclosure.Durable.Tokens(). A seed
 	// token that collides with another principal's is an error.
 	Tokens map[string]string
+	// Repl, when non-nil, is mounted under /v1/repl/ — the replication
+	// surface (repl.Primary.Handler()) a durable primary exposes to its
+	// followers. The handler does its own bearer-token authentication.
+	Repl http.Handler
 }
 
 // TokenJournal durably records submission tokens; the server calls it
@@ -117,6 +121,9 @@ func New(sys *disclosure.System, opts Options) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/policy/{principal}", s.handleRemovePolicy)
 	s.mux.HandleFunc("POST /v1/load", s.handleLoad)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if opts.Repl != nil {
+		s.mux.Handle("/v1/repl/", opts.Repl)
+	}
 	for principal, token := range opts.Tokens {
 		if err := s.installTokenLocked(principal, token); err != nil {
 			return nil, fmt.Errorf("server: seeding token for %q: %w", principal, err)

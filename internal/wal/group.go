@@ -46,6 +46,7 @@ type GroupLog struct {
 	epoch   uint64 // window open for appends (first window is 1)
 	durable uint64 // newest window known durable
 	leading bool   // a leader is writing the taken window
+	off     int64  // file offset after the newest committed window
 	err     error  // sticky failure (or ErrLogClosed)
 }
 
@@ -69,13 +70,26 @@ func OpenAppendGroup(path string, validLen int64, fsync, coalesce bool) (*GroupL
 	if err != nil {
 		return nil, err
 	}
-	return newGroup(l.f, fsync, coalesce), nil
+	g := newGroup(l.f, fsync, coalesce)
+	g.off = validLen
+	return g, nil
 }
 
 func newGroup(f *os.File, fsync, coalesce bool) *GroupLog {
 	g := &GroupLog{f: f, fsync: fsync, coalesce: coalesce, epoch: 1}
 	g.cond = sync.NewCond(&g.mu)
 	return g
+}
+
+// CommittedOffset returns the file offset after the newest committed
+// window: every byte below it holds whole frames the log has written (and,
+// in sync mode, fsynced). The replication layer serves a live segment only
+// up to this offset, so a follower never streams bytes from a window whose
+// commit could still fail and be truncated on recovery.
+func (g *GroupLog) CommittedOffset() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.off
 }
 
 // Enqueue frames payload into the open commit window and returns the
@@ -182,6 +196,7 @@ func (g *GroupLog) commitLocked() {
 		}
 	} else {
 		g.durable = e
+		g.off += int64(len(buf))
 	}
 	g.cond.Broadcast()
 }

@@ -1,0 +1,232 @@
+package disclosure
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/wal"
+)
+
+// replayState is the apply side of the write-ahead log, shared by crash
+// recovery (Durable) and replication (Replica): a System being rebuilt
+// from checkpoints plus logged operations, and the token table that rides
+// along with it. Applying a logged submission re-runs the deterministic
+// monitor decision instead of consulting anything external — per-principal
+// log order is the only order the decision depends on, so a prefix of one
+// shard's log always re-decides to exactly the outcomes the primary
+// acknowledged live (TestDurablePrefixReplayDeterminism pins this).
+type replayState struct {
+	sys *System
+
+	tokMu  sync.Mutex
+	tokens map[string]string
+}
+
+// restoreRows loads a meta checkpoint's rows into the freshly built
+// System. It runs before any replay and before a Durable is attached, so
+// nothing here is re-logged.
+func (rs *replayState) restoreRows(ck *wal.Checkpoint) error {
+	if len(ck.Rows) == 0 {
+		return nil
+	}
+	return rs.sys.db.Load(func(ld *engine.Loader) error {
+		for _, r := range ck.Rows {
+			if err := ld.Insert(r.Rel, r.Values...); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// restorePrincipals installs one data-shard checkpoint's principals —
+// policy, live partitions, cumulative disclosure, session counts — and
+// tokens. Shards restore disjoint principal sets, so parallel recovery
+// goroutines never collide on a principal.
+func (rs *replayState) restorePrincipals(ck *wal.Checkpoint) error {
+	sys := rs.sys
+	for _, ps := range ck.Principals {
+		p, err := policy.New(sys.cat, ps.Partitions)
+		if err != nil {
+			return fmt.Errorf("principal %q: %w", ps.Name, err)
+		}
+		cum, err := sys.cat.LabelFromViewSets(ps.Cumulative)
+		if err != nil {
+			return fmt.Errorf("principal %q: %w", ps.Name, err)
+		}
+		m, err := policy.RestoreMonitor(p, ps.Live, cum, ps.Accepted, ps.Refused)
+		if err != nil {
+			return fmt.Errorf("principal %q: %w", ps.Name, err)
+		}
+		sys.store.Install(ps.Name, m)
+	}
+	if len(ck.Tokens) > 0 {
+		rs.tokMu.Lock()
+		for k, v := range ck.Tokens {
+			rs.tokens[k] = v
+		}
+		rs.tokMu.Unlock()
+	}
+	return nil
+}
+
+// applyOp applies one logged operation to the System without re-logging
+// and without making any fresh admission decision: a SubmitOp re-runs the
+// deterministic monitor decision the log records the occurrence of. Each
+// shard's replay order equals its original apply order, and all of one
+// principal's operations live in one shard's log, so per-principal apply
+// order — the only order the monitor semantics depend on — is reproduced
+// exactly even when shards replay in parallel (recovery) or interleave
+// differently than they did live (a follower draining several shard
+// streams); a submission whose principal was since removed skips exactly
+// as it errored live.
+func (rs *replayState) applyOp(op *wal.Op) error {
+	sys := rs.sys
+	switch {
+	case op.Rows != nil:
+		return sys.db.Load(func(ld *engine.Loader) error {
+			for _, r := range op.Rows.Rows {
+				if err := ld.Insert(r.Rel, r.Values...); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case op.Policy != nil:
+		p, err := policy.New(sys.cat, op.Policy.Partitions)
+		if err != nil {
+			return fmt.Errorf("policy for %q: %w", op.Policy.Principal, err)
+		}
+		sys.store.SetPolicy(op.Policy.Principal, p)
+	case op.Remove != nil:
+		sys.store.Remove(op.Remove.Principal)
+		rs.tokMu.Lock()
+		delete(rs.tokens, op.Remove.Principal)
+		rs.tokMu.Unlock()
+	case op.Token != nil:
+		rs.tokMu.Lock()
+		rs.tokens[op.Token.Principal] = op.Token.Token
+		rs.tokMu.Unlock()
+	case op.Submit != nil:
+		q, err := cq.ParseQuery(op.Submit.Query)
+		if err != nil {
+			return fmt.Errorf("submission for %q: %w", op.Submit.Principal, err)
+		}
+		if !sys.store.Has(op.Submit.Principal) {
+			return nil
+		}
+		lbl, err := sys.labeler.Load().Label(q)
+		if err != nil {
+			return fmt.Errorf("relabeling %s for %q: %w", q.Name, op.Submit.Principal, err)
+		}
+		_, _ = sys.store.Submit(op.Submit.Principal, lbl)
+	default:
+		return fmt.Errorf("empty operation record")
+	}
+	return nil
+}
+
+// copyTokens returns a copy of the current principal → token map.
+func (rs *replayState) copyTokens() map[string]string {
+	rs.tokMu.Lock()
+	defer rs.tokMu.Unlock()
+	out := make(map[string]string, len(rs.tokens))
+	for k, v := range rs.tokens {
+		out[k] = v
+	}
+	return out
+}
+
+// Replica is an apply-only copy of a durable deployment: a System built
+// from a primary's shipped checkpoints and advanced by applying its logged
+// operations in shard order — the replication layer's in-memory state.
+// Unlike Durable it owns no directory and no log: a replica is disposable
+// by design, and a crashed or hopelessly lagged follower simply rebuilds
+// one from fresh checkpoints.
+//
+// A Replica never makes admission decisions of its own. Applying a logged
+// submission re-runs the primary's deterministic decision (the
+// apply-without-decide replay path recovery uses), which keeps the
+// replica's per-principal sessions — live partitions, cumulative
+// disclosure, decision counts — converging to the primary's; fresh
+// submissions arriving at a follower are decided by the primary over the
+// decision RPC (internal/repl), never against replica state.
+//
+// Concurrency: Apply and RestoreShard must be called from one goroutine at
+// a time (the follower's sync loop); every read — System's read surface,
+// Tokens, TokenOwner, Applied — is safe concurrently with them.
+type Replica struct {
+	replayState
+	applied atomic.Uint64
+}
+
+// NewReplica builds a replica from a primary's meta-shard checkpoint: the
+// System is constructed from the checkpointed configuration (schema and
+// security views) and loaded with the checkpointed rows. Data-shard
+// checkpoints are installed afterwards with RestoreShard, and the log
+// tails replayed on top with Apply.
+func NewReplica(meta *wal.Checkpoint) (*Replica, error) {
+	if meta.Shard != "" && meta.Shard != wal.MetaShard {
+		return nil, fmt.Errorf("disclosure: replica bootstrap needs the meta-shard checkpoint, got shard %q", meta.Shard)
+	}
+	sys, err := systemFromConfig(meta.Config)
+	if err != nil {
+		return nil, fmt.Errorf("disclosure: rebuilding system from shipped checkpoint: %w", err)
+	}
+	r := &Replica{replayState: replayState{sys: sys, tokens: make(map[string]string)}}
+	if err := r.restoreRows(meta); err != nil {
+		return nil, fmt.Errorf("disclosure: restoring shipped rows: %w", err)
+	}
+	return r, nil
+}
+
+// RestoreShard installs one data-shard checkpoint: its principals'
+// policies, sessions and tokens.
+func (r *Replica) RestoreShard(ck *wal.Checkpoint) error {
+	if ck.Shard == wal.MetaShard {
+		return fmt.Errorf("disclosure: RestoreShard got the meta-shard checkpoint")
+	}
+	if err := r.restorePrincipals(ck); err != nil {
+		return fmt.Errorf("disclosure: restoring shipped shard %s: %w", ck.Shard, err)
+	}
+	return nil
+}
+
+// Apply applies one logged operation shipped from the primary, without
+// re-logging it and without deciding anything anew.
+func (r *Replica) Apply(op *wal.Op) error {
+	if err := r.applyOp(op); err != nil {
+		return err
+	}
+	r.applied.Add(1)
+	return nil
+}
+
+// System returns the replica's System. Its read surface (evaluations,
+// explains, stats, sessions) is safe to serve from; its write surface must
+// not be used — replica state advances only through Apply.
+func (r *Replica) System() *System { return r.sys }
+
+// Applied returns the number of logged operations applied so far.
+func (r *Replica) Applied() uint64 { return r.applied.Load() }
+
+// Tokens returns a copy of the replicated principal → submission-token
+// map.
+func (r *Replica) Tokens() map[string]string { return r.copyTokens() }
+
+// TokenOwner resolves a replicated submission token to its principal — the
+// follower serving layer's authentication lookup.
+func (r *Replica) TokenOwner(token string) (string, bool) {
+	r.tokMu.Lock()
+	defer r.tokMu.Unlock()
+	for principal, tok := range r.tokens {
+		if tok == token {
+			return principal, true
+		}
+	}
+	return "", false
+}

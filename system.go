@@ -217,6 +217,54 @@ func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error)
 	return dec, rows, nil
 }
 
+// Decide labels a query and runs it through the principal's reference
+// monitor — advancing the session's cumulative-disclosure state and, on a
+// durable System, logging the submission — without evaluating it. It is
+// the primary's half of a delegated follower submission (internal/repl):
+// the follower evaluates an admitted query against its own replica with
+// Evaluate, but the admit/refuse decision is made here, against the
+// complete history. Outcomes are identical to Submit's: refusals are
+// (Decision{Allowed: false}, nil), unknown principals wrap ErrNoPolicy,
+// and the submission counts toward the Stats identity exactly as a local
+// Submit would.
+func (sys *System) Decide(principal string, q *Query) (Decision, error) {
+	sys.queries.Add(1)
+	if !sys.store.Has(principal) {
+		sys.errored.Add(1)
+		return Decision{Allowed: false}, fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+	}
+	key := cq.CanonicalKey(q)
+	lbl, err := sys.labeler.Load().LabelCanonical(key, q)
+	if err != nil {
+		sys.errored.Add(1)
+		return Decision{Allowed: false}, fmt.Errorf("disclosure: labeling %s: %w", q.Name, err)
+	}
+	dec, err := sys.decide(principal, q, lbl)
+	if err != nil {
+		if errors.Is(err, policy.ErrUnknownPrincipal) {
+			err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+		}
+		sys.errored.Add(1)
+		return Decision{Allowed: false}, err
+	}
+	if !dec.Allowed {
+		sys.refused.Add(1)
+		return dec, nil
+	}
+	sys.admitted.Add(1)
+	return dec, nil
+}
+
+// Evaluate runs a query against the current database snapshot without
+// consulting any policy or advancing any session — the follower's half of
+// a delegated submission: once the primary admits a query (Decide), the
+// follower evaluates it locally against its bounded-stale replica. It is
+// also useful standalone as a policy-free evaluation entry point; it
+// never touches the Stats counters.
+func (sys *System) Evaluate(q *Query) ([]Tuple, error) {
+	return sys.db.EvalCanonicalAt(sys.db.Snapshot(), cq.CanonicalKey(q), q)
+}
+
 // decide runs a labeled submission through the principal's reference
 // monitor. On a durable System the submission is logged to the
 // principal's write-ahead-log shard and the decision applied under that
