@@ -1,0 +1,35 @@
+//go:build !race
+
+package disclosure
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSubmitObsZeroAlloc gates the observability layer's allocation cost:
+// an instrumented Submit must allocate exactly as much as a Submit with
+// metrics disabled — the counters, histograms and stage traces all live
+// on the stack or in preallocated collector state. The file is excluded
+// under -race because the race runtime adds allocations of its own.
+func TestSubmitObsZeroAlloc(t *testing.T) {
+	run := func(reg *obs.Registry) float64 {
+		sys := figure1System(t)
+		sys.SetMetricsRegistry(reg)
+		if err := sys.SetPolicy("app", map[string][]string{"times": {"V2"}}); err != nil {
+			t.Fatal(err)
+		}
+		refusedQ := MustParse("Q1(x) :- Meetings(x, 'Cathy')")
+		sys.Submit("app", refusedQ) // warm the label cache
+		return testing.AllocsPerRun(500, func() {
+			sys.Submit("app", refusedQ)
+		})
+	}
+	disabled := run(obs.Disabled)
+	instrumented := run(obs.NewRegistry())
+	if instrumented > disabled {
+		t.Fatalf("instrumented Submit allocates %.1f allocs/op, disabled %.1f — the obs layer must add zero",
+			instrumented, disabled)
+	}
+}

@@ -15,6 +15,7 @@
 //	disclosurebench -exp adversarial [-queries N] [-principals 256] [-zipf-s 1.2] [-goroutines 1,4,16] [-json]
 //	disclosurebench -exp shard [-queries N] [-shards 1,8] [-goroutines 1,8] [-tsv|-json]
 //	disclosurebench -exp repl [-followers 0,1,2,4] [-clients 32] [-requests N] [-json]
+//	disclosurebench -exp obs [-queries N] [-pool N] [-goroutines 1,4] [-json]
 //
 // An unknown -exp exits non-zero and names every experiment above. The
 // defaults use the paper's parameters (one million queries/labels per
@@ -41,8 +42,12 @@
 // baseline. The repl experiment builds a durable primary plus in-process
 // followers and measures read (explain) throughput scaling with node count
 // against the single-node baseline, and the decision-RPC overhead of
-// submitting through a follower versus the primary directly. -json emits a
-// machine-readable archive (redirect to BENCH_<exp>.json).
+// submitting through a follower versus the primary directly. The obs
+// experiment measures the observability tax: the same submit workload with
+// instrumentation off (metrics disabled, no timestamps taken) and on (full
+// per-stage histograms and outcome counters), reporting matched-pair
+// throughput, latency percentiles and the worst-case overhead percentage.
+// -json emits a machine-readable archive (redirect to BENCH_<exp>.json).
 package main
 
 import (
@@ -59,7 +64,7 @@ import (
 // experiments is the canonical list of -exp modes; the flag help and the
 // unknown-experiment error both print it, so neither can drift from the
 // switch below without failing TestMainUnknownExperiment.
-const experiments = "figure5, figure6, footnote3, cached, engine, serve, wal, adversarial, shard or repl"
+const experiments = "figure5, figure6, footnote3, cached, engine, serve, wal, adversarial, shard, repl or obs"
 
 func main() {
 	exp := flag.String("exp", "figure5", "experiment to run: "+experiments)
@@ -321,6 +326,38 @@ func main() {
 						s, floats(bench.Speedup(*base, *gc)))
 				}
 			}
+		}
+	case "obs":
+		cfg := bench.DefaultObsConfig()
+		cfg.Seed = *seed
+		// The shared flags keep their other experiments' defaults, so the
+		// obs defaults win unless a flag was set explicitly.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "queries":
+				cfg.Queries = *queries
+			case "pool":
+				cfg.Pool = *pool
+			case "goroutines":
+				cfg.Goroutines = ints(*goroutines)
+			case "users":
+				if us := ints(*users); len(us) > 0 {
+					cfg.Users = us[0]
+				}
+			}
+		})
+		report, err := bench.RunObs(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			out, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.FormatObs(report))
 		}
 	case "repl":
 		cfg := bench.DefaultReplConfig()

@@ -46,6 +46,15 @@
 // authenticates the replication stream); a follower holds no disk state
 // and rebuilds its replica from fresh checkpoints on restart.
 //
+// Both roles are observable in production: GET /metrics serves the
+// Prometheus text exposition (admin-token authenticated on the primary,
+// replication-token on a follower) with per-stage submission latency
+// histograms, WAL group-commit metrics and — on a follower — the replica
+// staleness gauge; -pprof-addr serves net/http/pprof on a side listener;
+// -audit-log appends a structured JSONL record for every refusal, every
+// submission error and (with -slow-query) every slow admitted submission.
+// See ARCHITECTURE.md "Observability" and docs/OPERATIONS.md "Monitoring".
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // at once, in-flight requests get -shutdown-timeout to finish, and a final
 // checkpoint is taken. See ARCHITECTURE.md for a curl walkthrough of the
@@ -60,6 +69,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,6 +77,7 @@ import (
 
 	disclosure "repro"
 	"repro/internal/fb"
+	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -91,11 +102,21 @@ func main() {
 	follow := flag.String("follow", "", "run as a read follower of the primary at this base URL (e.g. http://primary:8080); -admin-token must be the primary's admin token")
 	maxLag := flag.Duration("max-lag", 0, "follower mode: refuse submit/explain with 503 while the replica's staleness exceeds this bound (0 serves at any lag)")
 	replPoll := flag.Duration("repl-poll", 250*time.Millisecond, "follower mode: primary poll cadence")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables profiling")
+	auditPath := flag.String("audit-log", "", "append structured JSONL decision audit records (refusals, errors, slow submissions) to this file")
+	slowQuery := flag.Duration("slow-query", 0, "with -audit-log, also record admitted submissions at least this slow (0 records only refusals and errors)")
 	flag.Parse()
 
 	if *adminToken == "" {
 		fatal(fmt.Errorf("-admin-token is required"))
 	}
+	log.Printf("disclosured: %s", obs.ReadBuildInfo())
+	startPprof(*pprofAddr)
+	audit, err := openAudit(*auditPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer audit.Close()
 	if *follow != "" {
 		if *dataDir != "" {
 			fatal(fmt.Errorf("-follow and -data-dir are mutually exclusive: a follower holds no disk state"))
@@ -103,7 +124,7 @@ func main() {
 		if *preset != "" || *configPath != "" {
 			fatal(fmt.Errorf("-follow takes its deployment from the primary; drop -preset/-config"))
 		}
-		runFollower(*addr, *follow, *adminToken, *maxLag, *replPoll, *maxBytes, *maxBatch, *shutdownTimeout)
+		runFollower(*addr, *follow, *adminToken, *maxLag, *replPoll, *maxBytes, *maxBatch, *shutdownTimeout, audit, *slowQuery)
 		return
 	}
 	if (*preset == "") == (*configPath == "") {
@@ -152,6 +173,7 @@ func main() {
 		}
 	}
 
+	sys.SetAudit(audit, *slowQuery)
 	opts := server.Options{
 		AdminToken:      *adminToken,
 		MaxRequestBytes: *maxBytes,
@@ -234,13 +256,18 @@ func main() {
 
 // runFollower is the -follow mode: bootstrap a replica from the primary,
 // serve the read endpoints against it, and keep tailing the primary's log
-// until SIGINT/SIGTERM.
-func runFollower(addr, primary, token string, maxLag, poll time.Duration, maxBytes int64, maxBatch int, shutdownTimeout time.Duration) {
+// until SIGINT/SIGTERM. The sync loop and the serving layer share one
+// instance metrics registry, so the follower's GET /metrics (authenticated
+// with the replication token) exposes the staleness gauge and resync
+// counters next to the HTTP metrics.
+func runFollower(addr, primary, token string, maxLag, poll time.Duration, maxBytes int64, maxBatch int, shutdownTimeout time.Duration, audit *obs.AuditLog, slowQuery time.Duration) {
+	reg := obs.NewRegistry()
 	f, err := repl.NewFollower(repl.FollowerOptions{
 		Primary:  primary,
 		Token:    token,
 		Interval: poll,
 		Logf:     log.Printf,
+		Metrics:  reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -249,6 +276,10 @@ func runFollower(addr, primary, token string, maxLag, poll time.Duration, maxByt
 		MaxRequestBytes: maxBytes,
 		MaxBatch:        maxBatch,
 		MaxLag:          maxLag,
+		Metrics:         reg,
+		MetricsToken:    token,
+		Audit:           audit,
+		SlowQuery:       slowQuery,
 	})
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -357,6 +388,48 @@ func configDeployment(path string) (*deployment, error) {
 		return nil, err
 	}
 	return &deployment{schema: s, views: cat.Views(), policies: cfg.Policies}, nil
+}
+
+// startPprof serves net/http/pprof on a side listener when -pprof-addr is
+// set. The mux is explicit — the profiling surface never rides on the
+// public listener, and DefaultServeMux stays empty — and the listener is
+// bound before returning so a bad address fails the boot instead of
+// logging from a goroutine.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("-pprof-addr: %w", err))
+	}
+	log.Printf("disclosured: pprof on %s", l.Addr())
+	go func() {
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			log.Printf("disclosured: pprof server: %v", err)
+		}
+	}()
+}
+
+// openAudit opens the -audit-log sink; a nil *obs.AuditLog (empty path)
+// is a valid no-op sink everywhere it is passed.
+func openAudit(path string) (*obs.AuditLog, error) {
+	if path == "" {
+		return nil, nil
+	}
+	a, err := obs.OpenAuditLog(path)
+	if err != nil {
+		return nil, fmt.Errorf("-audit-log: %w", err)
+	}
+	log.Printf("disclosured: audit log %s", path)
+	return a, nil
 }
 
 func fatal(err error) {

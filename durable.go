@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/policy"
@@ -668,7 +669,15 @@ func (d *Durable) Close() error {
 // reverse order would leave a checkpoint whose generation shadows
 // operations still being appended to the old segment. On any error the
 // previous generation stays current and appending continues where it was.
-func (d *Durable) rotateShardLocked(sh *walShard, newGen uint64) error {
+func (d *Durable) rotateShardLocked(sh *walShard, newGen uint64) (err error) {
+	t0 := time.Now()
+	defer func() {
+		if err != nil {
+			checkpointFailures.Inc()
+		} else {
+			checkpointSeconds.Observe(time.Since(t0).Seconds())
+		}
+	}()
 	ck, err := d.captureShardLocked(sh, newGen)
 	if err != nil {
 		return err

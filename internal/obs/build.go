@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: module version, VCS revision
+// and commit time (when the binary was built from a checkout), whether
+// the worktree was dirty, and the Go toolchain. It is embedded in the
+// stats responses, printed at daemon boot, and exposed as the
+// disclosure_build_info metric, so a deployed binary is identifiable
+// from a scrape alone.
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision and RevisionTime are the VCS commit the binary was built
+	// from, empty when built outside a checkout.
+	Revision     string `json:"revision,omitempty"`
+	RevisionTime string `json:"revision_time,omitempty"`
+	// Modified reports a dirty worktree at build time.
+	Modified bool `json:"modified,omitempty"`
+	// Go is the toolchain version that built the binary.
+	Go string `json:"go"`
+}
+
+// ReadBuildInfo collects the running binary's identity from
+// runtime/debug. It never fails: binaries without embedded build
+// information (some test binaries) report only the Go version.
+func ReadBuildInfo() BuildInfo {
+	b := BuildInfo{Go: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.RevisionTime = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the build info as a one-line boot-log identity.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	dirty := ""
+	if b.Modified {
+		dirty = "+dirty"
+	}
+	return fmt.Sprintf("version=%s revision=%s%s go=%s", b.Version, rev, dirty, b.Go)
+}
+
+// Register exposes the build identity as the constant-1 gauge
+// disclosure_build_info, carrying the identity in its labels — the
+// Prometheus idiom for build metadata. No-op on a nil registry.
+func (b BuildInfo) Register(r *Registry) {
+	modified := "false"
+	if b.Modified {
+		modified = "true"
+	}
+	r.Gauge("disclosure_build_info",
+		"Build identity of the running binary (constant 1; the identity is in the labels).",
+		"version", b.Version, "revision", b.Revision, "modified", modified, "goversion", b.Go).Set(1)
+}

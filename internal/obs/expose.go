@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ExpositionContentType is the Content-Type of the Prometheus text
+// exposition format produced by Expose.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Expose writes every family of the registry in the Prometheus text
+// exposition format (version 0.0.4): a `# HELP` and `# TYPE` line per
+// family, then one sample line per series — histograms expand into
+// cumulative `_bucket{le="..."}` lines plus `_sum` and `_count`.
+// Families are sorted by name and series appear in registration order,
+// so the output is deterministic for a deterministic registry.
+//
+// Expose holds the registry lock for the duration of the write:
+// concurrent collector updates proceed untouched (they are lock-free),
+// but sampled GaugeFunc/CounterFunc callbacks run under the lock and
+// must not call back into the registry. A nil registry writes nothing.
+func (r *Registry) Expose(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sortFamilies(fams)
+	for _, fam := range fams {
+		writeEscapedMeta(bw, "# HELP ", fam.name, fam.help)
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.typ)
+		bw.WriteByte('\n')
+		for _, key := range fam.order {
+			writeSeries(bw, fam, fam.series[key])
+		}
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}
+
+// sortFamilies orders families by name (insertion sort: registries hold
+// tens of families, and this avoids importing sort twice for clarity).
+func sortFamilies(fams []*family) {
+	for i := 1; i < len(fams); i++ {
+		for j := i; j > 0 && fams[j].name < fams[j-1].name; j-- {
+			fams[j], fams[j-1] = fams[j-1], fams[j]
+		}
+	}
+}
+
+// writeEscapedMeta writes a HELP line, escaping backslashes and
+// newlines per the exposition format.
+func writeEscapedMeta(bw *bufio.Writer, prefix, name, text string) {
+	bw.WriteString(prefix)
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\\':
+			bw.WriteString(`\\`)
+		case '\n':
+			bw.WriteString(`\n`)
+		default:
+			bw.WriteByte(text[i])
+		}
+	}
+	bw.WriteByte('\n')
+}
+
+// writeSeries writes the sample lines of one series.
+func writeSeries(bw *bufio.Writer, fam *family, s *series) {
+	switch {
+	case s.hist != nil:
+		writeHistogram(bw, fam.name, s)
+	case s.counter != nil:
+		writeSample(bw, fam.name, "", s.labels, formatUint(s.counter.Value()))
+	case s.countFn != nil:
+		writeSample(bw, fam.name, "", s.labels, formatUint(s.countFn()))
+	case s.gauge != nil:
+		writeSample(bw, fam.name, "", s.labels, formatFloat(s.gauge.Value()))
+	case s.gaugeFn != nil:
+		writeSample(bw, fam.name, "", s.labels, formatFloat(s.gaugeFn()))
+	}
+}
+
+// writeHistogram writes the cumulative bucket lines, sum and count of a
+// histogram series. `_count` is the +Inf cumulative value — the same
+// bucket reads, so count and buckets are always mutually consistent even
+// while Observe races the exposition.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.hist
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		writeSample(bw, name, "_bucket", joinLabels(s.labels, `le="`+formatFloat(bound)+`"`), formatUint(cum))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	writeSample(bw, name, "_bucket", joinLabels(s.labels, `le="+Inf"`), formatUint(cum))
+	writeSample(bw, name, "_sum", s.labels, formatFloat(h.Sum()))
+	writeSample(bw, name, "_count", s.labels, formatUint(cum))
+}
+
+// joinLabels appends extra to a rendered label set.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// writeSample writes one `name_suffix{labels} value` line.
+func writeSample(bw *bufio.Writer, name, suffix, labels, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatUint(v uint64) string   { return strconv.FormatUint(v, 10) }
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ExposeAll writes each registry in turn — the /metrics handlers expose
+// the process-wide Default registry followed by the serving instance's
+// own registry. Families must not repeat across the registries.
+func ExposeAll(w io.Writer, regs ...*Registry) error {
+	for _, r := range regs {
+		if err := r.Expose(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exposition format byte-for-byte on a
+// deterministic registry: HELP/TYPE lines, label rendering, cumulative
+// histogram buckets with the implicit +Inf, sum and count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.", "outcome", "ok").Add(3)
+	r.Counter("app_requests_total", "Requests served.", "outcome", "err").Inc()
+	r.Gauge("app_in_flight", "In-flight requests.").Set(2)
+	h := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(9)
+	r.GaugeFunc("app_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatalf("Expose: %v", err)
+	}
+	want := `# HELP app_in_flight In-flight requests.
+# TYPE app_in_flight gauge
+app_in_flight 2
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 2
+app_latency_seconds_bucket{le="0.5"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 9.4
+app_latency_seconds_count 4
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{outcome="ok"} 3
+app_requests_total{outcome="err"} 1
+# HELP app_uptime_seconds Uptime.
+# TYPE app_uptime_seconds gauge
+app_uptime_seconds 12.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBuckets checks the boundary convention: a value equal to
+// an upper bound lands in that bound's bucket (le is inclusive).
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1"
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	if got := h.buckets[0].Load(); got != 1 {
+		t.Errorf("bucket le=1 = %d, want 1", got)
+	}
+	if got := h.buckets[1].Load(); got != 1 {
+		t.Errorf("bucket le=2 = %d, want 1", got)
+	}
+	if got := h.buckets[2].Load(); got != 1 {
+		t.Errorf("bucket +Inf = %d, want 1", got)
+	}
+	if h.Count() != 3 || h.Sum() != 6 {
+		t.Errorf("count=%d sum=%v, want 3 and 6", h.Count(), h.Sum())
+	}
+}
+
+// TestIdempotentRegistration checks the get-or-create contract: the
+// same name+labels returns the same collector, and a different label
+// set returns a sibling series of the same family.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.", "k", "1")
+	b := r.Counter("x_total", "X.", "k", "1")
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	c := r.Counter("x_total", "X.", "k", "2")
+	if a == c {
+		t.Error("distinct labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter family as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X.")
+}
+
+// TestNilCollectors checks that the Disabled registry's nil collectors
+// are no-ops on every method.
+func TestNilCollectors(t *testing.T) {
+	var r *Registry = Disabled
+	c := r.Counter("n_total", "N.")
+	g := r.Gauge("n", "N.")
+	h := r.Histogram("n_seconds", "N.", LatencyBuckets)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(0.5)
+	r.GaugeFunc("nf", "N.", func() float64 { return 1 })
+	r.CounterFunc("nc", "N.", func() uint64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil collectors reported nonzero values")
+	}
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry exposed %q, %v", b.String(), err)
+	}
+}
+
+// TestGaugeAdd checks the CAS add loop, including negative deltas.
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "G.")
+	g.Add(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+// TestExposeConcurrent is the race hammer: collector updates and
+// GaugeFunc-sampled reads racing Expose must be clean under -race and
+// must leave the counters exact.
+func TestExposeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "H.", "w", "x")
+	h := r.Histogram("hammer_seconds", "H.", LatencyBuckets)
+	g := r.Gauge("hammer_gauge", "H.")
+	r.GaugeFunc("hammer_fn", "H.", func() float64 { return g.Value() })
+
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(workers + 2)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				g.Add(1)
+			}
+		}()
+	}
+	for e := 0; e < 2; e++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.Expose(&b); err != nil {
+					t.Errorf("Expose: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+}
+
+// TestAuditLog round-trips records through the JSONL file: one valid
+// JSON object per line, concurrent writers never interleave.
+func TestAuditLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	al, err := OpenAuditLog(path)
+	if err != nil {
+		t.Fatalf("OpenAuditLog: %v", err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			rec := &AuditRecord{Node: "primary", Principal: "alice", Outcome: "refused", Offending: []string{"work"}}
+			if err := al.Log(rec); err != nil {
+				t.Errorf("Log: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := al.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != n {
+		t.Fatalf("got %d lines, want %d", len(lines), n)
+	}
+	for _, line := range lines {
+		var rec AuditRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if rec.Time == "" || rec.Outcome != "refused" || len(rec.Offending) != 1 {
+			t.Errorf("unexpected record %+v", rec)
+		}
+	}
+	var nilLog *AuditLog
+	if err := nilLog.Log(&AuditRecord{}); err != nil {
+		t.Errorf("nil AuditLog.Log: %v", err)
+	}
+	if err := nilLog.Close(); err != nil {
+		t.Errorf("nil AuditLog.Close: %v", err)
+	}
+}

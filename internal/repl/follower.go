@@ -16,6 +16,7 @@ import (
 
 	disclosure "repro"
 	"repro/internal/cq"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -36,6 +37,20 @@ type FollowerOptions struct {
 	// Logf, when non-nil, receives sync-loop diagnostics (resyncs, transient
 	// fetch failures). Nil discards them.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the follower's replication
+	// collectors: the staleness gauge, applied-ops and resync counters,
+	// and the decision-RPC latency/error series. The daemon passes the
+	// instance registry its /metrics endpoint exposes, so one registry
+	// covers both the sync loop and the serving layer. Nil disables
+	// registration.
+	Metrics *obs.Registry
+}
+
+// followerMetrics holds the follower's hot-path collectors; sampled
+// values (staleness, applied, resyncs) register as callbacks instead.
+type followerMetrics struct {
+	decide       *obs.Histogram
+	decideErrors *obs.Counter
 }
 
 // Follower replicates one primary: it bootstraps a disclosure.Replica from
@@ -61,6 +76,8 @@ type Follower struct {
 
 	applied atomic.Uint64 // operations applied across replica rebuilds
 	resyncs atomic.Uint64 // checkpoint re-bootstraps after the first
+
+	met followerMetrics
 }
 
 // NewFollower bootstraps a follower from the primary's current checkpoints
@@ -80,10 +97,37 @@ func NewFollower(opts FollowerOptions) (*Follower, error) {
 		opts.ChunkBytes = DefaultMaxChunk
 	}
 	f := &Follower{opts: opts}
+	f.registerMetrics(opts.Metrics)
 	if err := f.bootstrap(); err != nil {
 		return nil, err
 	}
 	return f, nil
+}
+
+// registerMetrics registers the follower's replication collectors in r.
+// Sampled series re-register on a fresh follower (latest instance wins
+// in r), matching the daemon's restart behavior. No-op when r is nil.
+func (f *Follower) registerMetrics(r *obs.Registry) {
+	r.GaugeFunc("disclosure_follower_staleness_seconds",
+		"How long ago the replica last fully matched the primary's observed tails (-1 before the first completed sync).",
+		func() float64 {
+			age, ok := f.Staleness()
+			if !ok {
+				return -1
+			}
+			return age.Seconds()
+		})
+	r.CounterFunc("disclosure_follower_applied_ops_total",
+		"Log operations applied into the replica, including re-applies after resyncs.",
+		f.Applied)
+	r.CounterFunc("disclosure_follower_resyncs_total",
+		"Checkpoint re-bootstraps after the initial one.",
+		f.Resyncs)
+	f.met.decide = r.Histogram("disclosure_repl_decide_seconds",
+		"Round-trip latency of the delegated decision RPC to the primary.",
+		obs.LatencyBuckets)
+	f.met.decideErrors = r.Counter("disclosure_repl_decide_errors_total",
+		"Decision RPCs that failed (the serving layer fails these submissions closed).")
 }
 
 // logf emits a diagnostic if a logger is configured.
@@ -293,6 +337,18 @@ func (f *Follower) TokenOwner(token string) (string, bool) {
 // logged there before returning). Any failure to reach or convince the
 // primary is an error, and the serving layer fails the submission closed.
 func (f *Follower) Decide(principal string, q *disclosure.Query) (disclosure.Decision, error) {
+	t0 := time.Now()
+	dec, err := f.decideRPC(principal, q)
+	f.met.decide.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		f.met.decideErrors.Inc()
+	}
+	return dec, err
+}
+
+// decideRPC performs the decision round trip; Decide wraps it with the
+// RPC latency/error collectors.
+func (f *Follower) decideRPC(principal string, q *disclosure.Query) (disclosure.Decision, error) {
 	req := DecideRequest{
 		Principal:   principal,
 		Query:       q.String(),

@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	disclosure "repro"
+	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/server"
 )
@@ -148,10 +150,17 @@ func newCluster(t *testing.T, folOpts server.FollowerOptions) *cluster {
 	t.Cleanup(primHTTP.Close)
 	px := newProxy(t, primHTTP.Listener.Addr().String())
 
+	// The sync loop and the serving layer share one instance registry, as
+	// the daemon wires them, so /metrics on the follower exposes the
+	// staleness gauge next to the HTTP metrics.
+	if folOpts.Metrics == nil {
+		folOpts.Metrics = obs.NewRegistry()
+	}
 	fol, err := repl.NewFollower(repl.FollowerOptions{
 		Primary:  px.url(),
 		Token:    "admin",
 		Interval: time.Hour,
+		Metrics:  folOpts.Metrics,
 	})
 	if err != nil {
 		t.Fatalf("NewFollower: %v", err)
@@ -529,5 +538,143 @@ func TestFollowerServesReadsAndCounts(t *testing.T) {
 	}
 	if err := cl.Load([]server.LoadRow{{Rel: "M", Values: []string{"11", "Dave"}}}); err == nil {
 		t.Fatal("follower accepted a bulk load")
+	}
+}
+
+// scrapeFollower GETs the follower's /metrics and returns the exposition
+// body.
+func scrapeFollower(t *testing.T, c *cluster, token string) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, c.folHTTP.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ExpositionContentType {
+		t.Fatalf("scrape content type = %q, want %q", ct, obs.ExpositionContentType)
+	}
+	return string(body)
+}
+
+// gaugeValue extracts an unlabeled sample value from an exposition body.
+func gaugeValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, found := strings.CutPrefix(line, name+" "); found {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("unparsable %s value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("exposition has no %s sample:\n%s", name, body)
+	return 0
+}
+
+// TestFollowerMetricsEndpoint checks the follower's /metrics surface: the
+// same exposition the primary serves, including the replication gauges —
+// and the staleness gauge demonstrably rises while the blockable proxy
+// partitions the pair, while fail-closed submissions land in their
+// counter.
+func TestFollowerMetricsEndpoint(t *testing.T) {
+	c := newCluster(t, server.FollowerOptions{})
+	c.sync()
+
+	body := scrapeFollower(t, c, "")
+	for _, family := range []string{
+		"# TYPE disclosure_follower_staleness_seconds gauge",
+		"# TYPE disclosure_follower_applied_ops_total counter",
+		"# TYPE disclosure_follower_resyncs_total counter",
+		"# TYPE disclosure_repl_decide_seconds histogram",
+		"# TYPE disclosure_follower_fail_closed_total counter",
+		"# TYPE disclosure_build_info gauge",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("follower exposition missing %q", family)
+		}
+	}
+	s1 := gaugeValue(t, body, "disclosure_follower_staleness_seconds")
+	if s1 < 0 {
+		t.Fatalf("staleness after sync = %v, want >= 0 (synced)", s1)
+	}
+
+	// Partition the pair. The follower cannot sync, so staleness must
+	// keep rising; a submission fails closed and lands in the counter.
+	c.proxy.setBlocked(true)
+	time.Sleep(50 * time.Millisecond)
+	if err := c.fol.SyncOnce(); err == nil {
+		t.Fatal("SyncOnce through a blocked proxy succeeded")
+	}
+	if res, err := c.client("tok").Submit("QM(t) :- M(t, p)"); err != nil || res.Error == "" {
+		t.Fatalf("partitioned submit = (error=%q, err=%v), want a closed failure", res.Error, err)
+	}
+	body = scrapeFollower(t, c, "")
+	s2 := gaugeValue(t, body, "disclosure_follower_staleness_seconds")
+	if s2 <= s1 {
+		t.Fatalf("staleness under partition = %v, want > %v (it must rise)", s2, s1)
+	}
+	if v := gaugeValue(t, body, "disclosure_follower_fail_closed_total"); v < 1 {
+		t.Fatalf("fail-closed counter = %v, want >= 1", v)
+	}
+	// HTTP middleware families register on a route's first completed
+	// request, so they appear from the second scrape on.
+	if !strings.Contains(body, "# TYPE disclosure_http_request_seconds histogram") {
+		t.Error("follower exposition missing the HTTP latency histogram")
+	}
+	c.proxy.setBlocked(false)
+
+	// After a successful sync the gauge drops back toward zero.
+	c.sync()
+	s3 := gaugeValue(t, scrapeFollower(t, c, ""), "disclosure_follower_staleness_seconds")
+	if s3 >= s2 {
+		t.Fatalf("staleness after resync = %v, want < %v", s3, s2)
+	}
+}
+
+// TestFollowerMetricsToken checks that a configured metrics token gates
+// the follower's /metrics endpoint.
+func TestFollowerMetricsToken(t *testing.T) {
+	c := newCluster(t, server.FollowerOptions{MetricsToken: "scrape"})
+	c.sync()
+	resp, err := http.Get(c.folHTTP.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated scrape status = %d, want 401", resp.StatusCode)
+	}
+	if body := scrapeFollower(t, c, "scrape"); !strings.Contains(body, "disclosure_follower_staleness_seconds") {
+		t.Fatal("authenticated scrape is missing the staleness gauge")
+	}
+}
+
+// TestFollowerLagGateMetric checks that 503 lag-gate rejections land in
+// the lag-rejections counter.
+func TestFollowerLagGateMetric(t *testing.T) {
+	c := newCluster(t, server.FollowerOptions{MaxLag: time.Nanosecond})
+	c.sync()
+	time.Sleep(5 * time.Millisecond) // any nonzero staleness exceeds 1ns
+	if res, err := c.client("tok").Submit("QM(t) :- M(t, p)"); err == nil {
+		t.Fatalf("lag-gated submit succeeded: %+v", res)
+	}
+	body := scrapeFollower(t, c, "")
+	if v := gaugeValue(t, body, "disclosure_follower_lag_rejections_total"); v < 1 {
+		t.Fatalf("lag-rejections counter = %v, want >= 1", v)
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	disclosure "repro"
+	"repro/internal/obs"
 )
 
 // This file defines the wire types of the disclosured HTTP/JSON API. They
@@ -92,6 +93,9 @@ type StatsResponse struct {
 	Principals int `json:"principals"`
 	// UptimeSeconds is the time since the server was created.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Build identifies the serving binary (module version, VCS revision,
+	// Go toolchain), so a deployment is identifiable from a stats call.
+	Build obs.BuildInfo `json:"build"`
 }
 
 // FollowerStatus is the replication block of a follower's stats response:

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	disclosure "repro"
+	"repro/internal/cq"
+	"repro/internal/obs"
 )
 
 // ReplicaBackend is what a follower server serves from: a replicated,
@@ -52,6 +54,23 @@ type FollowerOptions struct {
 	// exceeds it (or before the first completed sync). Stats is never
 	// gated — it is how lag is monitored.
 	MaxLag time.Duration
+	// Metrics, when non-nil, is the instance registry for this server's
+	// collectors (HTTP middleware, fail-closed and lag-gate counters,
+	// sampled gauges); GET /metrics exposes it after obs.Default. The
+	// daemon passes the same registry to repl.FollowerOptions.Metrics so
+	// one scrape covers the sync loop and the serving layer. Nil creates
+	// a fresh registry.
+	Metrics *obs.Registry
+	// MetricsToken, when non-empty, authenticates GET /metrics (the
+	// follower has no admin surface of its own; the daemon passes the
+	// replication token). Empty leaves /metrics unauthenticated.
+	MetricsToken string
+	// Audit, when non-nil, receives a structured record (node
+	// "follower") for every refused and errored submission and — with
+	// SlowQuery positive — every submission at least that slow.
+	Audit *obs.AuditLog
+	// SlowQuery is the audit threshold for admitted submissions.
+	SlowQuery time.Duration
 }
 
 // FollowerServer is the read-path HTTP service of a follower disclosured:
@@ -72,6 +91,15 @@ type FollowerServer struct {
 	opts  FollowerOptions
 	mux   *http.ServeMux
 	start time.Time
+	reg   *obs.Registry
+	hm    *httpMetrics
+	build obs.BuildInfo
+
+	// failClosed counts submissions failed closed because the decision
+	// RPC errored; lagRejects counts requests refused 503 by the MaxLag
+	// gate. Both also surface as instance metrics.
+	failClosed *obs.Counter
+	lagRejects *obs.Counter
 
 	// Counter identity, local to this node (see SystemStats): queries is
 	// incremented when a submission enters, exactly one of the other three
@@ -100,14 +128,46 @@ func NewFollower(back ReplicaBackend, opts FollowerOptions) *FollowerServer {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = DefaultMaxBatch
 	}
-	f := &FollowerServer{back: back, opts: opts, mux: http.NewServeMux(), start: time.Now()}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	f := &FollowerServer{
+		back:  back,
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		reg:   reg,
+		hm:    newHTTPMetrics(reg),
+		build: obs.ReadBuildInfo(),
+		failClosed: reg.Counter("disclosure_follower_fail_closed_total",
+			"Submissions failed closed because the primary decision RPC errored."),
+		lagRejects: reg.Counter("disclosure_follower_lag_rejections_total",
+			"Requests refused 503 because replica staleness exceeded the max-lag bound."),
+	}
+	registerInstanceGauges(reg, back.System, f.start)
 	f.mux.HandleFunc("POST /v1/submit", f.gated(f.handleSubmit))
 	f.mux.HandleFunc("GET /v1/explain", f.gated(f.handleExplain))
 	f.mux.HandleFunc("GET /v1/stats", f.handleStats)
+	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
 	f.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusForbidden, "read-only follower: administrative and write endpoints are served by the primary "+f.back.Primary())
 	})
 	return f
+}
+
+// handleMetrics serves GET /metrics on the follower — the same
+// exposition surface as the primary (one scrape config covers both
+// roles), including the staleness gauge and resync counters the sync
+// loop registers in the shared instance registry. Never gated on
+// MaxLag: a lagging follower's metrics are exactly what an operator
+// needs. Authenticated with MetricsToken when configured.
+func (f *FollowerServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if f.opts.MetricsToken != "" && bearer(r) != f.opts.MetricsToken {
+		writeError(w, http.StatusUnauthorized, "metrics token required")
+		return
+	}
+	writeMetrics(w, f.reg)
 }
 
 // gated stamps the staleness header and enforces MaxLag before running a
@@ -121,6 +181,7 @@ func (f *FollowerServer) gated(h http.HandlerFunc) http.HandlerFunc {
 			w.Header().Set(StalenessHeader, "unsynced")
 		}
 		if f.opts.MaxLag > 0 && (!ok || age > f.opts.MaxLag) {
+			f.lagRejects.Inc()
 			writeError(w, http.StatusServiceUnavailable,
 				fmt.Sprintf("follower replica staleness exceeds the %s bound; retry or use the primary %s", f.opts.MaxLag, f.back.Primary()))
 			return
@@ -183,19 +244,32 @@ func (f *FollowerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		qs[i] = q
 	}
 	sys := f.back.System()
+	timed := f.opts.Audit != nil
 	resp := SubmitResponse{Principal: principal, Results: make([]SubmitResult, len(qs))}
 	for i, q := range qs {
 		f.queries.Add(1)
 		out := SubmitResult{Query: q.Name}
+		var t0 time.Time
+		var decideDur, evalDur time.Duration
+		if timed {
+			t0 = time.Now()
+		}
 		dec, err := f.back.Decide(principal, q)
+		if timed {
+			decideDur = time.Since(t0)
+		}
+		outcome := "admitted"
 		switch {
 		case err != nil:
 			// Fail closed: an unreachable or refusing primary is an error,
 			// never a locally improvised admission.
 			f.errored.Add(1)
+			f.failClosed.Inc()
+			outcome = "errored"
 			out.Error = err.Error()
 		case !dec.Allowed:
 			f.refused.Add(1)
+			outcome = "refused"
 			out.Live = dec.Live
 			// The refusal explanation is built from the replica's session
 			// copy: structurally primary-shaped, numerically bounded-stale
@@ -207,7 +281,15 @@ func (f *FollowerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			f.admitted.Add(1)
 			out.Allowed = true
 			out.Live = dec.Live
-			rows, eerr := sys.Evaluate(q)
+			var rows []disclosure.Tuple
+			var eerr error
+			if timed {
+				te := time.Now()
+				rows, eerr = sys.Evaluate(q)
+				evalDur = time.Since(te)
+			} else {
+				rows, eerr = sys.Evaluate(q)
+			}
 			if eerr != nil {
 				out.Error = eerr.Error()
 				break
@@ -217,9 +299,47 @@ func (f *FollowerServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				out.Rows[j] = row
 			}
 		}
+		if timed {
+			f.auditSubmission(principal, q, out, outcome, decideDur, evalDur)
+		}
 		resp.Results[i] = out
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// auditSubmission writes the follower-side audit record for one decided
+// submission: refusals and errors always, admitted queries when at least
+// SlowQuery slow. DecideMs is the primary decision RPC (the follower's
+// analogue of the monitor stage); EvalMs is the local evaluation;
+// staleness is stamped so an audit line is interpretable without joining
+// against the scrape history.
+func (f *FollowerServer) auditSubmission(principal string, q *disclosure.Query, out SubmitResult, outcome string, decideDur, evalDur time.Duration) {
+	total := decideDur + evalDur
+	slow := f.opts.SlowQuery > 0 && total >= f.opts.SlowQuery
+	if outcome == "admitted" && out.Error == "" && !slow {
+		return
+	}
+	rec := obs.AuditRecord{
+		Node:             "follower",
+		Principal:        principal,
+		Query:            q.Name,
+		Outcome:          outcome,
+		Slow:             slow,
+		Error:            out.Error,
+		Live:             out.Live,
+		DecideMs:         decideDur.Seconds() * 1e3,
+		EvalMs:           evalDur.Seconds() * 1e3,
+		TotalMs:          total.Seconds() * 1e3,
+		StalenessSeconds: -1,
+	}
+	rec.Fingerprint = strconv.FormatUint(cq.FingerprintKey(cq.CanonicalKey(q)), 16)
+	if age, ok := f.back.Staleness(); ok {
+		rec.StalenessSeconds = age.Seconds()
+	}
+	if out.Refusal != nil {
+		rec.Offending = out.Refusal.Offending()
+	}
+	_ = f.opts.Audit.Log(&rec)
 }
 
 // handleExplain serves GET /v1/explain?q=... from the replica — the same
@@ -287,18 +407,19 @@ func (f *FollowerServer) handleStats(w http.ResponseWriter, r *http.Request) {
 			},
 			Principals:    sys.Principals(),
 			UptimeSeconds: time.Since(f.start).Seconds(),
+			Build:         f.build,
 		},
 		Follower: st,
 	})
 }
 
 // Handler returns the follower service's HTTP handler with the
-// request-size limit applied.
+// request-size limit and metrics middleware applied.
 func (f *FollowerServer) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return f.hm.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, f.opts.MaxRequestBytes)
 		f.mux.ServeHTTP(w, r)
-	})
+	}))
 }
 
 // Serve accepts connections on l until Shutdown, like Server.Serve.

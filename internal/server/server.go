@@ -11,6 +11,7 @@
 //	DELETE /v1/policy/{principal}  remove a principal (admin token)
 //	POST   /v1/load                bulk-load rows in one snapshot (admin token)
 //	GET    /v1/stats               system counters and server gauges (no auth)
+//	GET    /metrics                Prometheus text exposition (admin token)
 //
 // Authentication is bearer-token: administrative endpoints require the
 // admin token the server was created with, and each principal submits with
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	disclosure "repro"
+	"repro/internal/obs"
 )
 
 // Options configures a Server.
@@ -59,6 +61,11 @@ type Options struct {
 	// surface (repl.Primary.Handler()) a durable primary exposes to its
 	// followers. The handler does its own bearer-token authentication.
 	Repl http.Handler
+	// Metrics, when non-nil, is the instance registry for this server's
+	// per-route HTTP collectors and sampled gauges; GET /metrics exposes
+	// it after the process-wide obs.Default registry. Nil creates a
+	// fresh one, which keeps multiple servers in one process apart.
+	Metrics *obs.Registry
 }
 
 // TokenJournal durably records submission tokens; the server calls it
@@ -85,6 +92,9 @@ type Server struct {
 	opts  Options
 	mux   *http.ServeMux
 	start time.Time
+	reg   *obs.Registry
+	hm    *httpMetrics
+	build obs.BuildInfo
 
 	mu     sync.RWMutex
 	tokens map[string]string // submission token → principal
@@ -107,20 +117,29 @@ func New(sys *disclosure.System, opts Options) (*Server, error) {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = DefaultMaxBatch
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		sys:    sys,
 		opts:   opts,
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+		reg:    reg,
+		hm:     newHTTPMetrics(reg),
+		build:  obs.ReadBuildInfo(),
 		tokens: make(map[string]string),
 		byName: make(map[string]string),
 	}
+	registerInstanceGauges(reg, func() *disclosure.System { return s.sys }, s.start)
 	s.mux.HandleFunc("POST /v1/submit", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("PUT /v1/policy/{principal}", s.handleSetPolicy)
 	s.mux.HandleFunc("DELETE /v1/policy/{principal}", s.handleRemovePolicy)
 	s.mux.HandleFunc("POST /v1/load", s.handleLoad)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if opts.Repl != nil {
 		s.mux.Handle("/v1/repl/", opts.Repl)
 	}
@@ -185,10 +204,10 @@ func (s *Server) installTokenLocked(principal, token string) error {
 // Handler returns the service's HTTP handler with the request-size limit
 // applied, for mounting under a custom http.Server or test server.
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return s.hm.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes)
 		s.mux.ServeHTTP(w, r)
-	})
+	}))
 }
 
 // Serve accepts connections on l until Shutdown. It returns
@@ -520,5 +539,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SystemStats:   s.sys.Stats(),
 		Principals:    s.sys.Principals(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         s.build,
 	})
+}
+
+// handleMetrics serves GET /metrics (admin token): the process-wide
+// obs.Default registry — submit-pipeline stages, WAL, checkpoints —
+// followed by this instance's HTTP and sampled gauges, in the
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !s.authAdmin(w, r) {
+		return
+	}
+	writeMetrics(w, s.reg)
 }

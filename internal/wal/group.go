@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // ErrLogClosed is the sticky error a GroupLog reports once Close has run;
@@ -43,6 +44,7 @@ type GroupLog struct {
 	coalesce bool // group commit; false = commit every Enqueue inline
 
 	buf     []byte // frames of the window currently accepting appends
+	frames  int    // record count of the open window (window-occupancy metric)
 	epoch   uint64 // window open for appends (first window is 1)
 	durable uint64 // newest window known durable
 	leading bool   // a leader is writing the taken window
@@ -107,6 +109,7 @@ func (g *GroupLog) Enqueue(payload []byte) (uint64, error) {
 		return 0, g.err
 	}
 	g.buf = appendFrame(g.buf, payload)
+	g.frames++
 	e := g.epoch
 	if !g.coalesce {
 		g.commitLocked()
@@ -130,11 +133,13 @@ func (g *GroupLog) Enqueue(payload []byte) (uint64, error) {
 // compute finish Enqueue first, so their frames share the window — and
 // the fsync. On an uncontended log the yield costs one scheduler pass.
 func (g *GroupLog) WaitDurable(e uint64) error {
+	t0 := time.Now()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	yielded := false
 	for {
 		if g.durable >= e {
+			metricFsyncWait.Observe(time.Since(t0).Seconds())
 			return nil
 		}
 		if g.err != nil {
@@ -175,11 +180,14 @@ func (g *GroupLog) Append(payload []byte) error {
 func (g *GroupLog) commitLocked() {
 	buf := g.buf
 	g.buf = nil
+	frames := g.frames
+	g.frames = 0
 	e := g.epoch
 	g.epoch++
 	g.leading = true
 	g.mu.Unlock()
 
+	t0 := time.Now()
 	var err error
 	if len(buf) > 0 {
 		_, err = g.f.Write(buf)
@@ -193,10 +201,16 @@ func (g *GroupLog) commitLocked() {
 	if err != nil {
 		if g.err == nil {
 			g.err = fmt.Errorf("wal: commit: %w", err)
+			metricPoisoned.Inc()
 		}
 	} else {
 		g.durable = e
 		g.off += int64(len(buf))
+		metricCommitWindows.Inc()
+		metricCommitSeconds.Observe(time.Since(t0).Seconds())
+		if frames > 0 {
+			metricWindowFrames.Observe(float64(frames))
+		}
 	}
 	g.cond.Broadcast()
 }
@@ -224,6 +238,7 @@ func (g *GroupLog) Flush() error {
 	}
 	if err := g.f.Sync(); err != nil {
 		g.err = fmt.Errorf("wal: sync: %w", err)
+		metricPoisoned.Inc()
 		g.cond.Broadcast()
 		return g.err
 	}

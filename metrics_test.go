@@ -1,0 +1,183 @@
+package disclosure
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metricsSystem is figure1System with a fresh instance registry attached,
+// so assertions never race other tests' submissions on obs.Default.
+func metricsSystem(t *testing.T) (*System, *obs.Registry) {
+	t.Helper()
+	sys := figure1System(t)
+	reg := obs.NewRegistry()
+	sys.SetMetricsRegistry(reg)
+	if err := sys.SetPolicy("app", map[string][]string{"times": {"V2"}}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, reg
+}
+
+// expose renders a registry to a string for substring assertions.
+func expose(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.Expose(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestSubmitMetrics drives every outcome class through Submit, Decide and
+// SubmitBatch and checks the outcome counters agree with Stats and that
+// the per-stage histograms saw the submissions that reached each stage.
+func TestSubmitMetrics(t *testing.T) {
+	sys, reg := metricsSystem(t)
+	admittedQ := MustParse("Free(t) :- Meetings(t, p)")
+	refusedQ := MustParse("Q1(x) :- Meetings(x, 'Cathy')")
+
+	sys.Submit("app", admittedQ)
+	sys.Submit("app", refusedQ)
+	sys.Submit("nobody", admittedQ)  // errored: no policy
+	sys.Submit("app", unsafeQuery()) // errored: labeling failure
+	sys.Decide("app", admittedQ)
+	sys.SubmitBatch("app", []*Query{admittedQ, refusedQ, unsafeQuery()})
+	sys.SubmitBatch("nobody", []*Query{admittedQ}) // errored per item
+
+	out := expose(t, reg)
+	for _, want := range []string{
+		`disclosure_submissions_total{outcome="admitted"} 3`,
+		`disclosure_submissions_total{outcome="refused"} 2`,
+		`disclosure_submissions_total{outcome="errored"} 4`,
+		`disclosure_submit_stage_seconds_count{stage="decide"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	st := sys.Stats()
+	if st.Queries != 3+2+4 {
+		t.Fatalf("Stats.Queries = %d, want 9", st.Queries)
+	}
+}
+
+// TestSubmitAudit checks the structured audit log: refusals and errors
+// are always recorded with fingerprint, offending partitions and stage
+// timings; admitted submissions appear only past the slow-query
+// threshold; and a zero threshold records no admitted submissions.
+func TestSubmitAudit(t *testing.T) {
+	sys, _ := metricsSystem(t)
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	audit, err := obs.OpenAuditLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer audit.Close()
+	sys.SetAudit(audit, 0)
+
+	admittedQ := MustParse("Free(t) :- Meetings(t, p)")
+	refusedQ := MustParse("Q1(x) :- Meetings(x, 'Cathy')")
+	sys.Submit("app", admittedQ) // admitted, not slow: not recorded
+	sys.Submit("app", refusedQ)
+	sys.Submit("nobody", admittedQ)
+
+	// With a 1ns threshold every admitted submission is slow.
+	sys.SetAudit(audit, time.Nanosecond)
+	sys.Submit("app", admittedQ)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var recs []obs.AuditRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r obs.AuditRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad audit line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d audit records, want 3 (refusal, error, slow admission)", len(recs))
+	}
+	refusal, errored, slow := recs[0], recs[1], recs[2]
+	if refusal.Outcome != "refused" || refusal.Node != "primary" || refusal.Principal != "app" {
+		t.Fatalf("refusal record = %+v", refusal)
+	}
+	if len(refusal.Offending) == 0 || refusal.Fingerprint == "" {
+		t.Fatalf("refusal record missing offending partitions or fingerprint: %+v", refusal)
+	}
+	if errored.Outcome != "errored" || errored.Error == "" {
+		t.Fatalf("error record = %+v", errored)
+	}
+	if slow.Outcome != "admitted" || !slow.Slow || slow.TotalMs <= 0 {
+		t.Fatalf("slow record = %+v", slow)
+	}
+}
+
+// TestBatchAudit checks that SubmitBatch audits per item: labeling errors
+// and refusals are recorded, admitted items only when slow.
+func TestBatchAudit(t *testing.T) {
+	sys, _ := metricsSystem(t)
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	audit, err := obs.OpenAuditLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer audit.Close()
+	sys.SetAudit(audit, 0)
+
+	sys.SubmitBatch("app", []*Query{
+		MustParse("Free(t) :- Meetings(t, p)"),
+		MustParse("Q1(x) :- Meetings(x, 'Cathy')"),
+		unsafeQuery(),
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d audit records, want 2 (refusal + labeling error):\n%s", len(lines), data)
+	}
+	outcomes := make(map[string]int)
+	for _, line := range lines {
+		var r obs.AuditRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatal(err)
+		}
+		outcomes[r.Outcome]++
+	}
+	if outcomes["refused"] != 1 || outcomes["errored"] != 1 {
+		t.Fatalf("batch audit outcomes = %v, want one refused and one errored", outcomes)
+	}
+}
+
+// TestCheckpointMetric checks that shard checkpoints observe the
+// process-wide checkpoint-duration histogram.
+func TestCheckpointMetric(t *testing.T) {
+	before := checkpointSeconds.Count()
+	dir := t.TempDir()
+	dur, err := OpenDurable(dir, DurabilityOptions{},
+		MustSchema(MustRelation("Meetings", "time", "person")),
+		MustParse("V2(t) :- Meetings(t, p)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur.Close()
+	if err := dur.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if after := checkpointSeconds.Count(); after <= before {
+		t.Fatalf("checkpointSeconds.Count() = %d, want > %d", after, before)
+	}
+}

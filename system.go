@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cq"
 	"repro/internal/engine"
 	"repro/internal/label"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -52,6 +54,14 @@ type System struct {
 	// it is attached once before the System is shared and never changes.
 	dur *Durable
 
+	// mets holds the submit-pipeline collectors (nil = uninstrumented);
+	// audit and slowQuery drive the structured decision audit log. All
+	// three are attached before the System is shared (NewSystem,
+	// SetMetricsRegistry, SetAudit) and never change afterwards.
+	mets      *systemMetrics
+	audit     *obs.AuditLog
+	slowQuery time.Duration
+
 	// Counter identity (see Stats): queries is incremented when a
 	// submission enters the system; exactly one of admitted, refused or
 	// errored is incremented before that submission returns. All four
@@ -74,6 +84,7 @@ func NewSystem(s *Schema, securityViews ...*Query) (*System, error) {
 		db:    engine.NewDatabase(s),
 		cat:   cat,
 		store: policy.NewConcurrentStore(),
+		mets:  newSystemMetrics(obs.Default),
 	}
 	sys.labeler.Store(label.NewCachedLabeler(label.NewLabeler(cat), 0))
 	return sys, nil
@@ -182,35 +193,66 @@ func (sys *System) Label(q *Query) (Label, error) { return sys.labeler.Load().La
 // refusal is a policy outcome, not an error. Principals without a policy
 // get (Decision{Allowed: false}, nil, err) with err wrapping ErrNoPolicy.
 func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error) {
+	// timed gates every instrumentation touch: with metrics and audit
+	// both off (obs.Disabled), Submit takes no timestamps at all.
+	timed := sys.mets != nil || sys.audit != nil
+	var tr stageTrace
+	if timed {
+		tr.start = time.Now()
+	}
 	sys.queries.Add(1)
 	// Fail before labeling: unauthenticated principals must not consume
 	// labeling work or label-cache capacity.
 	if !sys.store.Has(principal) {
 		sys.errored.Add(1)
-		return Decision{Allowed: false}, nil, fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+		err := fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+		if timed {
+			sys.finishSubmit(tr, outcomeErrored, principal, q, "", Decision{}, err)
+		}
+		return Decision{Allowed: false}, nil, err
 	}
 	// One canonicalization per submission, shared between the label cache
 	// and the plan cache — the dominant cost when both caches are warm.
 	key := cq.CanonicalKey(q)
 	lbl, err := sys.labeler.Load().LabelCanonical(key, q)
+	if timed {
+		tr.tLabel = time.Now()
+	}
 	if err != nil {
 		sys.errored.Add(1)
-		return Decision{Allowed: false}, nil, fmt.Errorf("disclosure: labeling %s: %w", q.Name, err)
+		err = fmt.Errorf("disclosure: labeling %s: %w", q.Name, err)
+		if timed {
+			sys.finishSubmit(tr, outcomeErrored, principal, q, key, Decision{}, err)
+		}
+		return Decision{Allowed: false}, nil, err
 	}
 	dec, err := sys.decide(principal, q, lbl)
+	if timed {
+		tr.tDecide = time.Now()
+	}
 	if err != nil {
 		if errors.Is(err, policy.ErrUnknownPrincipal) {
 			err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 		}
 		sys.errored.Add(1)
+		if timed {
+			sys.finishSubmit(tr, outcomeErrored, principal, q, key, Decision{}, err)
+		}
 		return Decision{Allowed: false}, nil, err
 	}
 	if !dec.Allowed {
 		sys.refused.Add(1)
+		if timed {
+			sys.finishSubmit(tr, outcomeRefused, principal, q, key, dec, nil)
+		}
 		return dec, nil, nil
 	}
 	sys.admitted.Add(1)
 	rows, err := sys.db.EvalCanonicalAt(sys.db.Snapshot(), key, q)
+	if timed {
+		tr.tEval = time.Now()
+		sys.finishSubmit(tr, outcomeAdmitted, principal, q, key, dec, err)
+	}
 	if err != nil {
 		return dec, nil, err
 	}
@@ -228,30 +270,57 @@ func (sys *System) Submit(principal string, q *Query) (Decision, []Tuple, error)
 // and the submission counts toward the Stats identity exactly as a local
 // Submit would.
 func (sys *System) Decide(principal string, q *Query) (Decision, error) {
+	timed := sys.mets != nil || sys.audit != nil
+	var tr stageTrace
+	if timed {
+		tr.start = time.Now()
+	}
 	sys.queries.Add(1)
 	if !sys.store.Has(principal) {
 		sys.errored.Add(1)
-		return Decision{Allowed: false}, fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+		err := fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+		if timed {
+			sys.finishSubmit(tr, outcomeErrored, principal, q, "", Decision{}, err)
+		}
+		return Decision{Allowed: false}, err
 	}
 	key := cq.CanonicalKey(q)
 	lbl, err := sys.labeler.Load().LabelCanonical(key, q)
+	if timed {
+		tr.tLabel = time.Now()
+	}
 	if err != nil {
 		sys.errored.Add(1)
-		return Decision{Allowed: false}, fmt.Errorf("disclosure: labeling %s: %w", q.Name, err)
+		err = fmt.Errorf("disclosure: labeling %s: %w", q.Name, err)
+		if timed {
+			sys.finishSubmit(tr, outcomeErrored, principal, q, key, Decision{}, err)
+		}
+		return Decision{Allowed: false}, err
 	}
 	dec, err := sys.decide(principal, q, lbl)
+	if timed {
+		tr.tDecide = time.Now()
+	}
 	if err != nil {
 		if errors.Is(err, policy.ErrUnknownPrincipal) {
 			err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
 		}
 		sys.errored.Add(1)
+		if timed {
+			sys.finishSubmit(tr, outcomeErrored, principal, q, key, Decision{}, err)
+		}
 		return Decision{Allowed: false}, err
 	}
-	if !dec.Allowed {
+	outcome := outcomeRefused
+	if dec.Allowed {
+		outcome = outcomeAdmitted
+		sys.admitted.Add(1)
+	} else {
 		sys.refused.Add(1)
-		return dec, nil
 	}
-	sys.admitted.Add(1)
+	if timed {
+		sys.finishSubmit(tr, outcome, principal, q, key, dec, nil)
+	}
 	return dec, nil
 }
 
@@ -300,6 +369,8 @@ type BatchResult struct {
 // batch may alias the same Rows slice, which callers must treat as
 // read-only (as with all evaluation results).
 func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
+	m := sys.mets
+	timed := m != nil || sys.audit != nil
 	out := make([]BatchResult, len(qs))
 	keys := make([]string, len(qs))
 
@@ -312,6 +383,10 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 			sys.errored.Add(1)
 			out[i].Decision = Decision{Allowed: false}
 			out[i].Err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
+			if m != nil {
+				m.outcomes[outcomeErrored].Inc()
+			}
+			sys.auditSubmission(outcomeErrored, principal, qs[i], "", Decision{}, out[i].Err, 0, 0, 0, 0)
 		}
 		return out
 	}
@@ -319,25 +394,55 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 	// Stage 1: concurrent canonicalization (the per-query cost that cannot
 	// be deduplicated), then one batch labeling round over the distinct
 	// canonical forms. The keys are reused by the plan cache in stage 3.
+	// The label-stage histogram sees one observation per batch — the
+	// whole point of batch labeling is that the stage is shared.
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	forEachConcurrent(len(qs), func(i int) {
 		sys.queries.Add(1)
 		keys[i] = cq.CanonicalKey(qs[i])
 	})
 	labels, labelErrs := sys.labeler.Load().LabelBatchCanonical(keys, qs)
+	if timed && m != nil {
+		m.stageLabel.Observe(time.Since(t0).Seconds())
+	}
 	for i, err := range labelErrs {
 		if err != nil {
 			sys.errored.Add(1)
 			out[i].Decision = Decision{Allowed: false}
 			out[i].Err = fmt.Errorf("disclosure: labeling %s: %w", qs[i].Name, err)
+			if m != nil {
+				m.outcomes[outcomeErrored].Inc()
+			}
+			sys.auditSubmission(outcomeErrored, principal, qs[i], keys[i], Decision{}, out[i].Err, 0, 0, 0, 0)
 		}
 	}
 
-	// Stage 2: sequential decisions in slice order.
+	// Stage 2: sequential decisions in slice order. Per-item decide
+	// durations are kept (when instrumented) for the stage histogram and
+	// the slow-query audit pass after evaluation.
+	var decideDur, evalDur []time.Duration
+	if timed {
+		decideDur = make([]time.Duration, len(qs))
+		evalDur = make([]time.Duration, len(qs))
+	}
 	for i := range qs {
 		if out[i].Err != nil {
 			continue
 		}
+		var td time.Time
+		if timed {
+			td = time.Now()
+		}
 		dec, err := sys.decide(principal, qs[i], labels[i])
+		if timed {
+			decideDur[i] = time.Since(td)
+			if m != nil {
+				m.stageDecide.Observe(decideDur[i].Seconds())
+			}
+		}
 		if err != nil {
 			if errors.Is(err, policy.ErrUnknownPrincipal) {
 				err = fmt.Errorf("%w: %q", ErrNoPolicy, principal)
@@ -345,13 +450,22 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 			sys.errored.Add(1)
 			out[i].Decision = Decision{Allowed: false}
 			out[i].Err = err
+			if m != nil {
+				m.outcomes[outcomeErrored].Inc()
+			}
 			continue
 		}
 		out[i].Decision = dec
 		if dec.Allowed {
 			sys.admitted.Add(1)
+			if m != nil {
+				m.outcomes[outcomeAdmitted].Inc()
+			}
 		} else {
 			sys.refused.Add(1)
+			if m != nil {
+				m.outcomes[outcomeRefused].Inc()
+			}
 		}
 	}
 
@@ -375,7 +489,22 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 	}
 	forEachConcurrent(len(distinct), func(g int) {
 		idx := groups[distinct[g]]
+		var te time.Time
+		if timed {
+			te = time.Now()
+		}
 		rows, err := sys.db.EvalCanonicalAt(snap, keys[idx[0]], qs[idx[0]])
+		if timed {
+			d := time.Since(te)
+			if m != nil {
+				m.stageEval.Observe(d.Seconds())
+			}
+			// Indices of one group are distinct, so concurrent workers
+			// write disjoint elements of evalDur.
+			for _, i := range idx {
+				evalDur[i] = d
+			}
+		}
 		if err != nil {
 			for _, i := range idx {
 				out[i].Err = err
@@ -386,6 +515,30 @@ func (sys *System) SubmitBatch(principal string, qs []*Query) []BatchResult {
 			out[i].Rows = rows
 		}
 	})
+
+	// Audit pass: refusals, post-decision errors, and slow items. A
+	// batch item's clock is its own decide plus its form's evaluation —
+	// the shared label stage is not attributed to single items.
+	// Labeling errors were audited in stage 1.
+	if sys.audit != nil {
+		for i := range qs {
+			if out[i].Err != nil && decideDur[i] == 0 {
+				continue // audited at the labeling stage
+			}
+			// An eval failure after admission stays "admitted" with the
+			// error recorded — the disclosure decision was made and the
+			// session advanced, mirroring the Stats counters.
+			outcome := outcomeAdmitted
+			switch {
+			case out[i].Err != nil && !out[i].Decision.Allowed:
+				outcome = outcomeErrored
+			case out[i].Err == nil && !out[i].Decision.Allowed:
+				outcome = outcomeRefused
+			}
+			total := decideDur[i] + evalDur[i]
+			sys.auditSubmission(outcome, principal, qs[i], keys[i], out[i].Decision, out[i].Err, 0, decideDur[i], evalDur[i], total)
+		}
+	}
 	return out
 }
 
