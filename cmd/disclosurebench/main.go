@@ -16,6 +16,7 @@
 //	disclosurebench -exp shard [-queries N] [-shards 1,8] [-goroutines 1,8] [-tsv|-json]
 //	disclosurebench -exp repl [-followers 0,1,2,4] [-clients 32] [-requests N] [-json]
 //	disclosurebench -exp obs [-queries N] [-pool N] [-goroutines 1,4] [-json]
+//	disclosurebench -exp failover [-trials 3] [-json]
 //
 // An unknown -exp exits non-zero and names every experiment above. The
 // defaults use the paper's parameters (one million queries/labels per
@@ -47,6 +48,10 @@
 // instrumentation off (metrics disabled, no timestamps taken) and on (full
 // per-stage histograms and outcome counters), reporting matched-pair
 // throughput, latency percentiles and the worst-case overhead percentage.
+// The failover experiment runs real disclosured child processes: a durable
+// primary SIGKILLed under load and a promotable follower promoted over
+// HTTP, measuring the time from the promotion request to the first write
+// the promoted node admits under the successor decision epoch.
 // -json emits a machine-readable archive (redirect to BENCH_<exp>.json).
 package main
 
@@ -64,7 +69,7 @@ import (
 // experiments is the canonical list of -exp modes; the flag help and the
 // unknown-experiment error both print it, so neither can drift from the
 // switch below without failing TestMainUnknownExperiment.
-const experiments = "figure5, figure6, footnote3, cached, engine, serve, wal, adversarial, shard, repl or obs"
+const experiments = "figure5, figure6, footnote3, cached, engine, serve, wal, adversarial, shard, repl, obs or failover"
 
 func main() {
 	exp := flag.String("exp", "figure5", "experiment to run: "+experiments)
@@ -83,6 +88,7 @@ func main() {
 	zipfS := flag.Float64("zipf-s", 1.2, "adversarial: Zipf exponent of the principal draw (>1, larger = more skew)")
 	shards := flag.String("shards", "1,8", "shard: comma-separated data-shard counts")
 	followers := flag.String("followers", "0,1,2,4", "repl: comma-separated follower counts (0 = primary-only baseline)")
+	trials := flag.Int("trials", 3, "failover: kill-promote cycles measured (each over a fresh cluster)")
 	clients := flag.String("clients", "64", "serve: comma-separated concurrent-client counts; repl: one concurrent-client count (first value)")
 	requests := flag.Int("requests", 200, "serve: requests per client")
 	batch := flag.Int("batch", 1, "serve: queries per submit request")
@@ -395,6 +401,23 @@ func main() {
 			fmt.Println(string(out))
 		} else {
 			fmt.Print(bench.FormatRepl(report))
+		}
+	case "failover":
+		cfg := bench.DefaultFailoverConfig()
+		cfg.Trials = *trials
+		cfg.Seed = *seed
+		report, err := bench.RunFailover(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			out, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.FormatFailover(report))
 		}
 	default:
 		fatal(fmt.Errorf("unknown experiment %q (want %s)", *exp, experiments))

@@ -28,7 +28,7 @@ func TestMainUnknownExperiment(t *testing.T) {
 	if !strings.Contains(msg, `unknown experiment "bogus"`) {
 		t.Errorf("error does not name the bad experiment:\n%s", msg)
 	}
-	for _, exp := range []string{"figure5", "figure6", "footnote3", "cached", "engine", "serve", "wal", "adversarial", "shard", "repl"} {
+	for _, exp := range []string{"figure5", "figure6", "footnote3", "cached", "engine", "serve", "wal", "adversarial", "shard", "repl", "obs", "failover"} {
 		if !strings.Contains(msg, exp) {
 			t.Errorf("error does not list experiment %q:\n%s", exp, msg)
 		}

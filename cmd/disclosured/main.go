@@ -46,6 +46,20 @@
 // authenticates the replication stream); a follower holds no disk state
 // and rebuilds its replica from fresh checkpoints on restart.
 //
+// A follower started with -data-dir is promotable: POST /v1/repl/promote
+// (admin token) drains replication as far as the old primary is still
+// reachable, materializes the replica into the directory under the next
+// decision epoch, and flips the process into a full primary on the same
+// listener. The new epoch fences the old primary — every decision RPC,
+// tail fetch or submit it receives from the new epoch is refused with a
+// structured 409 and permanently marks it fenced — so a deposed primary
+// that comes back can never admit another query. On the primary,
+// -lease-ttl adds the complementary guarantee for total partitions: a
+// primary that hears from no follower for the TTL refuses decisions with
+// 503 until contact resumes, so an operator who waits one TTL before
+// promoting knows the old primary is not admitting behind the partition.
+// See docs/OPERATIONS.md "Failover" for the runbook.
+//
 // Both roles are observable in production: GET /metrics serves the
 // Prometheus text exposition (admin-token authenticated on the primary,
 // replication-token on a follower) with per-stage submission latency
@@ -102,6 +116,7 @@ func main() {
 	follow := flag.String("follow", "", "run as a read follower of the primary at this base URL (e.g. http://primary:8080); -admin-token must be the primary's admin token")
 	maxLag := flag.Duration("max-lag", 0, "follower mode: refuse submit/explain with 503 while the replica's staleness exceeds this bound (0 serves at any lag)")
 	replPoll := flag.Duration("repl-poll", 250*time.Millisecond, "follower mode: primary poll cadence")
+	leaseTTL := flag.Duration("lease-ttl", 0, "primary: refuse decisions with 503 after this long without follower contact (0 disables); follower: log promotion eligibility after this long without primary contact")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables profiling")
 	auditPath := flag.String("audit-log", "", "append structured JSONL decision audit records (refusals, errors, slow submissions) to this file")
 	slowQuery := flag.Duration("slow-query", 0, "with -audit-log, also record admitted submissions at least this slow (0 records only refusals and errors)")
@@ -118,13 +133,32 @@ func main() {
 	}
 	defer audit.Close()
 	if *follow != "" {
-		if *dataDir != "" {
-			fatal(fmt.Errorf("-follow and -data-dir are mutually exclusive: a follower holds no disk state"))
-		}
 		if *preset != "" || *configPath != "" {
 			fatal(fmt.Errorf("-follow takes its deployment from the primary; drop -preset/-config"))
 		}
-		runFollower(*addr, *follow, *adminToken, *maxLag, *replPoll, *maxBytes, *maxBatch, *shutdownTimeout, audit, *slowQuery)
+		// A follower holds no disk state while following; -data-dir names
+		// the directory a promotion would materialize the replica into
+		// (it must not already hold a deployment).
+		runFollower(followerConfig{
+			addr:            *addr,
+			primary:         *follow,
+			token:           *adminToken,
+			maxLag:          *maxLag,
+			poll:            *replPoll,
+			maxBytes:        *maxBytes,
+			maxBatch:        *maxBatch,
+			shutdownTimeout: *shutdownTimeout,
+			audit:           audit,
+			slowQuery:       *slowQuery,
+			promoteDir:      *dataDir,
+			leaseTTL:        *leaseTTL,
+			promoteOpts: disclosure.DurabilityOptions{
+				NoSync:        *walNoSync,
+				Shards:        *shards,
+				NoGroupCommit: *walNoGroupCommit,
+				CheckpointOps: *checkpointOps,
+			},
+		})
 		return
 	}
 	if (*preset == "") == (*configPath == "") {
@@ -179,16 +213,35 @@ func main() {
 		MaxRequestBytes: *maxBytes,
 		MaxBatch:        *maxBatch,
 	}
+	var lease *repl.Lease
 	if dur != nil {
 		opts.Journal = dur
 		opts.Tokens = dur.Tokens()
 		// A durable deployment is a valid replication primary: expose the
-		// WAL-shipping surface followers bootstrap and tail from.
+		// WAL-shipping surface followers bootstrap and tail from, and
+		// register the epoch/fencing families in the instance registry the
+		// server exposes on GET /metrics.
+		reg := obs.NewRegistry()
+		opts.Metrics = reg
 		p, err := repl.NewPrimary(dur, *adminToken)
 		if err != nil {
 			fatal(err)
 		}
+		if *leaseTTL > 0 {
+			lease = repl.NewLease(*leaseTTL)
+			p.SetLease(lease)
+			dur.SetDecisionGate(lease.Check)
+			log.Printf("disclosured: decision lease enabled (ttl %s): decisions refuse 503 after that long without follower contact", *leaseTTL)
+		}
+		p.RegisterMetrics(reg)
 		opts.Repl = p.Handler()
+		if by := dur.FencedBy(); by != 0 {
+			log.Printf("disclosured: WARNING: this deployment is FENCED (epoch %d superseded by %d): it will refuse all decisions; rejoin the new primary as a follower instead", dur.Epoch(), by)
+		} else {
+			log.Printf("disclosured: decision epoch %d", dur.Epoch())
+		}
+	} else if *leaseTTL > 0 {
+		fatal(fmt.Errorf("-lease-ttl needs -data-dir: an in-memory deployment has no replication surface to renew the lease"))
 	}
 	srv, err := server.New(sys, opts)
 	if err != nil {
@@ -205,6 +258,9 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
+	if lease != nil {
+		go watchLease(ctx, lease)
+	}
 
 	ticker := make(chan struct{})
 	if dur != nil && *checkpointInterval > 0 {
@@ -254,18 +310,64 @@ func main() {
 	}
 }
 
+// watchLease logs decision-lease transitions on the primary: expiry (the
+// node stopped admitting — partitioned from every follower) and renewal
+// (a follower reconnected). The gate itself is enforced per decision; this
+// loop only makes the state visible in the daemon log.
+func watchLease(ctx context.Context, lease *repl.Lease) {
+	interval := lease.TTL() / 4
+	if interval < 250*time.Millisecond {
+		interval = 250 * time.Millisecond
+	}
+	valid := true
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if v := lease.Valid(); v != valid {
+				valid = v
+				if v {
+					log.Printf("disclosured: decision lease renewed: follower contact resumed")
+				} else {
+					log.Printf("disclosured: decision lease EXPIRED: no follower contact for %s; refusing decisions with 503 until a follower reconnects", lease.TTL())
+				}
+			}
+		}
+	}
+}
+
+// followerConfig carries the -follow mode's flag values.
+type followerConfig struct {
+	addr, primary, token string
+	maxLag, poll         time.Duration
+	maxBytes             int64
+	maxBatch             int
+	shutdownTimeout      time.Duration
+	audit                *obs.AuditLog
+	slowQuery            time.Duration
+	promoteDir           string
+	promoteOpts          disclosure.DurabilityOptions
+	leaseTTL             time.Duration
+}
+
 // runFollower is the -follow mode: bootstrap a replica from the primary,
 // serve the read endpoints against it, and keep tailing the primary's log
 // until SIGINT/SIGTERM. The sync loop and the serving layer share one
 // instance metrics registry, so the follower's GET /metrics (authenticated
 // with the replication token) exposes the staleness gauge and resync
-// counters next to the HTTP metrics.
-func runFollower(addr, primary, token string, maxLag, poll time.Duration, maxBytes int64, maxBatch int, shutdownTimeout time.Duration, audit *obs.AuditLog, slowQuery time.Duration) {
+// counters next to the HTTP metrics. With -data-dir the follower is
+// promotable (POST /v1/repl/promote), and with -lease-ttl it logs when the
+// primary has been silent long enough that promotion is safe.
+func runFollower(cfg followerConfig) {
 	reg := obs.NewRegistry()
 	f, err := repl.NewFollower(repl.FollowerOptions{
-		Primary:  primary,
-		Token:    token,
-		Interval: poll,
+		Primary:  cfg.primary,
+		Token:    cfg.token,
+		HTTP:     &http.Client{Timeout: 15 * time.Second},
+		Interval: cfg.poll,
 		Logf:     log.Printf,
 		Metrics:  reg,
 	})
@@ -273,31 +375,42 @@ func runFollower(addr, primary, token string, maxLag, poll time.Duration, maxByt
 		fatal(err)
 	}
 	srv := server.NewFollower(f, server.FollowerOptions{
-		MaxRequestBytes: maxBytes,
-		MaxBatch:        maxBatch,
-		MaxLag:          maxLag,
-		Metrics:         reg,
-		MetricsToken:    token,
-		Audit:           audit,
-		SlowQuery:       slowQuery,
+		MaxRequestBytes:   cfg.maxBytes,
+		MaxBatch:          cfg.maxBatch,
+		MaxLag:            cfg.maxLag,
+		Metrics:           reg,
+		MetricsToken:      cfg.token,
+		Audit:             cfg.audit,
+		SlowQuery:         cfg.slowQuery,
+		AdminToken:        cfg.token,
+		PromoteDir:        cfg.promoteDir,
+		PromoteDurability: cfg.promoteOpts,
 	})
-	l, err := net.Listen("tcp", addr)
+	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("disclosured: serving on %s (follower of %s, %d principals replicated)", l.Addr(), primary, f.System().Principals())
+	promotable := "not promotable: no -data-dir"
+	if cfg.promoteDir != "" {
+		promotable = "promotable into " + cfg.promoteDir
+	}
+	log.Printf("disclosured: serving on %s (follower of %s, epoch %d, %d principals replicated, %s)",
+		l.Addr(), cfg.primary, f.Epoch(), f.System().Principals(), promotable)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go f.Run(ctx)
+	if cfg.leaseTTL > 0 {
+		go probePrimary(ctx, f, cfg.leaseTTL, cfg.promoteDir != "")
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 	select {
 	case err := <-done:
 		fatal(err)
 	case <-ctx.Done():
-		log.Printf("disclosured: shutting down (grace %s)", shutdownTimeout)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		log.Printf("disclosured: shutting down (grace %s)", cfg.shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fatal(err)
@@ -306,6 +419,48 @@ func runFollower(addr, primary, token string, maxLag, poll time.Duration, maxByt
 			fatal(err)
 		}
 		log.Printf("disclosured: stopped")
+	}
+}
+
+// probePrimary logs the follower's view of primary health against the
+// lease TTL: once the primary has been silent for a full TTL its own
+// decision lease (if configured with the same TTL) has expired, so
+// promoting this follower cannot race admissions behind the partition.
+// Promotion itself stays an operator action (or an external controller's):
+// the daemon never self-promotes.
+func probePrimary(ctx context.Context, f *repl.Follower, ttl time.Duration, promotable bool) {
+	interval := ttl / 4
+	if interval < 250*time.Millisecond {
+		interval = 250 * time.Millisecond
+	}
+	silent := false
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if f.Promoted() != nil {
+				return
+			}
+			since, ever := f.SincePrimaryContact()
+			if !ever || since < ttl {
+				if silent {
+					silent = false
+					log.Printf("disclosured: primary contact resumed")
+				}
+				continue
+			}
+			if !silent {
+				silent = true
+				if promotable {
+					log.Printf("disclosured: primary silent for %s (>= lease ttl %s): eligible for failover via POST /v1/repl/promote", since.Round(time.Millisecond), ttl)
+				} else {
+					log.Printf("disclosured: primary silent for %s (>= lease ttl %s): restart this follower with -data-dir to make it promotable", since.Round(time.Millisecond), ttl)
+				}
+			}
+		}
 	}
 }
 

@@ -126,6 +126,11 @@ type Durable struct {
 
 	recovered bool
 	replayed  int
+
+	// decideGate, when non-nil, is consulted before every admission
+	// decision — the primary-lease hook (see SetDecisionGate). Set once
+	// before the Durable is shared; never mutated afterwards.
+	decideGate func() error
 }
 
 // OpenDurable opens (creating or recovering) a durable System rooted at
@@ -178,13 +183,79 @@ func OpenDurable(dir string, opts DurabilityOptions, s *Schema, views ...*Query)
 		if err != nil {
 			return nil, err
 		}
+		// Every deployment starts at decision epoch 1; the epoch is
+		// stamped into the generation-0 checkpoints and logged as the meta
+		// shard's first frame so it is part of the replayable history.
+		d.epoch.Store(1)
 		d.initShards(n)
 		for _, sh := range d.allShards() {
 			if err := d.rotateShardLocked(sh, 0); err != nil {
 				return nil, err
 			}
 		}
+		if err := d.appendApply(d.meta, wal.Op{Epoch: &wal.EpochOp{Epoch: 1}}, nil); err != nil {
+			return nil, err
+		}
 	} else if err := d.recover(scan, opts, s, views); err != nil {
+		return nil, err
+	}
+	d.sys.dur = d
+	return d, nil
+}
+
+// PromoteReplica materializes a replica into a fresh durable primary — the
+// disk half of a follower promotion. The replica's System (its replicated
+// rows, policies, sessions and tokens, drained as far as replication
+// reached) becomes the new deployment's state: a generation-0 checkpoint
+// per shard is written under epoch, empty log segments are started, and an
+// EpochOp meta frame durably records the promotion. The directory must be
+// fresh — promoting over existing shard files is refused, because silently
+// replacing a durable history is exactly the kind of ambient handoff the
+// epoch exists to prevent.
+//
+// On return the replica's System is owned by the returned Durable: further
+// Replica.Apply calls are invalid (repl.Follower stops its sync loop before
+// calling this), and every state-changing call on the System is logged
+// under the new epoch.
+func PromoteReplica(dir string, rep *Replica, epoch uint64, opts DurabilityOptions) (*Durable, error) {
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("disclosure: negative shard count %d", opts.Shards)
+	}
+	if rep.sys.dur != nil {
+		return nil, fmt.Errorf("disclosure: replica is already promoted")
+	}
+	if epoch <= rep.Epoch() {
+		return nil, fmt.Errorf("disclosure: promotion epoch %d does not advance the replicated epoch %d", epoch, rep.Epoch())
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disclosure: durable dir: %w", err)
+	}
+	scan, legacy, err := wal.ScanShards(dir)
+	if err != nil {
+		return nil, fmt.Errorf("disclosure: %w", err)
+	}
+	if legacy || len(scan) != 0 {
+		return nil, fmt.Errorf("disclosure: promotion target %s already holds durable state; promote into a fresh directory", dir)
+	}
+	d := &Durable{
+		replayState: replayState{sys: rep.sys, tokens: rep.copyTokens()},
+		dir:         dir,
+		noSync:      opts.NoSync,
+		coalesce:    !opts.NoGroupCommit,
+		ckptOps:     opts.CheckpointOps,
+	}
+	d.epoch.Store(epoch)
+	n := opts.Shards
+	if n == 0 {
+		n = 1
+	}
+	d.initShards(n)
+	for _, sh := range d.allShards() {
+		if err := d.rotateShardLocked(sh, 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.appendApply(d.meta, wal.Op{Epoch: &wal.EpochOp{Epoch: epoch}}, nil); err != nil {
 		return nil, err
 	}
 	d.sys.dur = d
@@ -259,6 +330,7 @@ func (d *Durable) recover(scan map[string]*wal.ShardFiles, opts DurabilityOption
 		return fmt.Errorf("disclosure: rebuilding system from checkpoint %d: %w", ckGen, err)
 	}
 	d.sys = sys
+	d.restoreEpoch(ck)
 	if err := d.restoreRows(ck); err != nil {
 		return fmt.Errorf("disclosure: restoring meta checkpoint %d: %w", ckGen, err)
 	}
@@ -402,6 +474,89 @@ func (d *Durable) Generation() uint64 {
 // after recovery, the credentials to re-seed the serving layer with.
 func (d *Durable) Tokens() map[string]string { return d.copyTokens() }
 
+// Epoch returns the decision epoch this deployment decides under. It is
+// constant for the life of a primary: set to 1 at initialization, to the
+// successor epoch by PromoteReplica, and restored from checkpoints and
+// EpochOp frames on recovery.
+func (d *Durable) Epoch() uint64 { return d.epoch.Load() }
+
+// FencedBy returns the higher decision epoch this node has been superseded
+// by, or zero while it is the authority. A fenced node refuses every
+// state-changing operation (ErrFenced) — it can never hand out an admit
+// the promoted successor does not know about.
+func (d *Durable) FencedBy() uint64 { return d.fencedBy.Load() }
+
+// ErrFenced is the sentinel wrapped by every refusal of a fenced node:
+// a request proved a higher decision epoch exists, so this node's
+// decision role has been handed off.
+var ErrFenced = errors.New("disclosure: decision epoch superseded (node is fenced)")
+
+// ErrLeaseExpired is the sentinel wrapped by decision refusals while the
+// primary's decision lease is expired (no follower contact within the
+// configured TTL) — the lease hook installed with SetDecisionGate reports
+// it so a partitioned primary stops admitting before a follower is
+// promoted. See cmd/disclosured's -lease-ttl.
+var ErrLeaseExpired = errors.New("disclosure: decision lease expired")
+
+// Fence marks this node as superseded by a higher decision epoch. The
+// fence takes effect immediately — concurrent and future state-changing
+// operations fail with ErrFenced — and is then durably recorded as a
+// fencing EpochOp in the meta log (best effort: the in-memory fence holds
+// even if the record cannot be written), so a restart recovers the node
+// still fenced. Fencing with an epoch at or below the node's own is a
+// no-op: the caller, not this node, is stale.
+func (d *Durable) Fence(by uint64) {
+	if by <= d.epoch.Load() {
+		return
+	}
+	for {
+		cur := d.fencedBy.Load()
+		if cur >= by {
+			return
+		}
+		if d.fencedBy.CompareAndSwap(cur, by) {
+			break
+		}
+	}
+	_ = d.appendApply(d.meta, wal.Op{Epoch: &wal.EpochOp{Epoch: by, Fenced: true}}, nil)
+}
+
+// fencedErr builds the structured refusal of a fenced node.
+func (d *Durable) fencedErr() error {
+	return fmt.Errorf("%w: this node decides under epoch %d, superseded by epoch %d", ErrFenced, d.epoch.Load(), d.fencedBy.Load())
+}
+
+// mutableErr is the gate every public state-changing operation passes:
+// non-nil once the node is fenced.
+func (d *Durable) mutableErr() error {
+	if d.fencedBy.Load() != 0 {
+		return d.fencedErr()
+	}
+	return nil
+}
+
+// SetDecisionGate installs a hook consulted before every admission
+// decision; a non-nil return refuses the decision with that error. The
+// daemon wires the primary decision lease here (repl.Lease.Check), so a
+// primary cut off from its followers for longer than the lease TTL stops
+// admitting — the other half, with epoch fencing, of split-brain safety.
+// Call once, before the Durable is shared.
+func (d *Durable) SetDecisionGate(gate func() error) { d.decideGate = gate }
+
+// DecisionErr reports whether this node may currently make admission
+// decisions: nil when it may, the fencing or lease error when it may not.
+// The serving layer checks it up front to refuse submissions with a
+// structured status instead of per-query errors.
+func (d *Durable) DecisionErr() error {
+	if err := d.mutableErr(); err != nil {
+		return err
+	}
+	if d.decideGate != nil {
+		return d.decideGate()
+	}
+	return nil
+}
+
 // ShardTails reports every shard's current replication tail: the open
 // generation and the committed byte offset within its segment — the
 // position up to which a follower may safely stream. Bytes past the
@@ -430,6 +585,9 @@ func (d *Durable) ShardTails() map[string]wal.Cursor {
 // to the principal's shard, alongside the rest of its history. Removing
 // the principal (System.RemovePolicy) also retires its token.
 func (d *Durable) LogToken(principal, token string) error {
+	if err := d.mutableErr(); err != nil {
+		return err
+	}
 	return d.appendApply(d.shardOf(principal), wal.Op{Token: &wal.TokenOp{Principal: principal, Token: token}}, func() {
 		d.tokMu.Lock()
 		d.tokens[principal] = token
@@ -506,6 +664,9 @@ func (d *Durable) appendApply(sh *walShard, op wal.Op, apply func()) error {
 // record is durable — System.decide's durable path. Refusals are logged
 // too: they advance the session's refusal count.
 func (d *Durable) decide(principal string, q *Query, lbl Label) (Decision, error) {
+	if err := d.DecisionErr(); err != nil {
+		return Decision{Allowed: false}, err
+	}
 	var dec Decision
 	var derr error
 	err := d.appendApply(d.shardOf(principal), wal.Op{Submit: &wal.SubmitOp{Principal: principal, Query: q.String()}}, func() {
@@ -519,6 +680,9 @@ func (d *Durable) decide(principal string, q *Query, lbl Label) (Decision, error
 
 // setPolicy durably installs a validated policy on the principal's shard.
 func (d *Durable) setPolicy(principal string, partitions map[string][]string, p *Policy) error {
+	if err := d.mutableErr(); err != nil {
+		return err
+	}
 	return d.appendApply(d.shardOf(principal), wal.Op{Policy: &wal.PolicyOp{Principal: principal, Partitions: partitions}}, func() {
 		d.sys.store.SetPolicy(principal, p)
 	})
@@ -526,6 +690,9 @@ func (d *Durable) setPolicy(principal string, partitions map[string][]string, p 
 
 // removePolicy durably removes a principal (policy, session, token).
 func (d *Durable) removePolicy(principal string) error {
+	if err := d.mutableErr(); err != nil {
+		return err
+	}
 	return d.appendApply(d.shardOf(principal), wal.Op{Remove: &wal.RemoveOp{Principal: principal}}, func() {
 		d.sys.store.Remove(principal)
 		d.tokMu.Lock()
@@ -541,6 +708,9 @@ func (d *Durable) removePolicy(principal string) error {
 // shard has one lock, as the engine has one write lock), but they no
 // longer contend with any submission.
 func (d *Durable) loadBatch(fn func(ld *Loader) error) error {
+	if err := d.mutableErr(); err != nil {
+		return err
+	}
 	if d.closed.Load() {
 		return errClosed
 	}
@@ -738,6 +908,8 @@ func (d *Durable) captureShardLocked(sh *walShard, gen uint64) (*wal.Checkpoint,
 		Generation: gen,
 		Shard:      sh.name,
 		Shards:     len(d.shards),
+		Epoch:      d.epoch.Load(),
+		FencedBy:   d.fencedBy.Load(),
 		Config:     store.Snapshot(sys.db.Schema(), sys.cat, nil),
 	}
 	if sh == d.meta {

@@ -68,6 +68,10 @@ type Follower struct {
 
 	replica atomic.Pointer[disclosure.Replica]
 
+	// syncMu serializes sync passes between Run's loop and Promote's final
+	// drain, so promotion sees a quiesced replica.
+	syncMu sync.Mutex
+
 	mu      sync.Mutex
 	cursors map[string]wal.Cursor // next unconsumed position per shard
 	pending map[string][]byte     // fetched bytes past the cursor, not yet whole frames
@@ -77,8 +81,24 @@ type Follower struct {
 	applied atomic.Uint64 // operations applied across replica rebuilds
 	resyncs atomic.Uint64 // checkpoint re-bootstraps after the first
 
+	// promoted, once set, is the durable deployment this node decides from:
+	// the follower has taken over as primary and the sync loop is done.
+	promoted atomic.Pointer[disclosure.Durable]
+	// lastContact is the unix-nano time of the last response from the
+	// primary (zero before the first) — the operator's promotion signal.
+	lastContact atomic.Int64
+
 	met followerMetrics
 }
+
+// ErrStalePrimary reports that the node the follower is polling has been
+// superseded by a higher decision epoch — it is a fenced leftover of a
+// completed failover. The follower refuses to apply from or resync against
+// it; it keeps serving its replica until repointed or promoted.
+var ErrStalePrimary = errors.New("repl: primary superseded by a higher decision epoch")
+
+// ErrAlreadyPromoted reports a repeated promotion of the same follower.
+var ErrAlreadyPromoted = errors.New("repl: node is already promoted")
 
 // NewFollower bootstraps a follower from the primary's current checkpoints
 // and returns it ready to serve (staleness measured from the bootstrap).
@@ -123,11 +143,42 @@ func (f *Follower) registerMetrics(r *obs.Registry) {
 	r.CounterFunc("disclosure_follower_resyncs_total",
 		"Checkpoint re-bootstraps after the initial one.",
 		f.Resyncs)
+	r.GaugeFunc("disclosure_epoch",
+		"Decision epoch this node decides under (the replicated epoch while following, the successor epoch once promoted).",
+		func() float64 { return float64(f.Epoch()) })
 	f.met.decide = r.Histogram("disclosure_repl_decide_seconds",
 		"Round-trip latency of the delegated decision RPC to the primary.",
 		obs.LatencyBuckets)
 	f.met.decideErrors = r.Counter("disclosure_repl_decide_errors_total",
 		"Decision RPCs that failed (the serving layer fails these submissions closed).")
+}
+
+// Epoch returns the decision epoch this node is at: the promoted durable
+// deployment's epoch after a takeover, otherwise the replicated epoch
+// (zero before the replica exists).
+func (f *Follower) Epoch() uint64 {
+	if d := f.promoted.Load(); d != nil {
+		return d.Epoch()
+	}
+	if r := f.replica.Load(); r != nil {
+		return r.Epoch()
+	}
+	return 0
+}
+
+// Promoted returns the durable deployment this node decides from after a
+// promotion, or nil while it is still following.
+func (f *Follower) Promoted() *disclosure.Durable { return f.promoted.Load() }
+
+// SincePrimaryContact reports how long ago the primary last answered any
+// request, and whether it ever has — the signal an operator (or the
+// daemon's probe loop) uses to judge promotion eligibility.
+func (f *Follower) SincePrimaryContact() (time.Duration, bool) {
+	n := f.lastContact.Load()
+	if n == 0 {
+		return 0, false
+	}
+	return time.Since(time.Unix(0, n)), true
 }
 
 // logf emits a diagnostic if a logger is configured.
@@ -145,6 +196,13 @@ func (f *Follower) bootstrap() error {
 	if err != nil {
 		return err
 	}
+	// Never rebuild from a node whose epoch is behind what this follower
+	// already knows: that node is a fenced leftover of a completed
+	// failover, and adopting its checkpoints would resurrect pre-failover
+	// decision state.
+	if cur := f.replica.Load(); cur != nil && tails.Epoch != 0 && tails.Epoch < cur.Epoch() {
+		return fmt.Errorf("%w: refusing to rebuild from epoch %d (known epoch %d)", ErrStalePrimary, tails.Epoch, cur.Epoch())
+	}
 	metaCk, metaGen, err := f.fetchCheckpoint(wal.MetaShard)
 	if err != nil {
 		return err
@@ -154,7 +212,7 @@ func (f *Follower) bootstrap() error {
 		return err
 	}
 	cursors := map[string]wal.Cursor{wal.MetaShard: {Gen: metaGen}}
-	for shard := range tails {
+	for shard := range tails.Shards {
 		if shard == wal.MetaShard {
 			continue
 		}
@@ -202,12 +260,33 @@ var errDiverged = errors.New("repl: follower diverged from primary")
 // stream, truncated tail) triggers one resync and the call reports success
 // with the rebuilt — fully fresh — replica.
 func (f *Follower) SyncOnce() error {
+	f.syncMu.Lock()
+	defer f.syncMu.Unlock()
+	return f.syncLocked()
+}
+
+// syncLocked is SyncOnce under syncMu (Promote drains through it too).
+func (f *Follower) syncLocked() error {
+	if f.promoted.Load() != nil {
+		return nil
+	}
 	observed := time.Now()
 	tails, err := f.fetchTails()
 	if err != nil {
 		return err
 	}
-	for shard, target := range tails {
+	switch e := f.replica.Load().Epoch(); {
+	case tails.Epoch != 0 && tails.Epoch < e:
+		// The node we poll is behind the epoch we replicated: a fenced
+		// leftover. Applying its log would mix pre-failover history into a
+		// post-failover replica, so refuse until repointed.
+		return fmt.Errorf("%w: tails epoch %d behind replica epoch %d", ErrStalePrimary, tails.Epoch, e)
+	case tails.Epoch > e:
+		// The primary completed a failover this replica predates; its new
+		// history starts in fresh checkpoints, so rebuild from those.
+		return f.resync(fmt.Errorf("primary epoch %d ahead of replica epoch %d", tails.Epoch, e))
+	}
+	for shard, target := range tails.Shards {
 		if err := f.syncShard(shard, target); err != nil {
 			if errors.Is(err, errDiverged) {
 				// The rebuilt replica reflects checkpoints the primary wrote
@@ -222,6 +301,44 @@ func (f *Follower) SyncOnce() error {
 	f.lastSyn = observed
 	f.mu.Unlock()
 	return nil
+}
+
+// Promote turns the follower into a primary: under the sync lock it drains
+// its cursors as far as the old primary is still reachable (best effort —
+// an unreachable primary is exactly the failover case), materializes the
+// replica into a fresh durable deployment at dir under the successor epoch
+// (disclosure.PromoteReplica), and returns that deployment together with
+// its replication surface. From then on Decide runs locally, Run's loop
+// retires, and every replication message the promoted node sends carries
+// the new epoch — fencing the old primary on first contact.
+//
+// The caller (the follower serving layer's promote endpoint) owns mounting
+// the returned replication handler and closing the Durable on shutdown.
+func (f *Follower) Promote(dir string, opts disclosure.DurabilityOptions) (*disclosure.Durable, http.Handler, error) {
+	f.syncMu.Lock()
+	defer f.syncMu.Unlock()
+	if f.promoted.Load() != nil {
+		return nil, nil, ErrAlreadyPromoted
+	}
+	if err := f.syncLocked(); err != nil {
+		f.logf("repl: promote: final drain incomplete (promoting from replica as-is): %v", err)
+	}
+	rep := f.replica.Load()
+	dur, err := disclosure.PromoteReplica(dir, rep, rep.Epoch()+1, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repl: promote: %w", err)
+	}
+	p, err := NewPrimary(dur, f.opts.Token)
+	if err != nil {
+		_ = dur.Close()
+		return nil, nil, err
+	}
+	// Re-register the epoch gauge and add the primary-side families over
+	// the follower's collectors (latest registration wins per name).
+	p.RegisterMetrics(f.opts.Metrics)
+	f.promoted.Store(dur)
+	f.logf("repl: promoted to primary at epoch %d (%d ops applied, data dir %s)", dur.Epoch(), f.applied.Load(), dir)
+	return dur, p.Handler(), nil
 }
 
 // syncShard streams one shard from its cursor to the target observed by
@@ -313,6 +430,11 @@ func (f *Follower) Run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
+			if f.promoted.Load() != nil {
+				// Promoted mid-loop: this node is the primary now and its
+				// own WAL is the source of truth. Nothing left to poll.
+				return
+			}
 			if err := f.SyncOnce(); err != nil {
 				f.logf("repl: sync: %v", err)
 			}
@@ -337,6 +459,11 @@ func (f *Follower) TokenOwner(token string) (string, bool) {
 // logged there before returning). Any failure to reach or convince the
 // primary is an error, and the serving layer fails the submission closed.
 func (f *Follower) Decide(principal string, q *disclosure.Query) (disclosure.Decision, error) {
+	if d := f.promoted.Load(); d != nil {
+		// Promoted: this node holds the complete history and decides
+		// locally, durably, under the successor epoch.
+		return d.System().Decide(principal, q)
+	}
 	t0 := time.Now()
 	dec, err := f.decideRPC(principal, q)
 	f.met.decide.Observe(time.Since(t0).Seconds())
@@ -349,10 +476,12 @@ func (f *Follower) Decide(principal string, q *disclosure.Query) (disclosure.Dec
 // decideRPC performs the decision round trip; Decide wraps it with the
 // RPC latency/error collectors.
 func (f *Follower) decideRPC(principal string, q *disclosure.Query) (disclosure.Decision, error) {
+	epoch := f.Epoch()
 	req := DecideRequest{
 		Principal:   principal,
 		Query:       q.String(),
 		Fingerprint: strconv.FormatUint(cq.FingerprintKey(cq.CanonicalKey(q)), 16),
+		Epoch:       epoch,
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -364,13 +493,19 @@ func (f *Follower) decideRPC(principal string, q *disclosure.Query) (disclosure.
 	}
 	hreq.Header.Set("Authorization", "Bearer "+f.opts.Token)
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
 	resp, err := f.httpc().Do(hreq)
 	if err != nil {
 		return disclosure.Decision{}, fmt.Errorf("repl: decision RPC: %w", err)
 	}
 	defer resp.Body.Close()
+	f.lastContact.Store(time.Now().UnixNano())
 	if resp.StatusCode != http.StatusOK {
-		return disclosure.Decision{}, fmt.Errorf("repl: decision RPC: %s", replErrorText(resp))
+		eb := replErrorBody(resp)
+		if stale := f.staleErr(eb); stale != nil {
+			return disclosure.Decision{}, fmt.Errorf("repl: decision RPC: %w", stale)
+		}
+		return disclosure.Decision{}, fmt.Errorf("repl: decision RPC: %s", errorText(eb, resp))
 	}
 	var dec DecideResponse
 	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
@@ -383,6 +518,10 @@ func (f *Follower) decideRPC(principal string, q *disclosure.Query) (disclosure.
 // primary's observed tails, and whether it ever has. Before the first
 // completed sync the duration is meaningless and ok is false.
 func (f *Follower) Staleness() (age time.Duration, ok bool) {
+	if f.promoted.Load() != nil {
+		// The promoted node IS the source of truth: zero staleness.
+		return 0, true
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if !f.synced {
@@ -418,33 +557,71 @@ func (f *Follower) get(path string) (*http.Response, error) {
 		return nil, err
 	}
 	req.Header.Set("Authorization", "Bearer "+f.opts.Token)
-	return f.httpc().Do(req)
+	req.Header.Set(HeaderEpoch, strconv.FormatUint(f.Epoch(), 10))
+	resp, err := f.httpc().Do(req)
+	if err == nil {
+		f.lastContact.Store(time.Now().UnixNano())
+	}
+	return resp, err
 }
 
-// replErrorText extracts the error body of a non-2xx replication response.
-func replErrorText(resp *http.Response) string {
+// replErrorBody decodes the structured error body of a non-2xx replication
+// response (zero value when the body is not one).
+func replErrorBody(resp *http.Response) errorResponse {
 	var e errorResponse
-	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e)
+	return e
+}
+
+// errorText renders a decoded error body for wrapping.
+func errorText(e errorResponse, resp *http.Response) string {
+	if e.Error != "" {
 		return fmt.Sprintf("%s (%s)", e.Error, resp.Status)
 	}
 	return resp.Status
 }
 
-// fetchTails fetches the primary's per-shard replication cursors.
-func (f *Follower) fetchTails() (map[string]wal.Cursor, error) {
+// replErrorText extracts the error body of a non-2xx replication response.
+func replErrorText(resp *http.Response) string {
+	return errorText(replErrorBody(resp), resp)
+}
+
+// staleErr maps a structured epoch-conflict body to ErrStalePrimary when
+// it proves the polled node has been superseded: the node says it is
+// fenced, or it rejects our epoch while sitting below it. Returns nil for
+// every other error body.
+func (f *Follower) staleErr(e errorResponse) error {
+	switch e.Code {
+	case CodeFenced:
+		return fmt.Errorf("%w: node at epoch %d is fenced by epoch %d", ErrStalePrimary, e.Epoch, e.FencedBy)
+	case CodeStaleEpoch:
+		if ours := f.Epoch(); e.Epoch != 0 && e.Epoch < ours {
+			return fmt.Errorf("%w: node epoch %d is behind this node's epoch %d", ErrStalePrimary, e.Epoch, ours)
+		}
+	}
+	return nil
+}
+
+// fetchTails fetches the primary's per-shard replication cursors and its
+// decision epoch.
+func (f *Follower) fetchTails() (TailsResponse, error) {
 	resp, err := f.get("/v1/repl/tails")
 	if err != nil {
-		return nil, fmt.Errorf("repl: fetching tails: %w", err)
+		return TailsResponse{}, fmt.Errorf("repl: fetching tails: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("repl: fetching tails: %s", replErrorText(resp))
+		eb := replErrorBody(resp)
+		if stale := f.staleErr(eb); stale != nil {
+			return TailsResponse{}, fmt.Errorf("repl: fetching tails: %w", stale)
+		}
+		return TailsResponse{}, fmt.Errorf("repl: fetching tails: %s", errorText(eb, resp))
 	}
 	var t TailsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
-		return nil, fmt.Errorf("repl: fetching tails: %w", err)
+		return TailsResponse{}, fmt.Errorf("repl: fetching tails: %w", err)
 	}
-	return t.Shards, nil
+	return t, nil
 }
 
 // fetchCheckpoint fetches and decodes one shard's current checkpoint.
@@ -455,7 +632,11 @@ func (f *Follower) fetchCheckpoint(shard string) (*wal.Checkpoint, uint64, error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("repl: fetching checkpoint %s: %s", shard, replErrorText(resp))
+		eb := replErrorBody(resp)
+		if stale := f.staleErr(eb); stale != nil {
+			return nil, 0, fmt.Errorf("repl: fetching checkpoint %s: %w", shard, stale)
+		}
+		return nil, 0, fmt.Errorf("repl: fetching checkpoint %s: %s", shard, errorText(eb, resp))
 	}
 	gen, err := strconv.ParseUint(resp.Header.Get(HeaderGeneration), 10, 64)
 	if err != nil {
@@ -486,7 +667,13 @@ func (f *Follower) fetchSegment(shard string, gen uint64, off int64) (chunk []by
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound, http.StatusConflict:
-		return nil, false, 0, fmt.Errorf("%w: segment %s gen %d off %d: %s", errDiverged, shard, gen, off, replErrorText(resp))
+		eb := replErrorBody(resp)
+		if stale := f.staleErr(eb); stale != nil {
+			// An epoch conflict is not divergence: resyncing from a fenced
+			// node is exactly what must not happen.
+			return nil, false, 0, fmt.Errorf("repl: fetching segment %s gen %d: %w", shard, gen, stale)
+		}
+		return nil, false, 0, fmt.Errorf("%w: segment %s gen %d off %d: %s", errDiverged, shard, gen, off, errorText(eb, resp))
 	default:
 		return nil, false, 0, fmt.Errorf("repl: fetching segment %s gen %d: %s", shard, gen, replErrorText(resp))
 	}

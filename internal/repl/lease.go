@@ -1,0 +1,87 @@
+package repl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	disclosure "repro"
+)
+
+// Lease is the primary's decision lease: a deadline renewed by follower
+// contact (every authenticated replication request) that, once expired,
+// refuses admission decisions until a follower reconnects. It is the
+// second half of split-brain safety — epoch fencing stops a stale primary
+// the moment any message from the new epoch reaches it, while the lease
+// stops a fully partitioned primary that hears nothing at all: after TTL
+// without follower contact it cannot admit, so an operator who waits one
+// TTL before promoting a follower knows the old primary is no longer
+// handing out admits, reachable or not.
+//
+// The trade-off is deliberate and configuration-gated (cmd/disclosured's
+// -lease-ttl, default off): with a lease, a primary that loses all of its
+// followers also loses decision availability — consistency over
+// availability, which is the only sound choice for a cumulative-disclosure
+// monitor whose refusals must never be forgotten.
+type Lease struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	renewed time.Time
+}
+
+// NewLease creates a lease with the given TTL, initially renewed (a fresh
+// primary gets one full TTL to be discovered by its followers). A zero or
+// negative TTL returns nil, and a nil *Lease is a valid always-renewed
+// no-op in every method.
+func NewLease(ttl time.Duration) *Lease {
+	if ttl <= 0 {
+		return nil
+	}
+	return &Lease{ttl: ttl, renewed: time.Now()}
+}
+
+// Renew resets the lease deadline — called on every authenticated
+// follower request.
+func (l *Lease) Renew() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.renewed = time.Now()
+	l.mu.Unlock()
+}
+
+// Remaining returns how much of the lease is left (negative when expired).
+func (l *Lease) Remaining() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ttl - time.Since(l.renewed)
+}
+
+// Valid reports whether the lease is current. A nil lease is always valid.
+func (l *Lease) Valid() bool { return l == nil || l.Remaining() > 0 }
+
+// TTL returns the configured lease duration (zero for a nil lease).
+func (l *Lease) TTL() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.ttl
+}
+
+// Check is the decision-gate hook (disclosure.Durable.SetDecisionGate):
+// nil while the lease is valid, an error wrapping
+// disclosure.ErrLeaseExpired once it is not.
+func (l *Lease) Check() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	since := time.Since(l.renewed)
+	l.mu.Unlock()
+	if since <= l.ttl {
+		return nil
+	}
+	return fmt.Errorf("%w: no follower contact for %s (ttl %s)", disclosure.ErrLeaseExpired, since.Round(time.Millisecond), l.ttl)
+}

@@ -7,9 +7,11 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"sync/atomic"
 
 	disclosure "repro"
 	"repro/internal/cq"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -28,6 +30,12 @@ type Primary struct {
 	token string
 	// maxChunk bounds one segment response.
 	maxChunk int
+	// lease, when set, is renewed by every authenticated follower request;
+	// its expiry gates local decisions (see Lease).
+	lease *Lease
+	// fencedRejections counts requests refused because this node is fenced
+	// or the request carried a conflicting epoch.
+	fencedRejections atomic.Uint64
 }
 
 // DefaultMaxChunk bounds the bytes served by one segment request.
@@ -53,28 +61,105 @@ func (p *Primary) Handler() http.Handler {
 	return mux
 }
 
-// auth wraps a handler with the replication bearer-token check.
+// SetLease attaches the primary's decision lease: every authenticated
+// follower request renews it. Call before the handler serves traffic.
+func (p *Primary) SetLease(l *Lease) { p.lease = l }
+
+// FencedRejections returns how many replication requests this node refused
+// for epoch reasons (fenced, or a conflicting request epoch).
+func (p *Primary) FencedRejections() uint64 { return p.fencedRejections.Load() }
+
+// RegisterMetrics registers the primary's failover metric families:
+// the decision epoch gauge and the fenced-rejection counter.
+func (p *Primary) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("disclosure_epoch",
+		"Decision epoch this node decides under.",
+		func() float64 { return float64(p.dur.Epoch()) })
+	reg.CounterFunc("disclosure_fenced_rejections_total",
+		"Replication and decision requests refused for epoch reasons (node fenced, or conflicting request epoch).",
+		p.fencedRejections.Load)
+}
+
+// auth wraps a handler with the replication bearer-token check and the
+// epoch fence. Every authenticated response carries this node's epoch in
+// HeaderEpoch; every authenticated request renews the decision lease.
+//
+// Fencing rules, in order:
+//
+//  1. A fenced node (a higher epoch has superseded it) refuses its whole
+//     replication surface with 409 CodeFenced — a follower must never
+//     catch up from, or delegate decisions to, a failover leftover.
+//  2. A request stamped with an epoch above this node's proves a completed
+//     failover this node missed: the node fences itself durably and
+//     refuses with 409 CodeStaleEpoch.
+//
+// A request stamped with a LOWER epoch is allowed through here: that is a
+// stale follower catching up, and the fetch endpoints are exactly how it
+// resyncs. Only the decision RPC refuses lower epochs (handleDecide) —
+// deciding for a follower that evaluates under an older epoch would split
+// the decision history.
 func (p *Primary) auth(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if bearer(r) != p.token {
 			replError(w, http.StatusUnauthorized, "replication token required")
 			return
 		}
+		p.lease.Renew()
+		epoch := p.dur.Epoch()
+		w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+		if by := p.dur.FencedBy(); by != 0 {
+			p.fencedRejections.Add(1)
+			replErrorCode(w, http.StatusConflict, errorResponse{
+				Error:    fmt.Sprintf("node is fenced: epoch %d superseded by %d", epoch, by),
+				Code:     CodeFenced,
+				Epoch:    epoch,
+				FencedBy: by,
+			})
+			return
+		}
+		if reqEpoch := requestEpoch(r); reqEpoch > epoch {
+			p.dur.Fence(reqEpoch)
+			p.fencedRejections.Add(1)
+			replErrorCode(w, http.StatusConflict, errorResponse{
+				Error:        fmt.Sprintf("request epoch %d supersedes this node's epoch %d: node is now fenced", reqEpoch, epoch),
+				Code:         CodeStaleEpoch,
+				Epoch:        epoch,
+				RequestEpoch: reqEpoch,
+				FencedBy:     reqEpoch,
+			})
+			return
+		}
 		h(w, r)
 	}
 }
 
+// requestEpoch parses the epoch a request was stamped with (zero when
+// absent or malformed — epoch-unaware clients are served normally).
+func requestEpoch(r *http.Request) uint64 {
+	e, _ := strconv.ParseUint(r.Header.Get(HeaderEpoch), 10, 64)
+	return e
+}
+
 // replError writes an errorResponse with the given status.
 func replError(w http.ResponseWriter, status int, msg string) {
+	replErrorCode(w, status, errorResponse{Error: msg})
+}
+
+// replErrorCode writes a fully populated errorResponse — the structured
+// 409s of epoch conflicts.
+func replErrorCode(w http.ResponseWriter, status int, body errorResponse) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg})
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 // handleTails serves GET /v1/repl/tails.
 func (p *Primary) handleTails(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(TailsResponse{Shards: p.dur.ShardTails()})
+	_ = json.NewEncoder(w).Encode(TailsResponse{Shards: p.dur.ShardTails(), Epoch: p.dur.Epoch()})
 }
 
 // handleCheckpoint serves GET /v1/repl/checkpoint?shard=S: the shard's
@@ -189,6 +274,21 @@ func (p *Primary) handleDecide(w http.ResponseWriter, r *http.Request) {
 		replError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	// Unlike the fetch endpoints, deciding requires epoch agreement both
+	// ways: a follower below this node's epoch predates a failover this
+	// node won and must resync before delegating again. (Requests above
+	// this node's epoch were already fenced in auth; zero means an
+	// epoch-unaware follower mid-upgrade, which is served.)
+	if myEpoch := p.dur.Epoch(); req.Epoch != 0 && req.Epoch < myEpoch {
+		p.fencedRejections.Add(1)
+		replErrorCode(w, http.StatusConflict, errorResponse{
+			Error:        fmt.Sprintf("decision request epoch %d is behind this primary's epoch %d: resync first", req.Epoch, myEpoch),
+			Code:         CodeStaleEpoch,
+			Epoch:        myEpoch,
+			RequestEpoch: req.Epoch,
+		})
+		return
+	}
 	query, err := disclosure.ParseQuery(req.Query)
 	if err != nil {
 		replError(w, http.StatusBadRequest, err.Error())
@@ -202,11 +302,24 @@ func (p *Primary) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	dec, err := p.dur.System().Decide(req.Principal, query)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, disclosure.ErrNoPolicy) {
-			status = http.StatusUnauthorized
+		switch {
+		case errors.Is(err, disclosure.ErrFenced):
+			// Fenced between the auth check and the decision (a concurrent
+			// request from the new epoch won the race).
+			p.fencedRejections.Add(1)
+			replErrorCode(w, http.StatusConflict, errorResponse{
+				Error:    err.Error(),
+				Code:     CodeFenced,
+				Epoch:    p.dur.Epoch(),
+				FencedBy: p.dur.FencedBy(),
+			})
+		case errors.Is(err, disclosure.ErrLeaseExpired):
+			replError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, disclosure.ErrNoPolicy):
+			replError(w, http.StatusUnauthorized, err.Error())
+		default:
+			replError(w, http.StatusUnprocessableEntity, err.Error())
 		}
-		replError(w, status, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

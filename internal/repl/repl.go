@@ -23,10 +23,23 @@
 // Wire protocol (mounted under /v1/repl/ on the primary, bearer-token
 // authenticated):
 //
-//	GET  /v1/repl/tails                         per-shard replication cursors
+//	GET  /v1/repl/tails                         per-shard replication cursors + epoch
 //	GET  /v1/repl/checkpoint?shard=S            newest checkpoint payload for S
 //	GET  /v1/repl/segment?shard=S&gen=G&off=O   raw committed segment bytes
 //	POST /v1/repl/decide                        delegated admission decision
+//
+// A follower additionally serves POST /v1/repl/promote (admin
+// authenticated, mounted by the follower serving layer): it drains the
+// replication cursors as far as the old primary is still reachable,
+// materializes the replica into a fresh durable deployment under the
+// successor decision epoch (Follower.Promote), and flips the node into a
+// full primary. Every replication message carries decision epochs
+// (HeaderEpoch, TailsResponse.Epoch, DecideRequest.Epoch), and both sides
+// enforce them: a primary refuses — and permanently fences itself on —
+// any request from a higher epoch, and a follower refuses to apply from
+// or rebuild against a node whose epoch is behind what it already knows
+// (ErrStalePrimary), so a fenced leftover of a completed failover can
+// neither decide nor feed replicas.
 //
 // Segment bytes are served only up to the shard's committed offset
 // (wal.GroupLog.CommittedOffset), so a follower never observes bytes a
@@ -48,6 +61,12 @@ import (
 type TailsResponse struct {
 	// Shards maps shard name (wal.MetaShard or a data shard) to its tail.
 	Shards map[string]wal.Cursor `json:"shards"`
+	// Epoch is the primary's decision epoch — constant for the life of a
+	// primary. A follower that knows a higher epoch refuses to apply
+	// anything from this node (it is a fenced leftover of a completed
+	// failover); a follower at a lower epoch resyncs from fresh
+	// checkpoints to adopt it.
+	Epoch uint64 `json:"epoch"`
 }
 
 // DecideRequest is the body of POST /v1/repl/decide: a follower delegating
@@ -65,6 +84,12 @@ type DecideRequest struct {
 	// decision here would be about a different canonical form than the one
 	// the follower evaluates.
 	Fingerprint string `json:"fingerprint"`
+	// Epoch is the decision epoch the follower believes is current (zero
+	// when unknown). The primary refuses a mismatched epoch with a
+	// structured 409: a lower epoch means the follower predates a
+	// completed failover and must resync; a higher one means the primary
+	// itself has been superseded — it fences itself and refuses.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // DecideResponse is the body of a successful decision RPC. Refusals are
@@ -78,11 +103,53 @@ type DecideResponse struct {
 	Live []string `json:"live,omitempty"`
 }
 
+// PromoteResponse is the body of a successful POST /v1/repl/promote: the
+// follower drained its replication cursors as far as it could reach,
+// durably recorded the successor epoch in a fresh data directory, and now
+// serves the full primary surface (local decisions, replication endpoints)
+// on its existing listener.
+type PromoteResponse struct {
+	// Epoch is the new decision epoch the promoted node decides under.
+	Epoch uint64 `json:"epoch"`
+	// Dir is the data directory the promoted state was materialized into.
+	Dir string `json:"dir"`
+	// AppliedOps is the number of log operations the follower had applied
+	// when it took over — the drained prefix the new history extends.
+	AppliedOps uint64 `json:"applied_ops"`
+}
+
+// Machine-readable error codes carried by replication error bodies.
+const (
+	// CodeStaleEpoch marks a 409 refusing an epoch mismatch between the
+	// request and the serving node; Epoch and RequestEpoch say which side
+	// is behind.
+	CodeStaleEpoch = "stale_epoch"
+	// CodeFenced marks a 409 from a node that has been fenced by a higher
+	// epoch: it refuses decisions, submits and its replication surface.
+	CodeFenced = "fenced"
+	// CodeAlreadyPromoted marks the 409 of a repeated promotion: the node
+	// already decides locally under Epoch.
+	CodeAlreadyPromoted = "already_promoted"
+)
+
 // errorResponse is the body of every non-2xx replication response; it
-// mirrors the serving layer's error shape without importing it.
+// mirrors the serving layer's error shape without importing it. Epoch
+// conflicts additionally carry a machine-readable code and the two epochs,
+// so a follower can tell "I am stale, resync" apart from "the node I am
+// talking to is a fenced leftover".
 type errorResponse struct {
 	// Error is the human-readable failure.
 	Error string `json:"error"`
+	// Code, when set, is one of the Code* constants.
+	Code string `json:"code,omitempty"`
+	// Epoch is the serving node's decision epoch (epoch conflicts only).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// RequestEpoch echoes the epoch the request carried (epoch conflicts
+	// only).
+	RequestEpoch uint64 `json:"request_epoch,omitempty"`
+	// FencedBy is the higher epoch that superseded the serving node
+	// (CodeFenced only).
+	FencedBy uint64 `json:"fenced_by,omitempty"`
 }
 
 // Replication response headers.
@@ -100,6 +167,12 @@ const (
 	// file size for a sealed segment, the group-commit committed offset for
 	// the live one. Bytes at or past the limit are not served.
 	HeaderLimit = "X-Disclosure-Limit"
+	// HeaderEpoch carries a decision epoch in both directions: followers
+	// stamp every replication request with the epoch they believe is
+	// current, and every replication response declares the serving node's
+	// epoch. A request whose epoch exceeds the serving node's proves a
+	// completed failover and fences that node.
+	HeaderEpoch = "X-Disclosure-Epoch"
 )
 
 // bearer extracts a request's bearer token, or "".

@@ -1,11 +1,16 @@
 package repl_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,6 +22,20 @@ import (
 	"repro/internal/repl"
 	"repro/internal/server"
 )
+
+// waitFor polls cond until it holds or the deadline passes — the suite's
+// replacement for fixed sleeps, so a loaded CI machine gets the full
+// deadline while a fast one moves on within a millisecond.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %s waiting for %s", d, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // This file is the replication fault-injection suite. Every test builds a
 // two-node cluster in one process — a durable primary behind its
@@ -106,11 +125,15 @@ func (p *proxy) setBlocked(blocked bool) {
 type cluster struct {
 	t       *testing.T
 	dur     *disclosure.Durable
+	prim    *repl.Primary
 	primary *httptest.Server
 	proxy   *proxy
 	fol     *repl.Follower
+	folSrv  *server.FollowerServer
 	folHTTP *httptest.Server
 
+	schema *disclosure.Schema
+	views  []*disclosure.Query
 	qc, qm *disclosure.Query
 }
 
@@ -120,9 +143,11 @@ func newCluster(t *testing.T, folOpts server.FollowerOptions) *cluster {
 		disclosure.MustRelation("M", "time", "person"),
 		disclosure.MustRelation("C", "person", "email", "position"),
 	)
-	d, err := disclosure.OpenDurable(t.TempDir(), disclosure.DurabilityOptions{}, s,
+	views := []*disclosure.Query{
 		disclosure.MustParse("V1(t, p) :- M(t, p)"),
-		disclosure.MustParse("V3(p, e, r) :- C(p, e, r)"))
+		disclosure.MustParse("V3(p, e, r) :- C(p, e, r)"),
+	}
+	d, err := disclosure.OpenDurable(t.TempDir(), disclosure.DurabilityOptions{}, s, views...)
 	if err != nil {
 		t.Fatalf("OpenDurable: %v", err)
 	}
@@ -165,16 +190,21 @@ func newCluster(t *testing.T, folOpts server.FollowerOptions) *cluster {
 	if err != nil {
 		t.Fatalf("NewFollower: %v", err)
 	}
-	folHTTP := httptest.NewServer(server.NewFollower(fol, folOpts).Handler())
+	folSrv := server.NewFollower(fol, folOpts)
+	folHTTP := httptest.NewServer(folSrv.Handler())
 	t.Cleanup(folHTTP.Close)
 
 	return &cluster{
 		t:       t,
 		dur:     d,
+		prim:    prim,
 		primary: primHTTP,
 		proxy:   px,
 		fol:     fol,
+		folSrv:  folSrv,
 		folHTTP: folHTTP,
+		schema:  s,
+		views:   views,
 		qc:      disclosure.MustParse("QC(p, e) :- C(p, e, r)"),
 		qm:      disclosure.MustParse("QM(t) :- M(t, p)"),
 	}
@@ -467,7 +497,10 @@ func TestFollowerStalenessGate(t *testing.T) {
 
 	// Let the replica go stale past the bound: gated endpoints 503, stats
 	// still serves and reports the lag.
-	time.Sleep(2 * maxLag)
+	waitFor(t, 10*time.Second, "replica staleness to exceed max-lag", func() bool {
+		age, ok := c.fol.Staleness()
+		return ok && age > maxLag
+	})
 	if resp = get(explain); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("explain past max-lag = %s, want 503", resp.Status)
 	}
@@ -616,7 +649,10 @@ func TestFollowerMetricsEndpoint(t *testing.T) {
 	// Partition the pair. The follower cannot sync, so staleness must
 	// keep rising; a submission fails closed and lands in the counter.
 	c.proxy.setBlocked(true)
-	time.Sleep(50 * time.Millisecond)
+	waitFor(t, 10*time.Second, "staleness to rise past the first scrape", func() bool {
+		age, ok := c.fol.Staleness()
+		return ok && age.Seconds() > s1
+	})
 	if err := c.fol.SyncOnce(); err == nil {
 		t.Fatal("SyncOnce through a blocked proxy succeeded")
 	}
@@ -669,12 +705,440 @@ func TestFollowerMetricsToken(t *testing.T) {
 func TestFollowerLagGateMetric(t *testing.T) {
 	c := newCluster(t, server.FollowerOptions{MaxLag: time.Nanosecond})
 	c.sync()
-	time.Sleep(5 * time.Millisecond) // any nonzero staleness exceeds 1ns
+	waitFor(t, 10*time.Second, "any nonzero staleness (exceeds the 1ns bound)", func() bool {
+		age, ok := c.fol.Staleness()
+		return ok && age > time.Nanosecond
+	})
 	if res, err := c.client("tok").Submit("QM(t) :- M(t, p)"); err == nil {
 		t.Fatalf("lag-gated submit succeeded: %+v", res)
 	}
 	body := scrapeFollower(t, c, "")
 	if v := gaugeValue(t, body, "disclosure_follower_lag_rejections_total"); v < 1 {
 		t.Fatalf("lag-rejections counter = %v, want >= 1", v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Failover: fenced follower promotion and the split-brain suite.
+// ---------------------------------------------------------------------------
+
+// replError mirrors the wire shape of replication and serving error bodies
+// (repl.errorResponse / server.ErrorResponse) for assertions on structured
+// 409s.
+type replError struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	Epoch        uint64 `json:"epoch"`
+	RequestEpoch uint64 `json:"request_epoch"`
+	FencedBy     uint64 `json:"fenced_by"`
+}
+
+// promote POSTs the follower's promotion endpoint with the given bearer
+// token and returns the raw status and body.
+func (c *cluster) promote(token string) (int, []byte) {
+	c.t.Helper()
+	req, err := http.NewRequest(http.MethodPost, c.folHTTP.URL+"/v1/repl/promote", nil)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatalf("promote: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// mustPromote promotes with the admin token and decodes the success body.
+func (c *cluster) mustPromote() repl.PromoteResponse {
+	c.t.Helper()
+	status, body := c.promote("admin")
+	if status != http.StatusOK {
+		c.t.Fatalf("promote status = %d, want 200: %s", status, body)
+	}
+	var pr repl.PromoteResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		c.t.Fatalf("promote body %q: %v", body, err)
+	}
+	return pr
+}
+
+// replGet issues an authenticated GET against a replication surface,
+// optionally stamped with a decision epoch, and returns the status, the
+// epoch the node declared in its response header, and the decoded error
+// body (zero on 2xx).
+func replGet(t *testing.T, base, path, token string, epoch uint64) (int, string, replError) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	if epoch != 0 {
+		req.Header.Set(repl.HeaderEpoch, strconv.FormatUint(epoch, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var e replError
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	return resp.StatusCode, resp.Header.Get(repl.HeaderEpoch), e
+}
+
+// postJSON POSTs a JSON body with a bearer token and optional epoch
+// header, returning the status and decoded error body (zero on 2xx).
+func postJSON(t *testing.T, url, token string, epoch uint64, body any) (int, replError) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if epoch != 0 {
+		req.Header.Set(repl.HeaderEpoch, strconv.FormatUint(epoch, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var e replError
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	return resp.StatusCode, e
+}
+
+// TestSplitBrainPromotion is the headline failover test: the primary is
+// partitioned away under an established Chinese Wall, the follower is
+// promoted into decision epoch 2, and both halves of the split brain are
+// then probed — the promoted node must keep refusing the pre-failover
+// walled query while admitting fresh writes locally, and the old primary
+// must be fenced by the first message carrying the successor epoch, after
+// which every decision path on it answers a structured 409.
+func TestSplitBrainPromotion(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "promoted")
+	c := newCluster(t, server.FollowerOptions{AdminToken: "admin", PromoteDir: dir})
+	c.sync()
+	c.wall()
+	c.sync()
+	c.sessionsMatch()
+
+	// Partition: from here on the follower cannot reach the old primary.
+	c.proxy.setBlocked(true)
+
+	// Promotion is an administrative action: wrong or missing credentials
+	// never flip a node's role.
+	if status, _ := c.promote("tok"); status != http.StatusUnauthorized {
+		t.Fatalf("promote with a principal token = %d, want 401", status)
+	}
+	if status, _ := c.promote(""); status != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated promote = %d, want 401", status)
+	}
+
+	pr := c.mustPromote()
+	if pr.Epoch != 2 {
+		t.Fatalf("promoted epoch = %d, want 2 (successor of the seed epoch 1)", pr.Epoch)
+	}
+	if pr.Dir != dir {
+		t.Fatalf("promoted dir = %q, want %q", pr.Dir, dir)
+	}
+	if pr.AppliedOps == 0 {
+		t.Fatal("promotion drained zero ops from a synced replica")
+	}
+	if got := c.fol.Epoch(); got != 2 {
+		t.Fatalf("follower epoch after promotion = %d, want 2", got)
+	}
+
+	// The promoted node decides locally: with the old primary unreachable,
+	// the pre-failover walled query is still refused — never re-admitted —
+	// and a fresh allowed query is admitted (the first post-failover
+	// write).
+	cl := c.client("tok")
+	res, err := cl.Submit("QM(t) :- M(t, p)")
+	if err != nil || res.Allowed || res.Error != "" {
+		t.Fatalf("walled query on promoted node = (allowed=%v, error=%q, err=%v), want a clean local refusal", res.Allowed, res.Error, err)
+	}
+	res, err = cl.Submit("QC(p, e) :- C(p, e, r)")
+	if err != nil || !res.Allowed {
+		t.Fatalf("allowed query on promoted node = (allowed=%v, err=%v), want admitted", res.Allowed, err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats on promoted node: %v", err)
+	}
+	if st.Epoch != 2 {
+		t.Fatalf("promoted /v1/stats epoch = %d, want 2", st.Epoch)
+	}
+
+	// Re-promotion conflicts: the node already decides under epoch 2.
+	status, body := c.promote("admin")
+	if status != http.StatusConflict {
+		t.Fatalf("double promote = %d, want 409: %s", status, body)
+	}
+	var e replError
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != repl.CodeAlreadyPromoted || e.Epoch != 2 {
+		t.Fatalf("double promote body = %+v (%v), want code %q epoch 2", e, err, repl.CodeAlreadyPromoted)
+	}
+
+	// The old primary still believes it is epoch 1 and declares as much.
+	if status, hdr, _ := replGet(t, c.primary.URL, "/v1/repl/tails", "admin", 0); status != http.StatusOK || hdr != "1" {
+		t.Fatalf("pre-fencing tails on old primary = (%d, epoch %q), want (200, \"1\")", status, hdr)
+	}
+
+	// First contact from the new epoch fences it: a decision RPC stamped
+	// with epoch 2 is refused with a structured 409 and the old primary
+	// durably records that it has been superseded.
+	status, e = postJSON(t, c.primary.URL+"/v1/repl/decide", "admin", 2, repl.DecideRequest{
+		Principal: "app", Query: "QC(p, e) :- C(p, e, r)", Epoch: 2,
+	})
+	if status != http.StatusConflict || e.Code != repl.CodeStaleEpoch {
+		t.Fatalf("epoch-2 decide at old primary = (%d, %+v), want 409 %q", status, e, repl.CodeStaleEpoch)
+	}
+	if e.Epoch != 1 || e.RequestEpoch != 2 {
+		t.Fatalf("fencing 409 epochs = (node %d, request %d), want (1, 2)", e.Epoch, e.RequestEpoch)
+	}
+	if got := c.dur.FencedBy(); got != 2 {
+		t.Fatalf("old primary FencedBy = %d, want 2", got)
+	}
+
+	// Fenced means fenced everywhere. Local decisions on the old primary
+	// fail with ErrFenced; its replication surface answers 409s; and the
+	// serving layer's submit endpoint reports the structured conflict.
+	if _, _, err := c.dur.System().Submit("app", c.qc); !errors.Is(err, disclosure.ErrFenced) {
+		t.Fatalf("local submit on fenced primary: %v, want ErrFenced", err)
+	}
+	status, hdr, e := replGet(t, c.primary.URL, "/v1/repl/tails", "admin", 0)
+	if status != http.StatusConflict || e.Code != repl.CodeFenced || e.FencedBy != 2 {
+		t.Fatalf("tails on fenced primary = (%d, %+v), want 409 %q fenced by 2", status, e, repl.CodeFenced)
+	}
+	if hdr != "1" {
+		t.Fatalf("fenced primary epoch header = %q, want \"1\"", hdr)
+	}
+	if got := c.prim.FencedRejections(); got < 2 {
+		t.Fatalf("fenced-rejection counter = %d, want >= 2", got)
+	}
+	oldSrv, err := server.New(c.dur.System(), server.Options{
+		AdminToken: "admin",
+		Journal:    c.dur,
+		Tokens:     c.dur.Tokens(),
+	})
+	if err != nil {
+		t.Fatalf("server over fenced durable: %v", err)
+	}
+	oldHTTP := httptest.NewServer(oldSrv.Handler())
+	defer oldHTTP.Close()
+	status, e = postJSON(t, oldHTTP.URL+"/v1/submit", "tok", 0, nil)
+	if status != http.StatusConflict || e.Code != repl.CodeFenced || e.FencedBy != 2 {
+		t.Fatalf("submit on fenced primary's server = (%d, %+v), want 409 %q fenced by 2", status, e, repl.CodeFenced)
+	}
+
+	// A follower can never be born from a fenced leftover: bootstrap
+	// classifies the 409 as a stale primary, not as divergence to resync
+	// around.
+	if _, err := repl.NewFollower(repl.FollowerOptions{
+		Primary:  c.primary.URL,
+		Token:    "admin",
+		Interval: time.Hour,
+	}); !errors.Is(err, repl.ErrStalePrimary) {
+		t.Fatalf("bootstrap from fenced primary: %v, want ErrStalePrimary", err)
+	}
+
+	// The promoted node is a complete primary: the next generation of
+	// followers bootstraps from it, inherits epoch 2, and sees the wall.
+	fol2, err := repl.NewFollower(repl.FollowerOptions{
+		Primary:  c.folHTTP.URL,
+		Token:    "admin",
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("bootstrap from promoted node: %v", err)
+	}
+	if err := fol2.SyncOnce(); err != nil {
+		t.Fatalf("sync from promoted node: %v", err)
+	}
+	if got := fol2.Epoch(); got != 2 {
+		t.Fatalf("new follower epoch = %d, want 2", got)
+	}
+	if ex, err := fol2.System().ExplainDecision("app", c.qm); err != nil || ex.Admissible {
+		t.Fatalf("new follower finds the walled query admissible (%v, %v)", ex.Admissible, err)
+	}
+
+	// And a delegation stamped with the superseded epoch is turned away:
+	// a stale follower must resync before it may delegate decisions.
+	status, e = postJSON(t, c.folHTTP.URL+"/v1/repl/decide", "admin", 0, repl.DecideRequest{
+		Principal: "app", Query: "QC(p, e) :- C(p, e, r)", Epoch: 1,
+	})
+	if status != http.StatusConflict || e.Code != repl.CodeStaleEpoch || e.Epoch != 2 || e.RequestEpoch != 1 {
+		t.Fatalf("epoch-1 decide at promoted node = (%d, %+v), want 409 %q (2 vs 1)", status, e, repl.CodeStaleEpoch)
+	}
+}
+
+// TestPromoteZeroAppliedOps covers the emptiest possible failover: a
+// follower that bootstrapped from generation-0 checkpoints and never
+// applied a single log operation is still promotable — it becomes an
+// (empty) epoch-2 primary that fails closed on unreplicated tokens rather
+// than improvising.
+func TestPromoteZeroAppliedOps(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "promoted")
+	c := newCluster(t, server.FollowerOptions{AdminToken: "admin", PromoteDir: dir})
+	c.proxy.setBlocked(true)
+
+	pr := c.mustPromote()
+	if pr.Epoch != 2 || pr.AppliedOps != 0 {
+		t.Fatalf("zero-ops promotion = (epoch %d, applied %d), want (2, 0)", pr.Epoch, pr.AppliedOps)
+	}
+	// The fixture token was logged after the generation-0 checkpoints the
+	// replica bootstrapped from, so it never replicated: authentication
+	// fails closed on the promoted node.
+	if _, err := c.client("tok").Submit("QC(p, e) :- C(p, e, r)"); err == nil {
+		t.Fatal("promoted empty node accepted a token it never replicated")
+	}
+	// The shared registry exposes the failover metric families, live. The
+	// promoted node serves the primary's /metrics, which is gated by the
+	// admin token.
+	body := scrapeFollower(t, c, "admin")
+	if v := gaugeValue(t, body, "disclosure_epoch"); v != 2 {
+		t.Fatalf("disclosure_epoch = %v, want 2", v)
+	}
+	if v := gaugeValue(t, body, "disclosure_promotions_total"); v < 1 {
+		t.Fatalf("disclosure_promotions_total = %v, want >= 1", v)
+	}
+	if !strings.Contains(body, "# TYPE disclosure_fenced_rejections_total counter") {
+		t.Error("promoted exposition missing the fenced-rejections counter family")
+	}
+
+	if status, body := c.promote("admin"); status != http.StatusConflict {
+		t.Fatalf("double promote on empty node = %d, want 409: %s", status, body)
+	}
+}
+
+// TestPromotedStateRecovers is prefix-replay determinism across the
+// promotion boundary: the epoch bump and every decision the promoted node
+// made are durable, so killing the promoted node and replaying its data
+// directory reproduces epoch 2 with the walled session intact — the
+// refusal survives a second failure.
+func TestPromotedStateRecovers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "promoted")
+	c := newCluster(t, server.FollowerOptions{AdminToken: "admin", PromoteDir: dir})
+	c.sync()
+	c.wall()
+	c.sync()
+	c.proxy.setBlocked(true)
+
+	if pr := c.mustPromote(); pr.Epoch != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", pr.Epoch)
+	}
+	// Extend history past the promotion: one more admitted decision that
+	// recovery must also reproduce.
+	if res, err := c.client("tok").Submit("QC(p, e) :- C(p, e, r)"); err != nil || !res.Allowed {
+		t.Fatalf("post-promotion submit = (allowed=%v, err=%v), want admitted", res.Allowed, err)
+	}
+	promoted := c.fol.Promoted()
+	if promoted == nil {
+		t.Fatal("follower reports no promoted durable")
+	}
+	wantLive, wantAccepted, wantRefused, err := promoted.System().Session("app")
+	if err != nil {
+		t.Fatalf("promoted Session: %v", err)
+	}
+
+	// Take the promoted node down (checkpoint + close via the serving
+	// layer's shutdown) and replay its directory cold.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.folSrv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	dur2, err := disclosure.OpenDurable(dir, disclosure.DurabilityOptions{}, c.schema, c.views...)
+	if err != nil {
+		t.Fatalf("reopen promoted dir: %v", err)
+	}
+	defer dur2.Close()
+	if got := dur2.Epoch(); got != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", got)
+	}
+	if got := dur2.FencedBy(); got != 0 {
+		t.Fatalf("recovered node is fenced by %d, want unfenced", got)
+	}
+	gotLive, gotAccepted, gotRefused, err := dur2.System().Session("app")
+	if err != nil {
+		t.Fatalf("recovered Session: %v", err)
+	}
+	if fmt.Sprint(gotLive) != fmt.Sprint(wantLive) || gotAccepted != wantAccepted || gotRefused != wantRefused {
+		t.Fatalf("recovered session = (%v, %d, %d), promoted had (%v, %d, %d)",
+			gotLive, gotAccepted, gotRefused, wantLive, wantAccepted, wantRefused)
+	}
+	if dec, _, err := dur2.System().Submit("app", c.qm); err != nil || dec.Allowed {
+		t.Fatalf("recovered promoted node re-admitted the walled query (allowed=%v, err=%v)", dec.Allowed, err)
+	}
+}
+
+// TestPromoteRequiresConfig pins the promotion endpoint's failure modes:
+// disabled without an admin token, credential-gated, and refused without a
+// data directory to materialize into.
+func TestPromoteRequiresConfig(t *testing.T) {
+	// No admin token: promotion is disabled outright.
+	c := newCluster(t, server.FollowerOptions{})
+	if status, body := c.promote("admin"); status != http.StatusForbidden {
+		t.Fatalf("promote without admin token configured = %d, want 403: %s", status, body)
+	}
+
+	// Admin token but no data directory: the request is authenticated yet
+	// unsatisfiable.
+	c2 := newCluster(t, server.FollowerOptions{AdminToken: "admin"})
+	if status, body := c2.promote("wrong"); status != http.StatusUnauthorized {
+		t.Fatalf("promote with wrong token = %d, want 401: %s", status, body)
+	}
+	if status, body := c2.promote("admin"); status != http.StatusPreconditionFailed {
+		t.Fatalf("promote without -data-dir = %d, want 412: %s", status, body)
+	}
+}
+
+// TestFollowerRefusesFencedPrimary covers the follower half of split-brain
+// hygiene: once the primary it follows has been fenced by a successor
+// epoch, the follower's sync classifies the condition as a stale primary —
+// it keeps its replica, keeps serving reads, and fails submissions closed
+// instead of resyncing from the leftover.
+func TestFollowerRefusesFencedPrimary(t *testing.T) {
+	c := newCluster(t, server.FollowerOptions{})
+	c.sync()
+	c.wall()
+	c.sync()
+
+	// Fence the primary with a message from a (simulated) successor epoch.
+	if status, _, _ := replGet(t, c.primary.URL, "/v1/repl/tails", "admin", 7); status != http.StatusConflict {
+		t.Fatalf("epoch-7 tails at primary = %d, want 409", status)
+	}
+	if got := c.dur.FencedBy(); got != 7 {
+		t.Fatalf("FencedBy = %d, want 7", got)
+	}
+
+	if err := c.fol.SyncOnce(); !errors.Is(err, repl.ErrStalePrimary) {
+		t.Fatalf("SyncOnce against fenced primary: %v, want ErrStalePrimary", err)
+	}
+	// The replica is intact and keeps serving reads.
+	if ex, err := c.fol.System().ExplainDecision("app", c.qm); err != nil || ex.Admissible {
+		t.Fatalf("replica after refused sync: Admissible=%v err=%v, want false", ex.Admissible, err)
+	}
+	// Submissions delegate to a fenced primary and must fail closed.
+	if res, err := c.client("tok").Submit("QM(t) :- M(t, p)"); err != nil || res.Allowed || res.Error == "" {
+		t.Fatalf("submit via follower of fenced primary = (allowed=%v, error=%q, err=%v), want a closed failure", res.Allowed, res.Error, err)
 	}
 }

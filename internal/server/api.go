@@ -96,6 +96,9 @@ type StatsResponse struct {
 	// Build identifies the serving binary (module version, VCS revision,
 	// Go toolchain), so a deployment is identifiable from a stats call.
 	Build obs.BuildInfo `json:"build"`
+	// Epoch is the decision epoch this node decides under (zero on an
+	// in-memory deployment, which has no failover story).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // FollowerStatus is the replication block of a follower's stats response:
@@ -115,6 +118,12 @@ type FollowerStatus struct {
 	AppliedOps uint64 `json:"applied_ops"`
 	// Resyncs counts checkpoint re-bootstraps after the initial one.
 	Resyncs uint64 `json:"resyncs"`
+	// Epoch is the decision epoch this node is at (the replicated epoch
+	// while following, the successor epoch once promoted).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Promoted reports whether this node has taken over as primary via
+	// POST /v1/repl/promote.
+	Promoted bool `json:"promoted,omitempty"`
 }
 
 // FollowerStatsResponse is the body of GET /v1/stats on a follower: the
@@ -127,7 +136,18 @@ type FollowerStatsResponse struct {
 	Follower FollowerStatus `json:"follower"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. Epoch conflicts
+// (fenced node, stale promotion) carry the machine-readable fields so
+// clients can distinguish them from ordinary failures; all other errors
+// set Error alone.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code, when set, is one of the repl.Code* constants (stale_epoch,
+	// fenced, already_promoted).
+	Code string `json:"code,omitempty"`
+	// Epoch is the serving node's decision epoch (epoch conflicts only).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// FencedBy is the higher epoch that superseded this node (fenced
+	// responses only).
+	FencedBy uint64 `json:"fenced_by,omitempty"`
 }

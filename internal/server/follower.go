@@ -14,6 +14,7 @@ import (
 	disclosure "repro"
 	"repro/internal/cq"
 	"repro/internal/obs"
+	"repro/internal/repl"
 )
 
 // ReplicaBackend is what a follower server serves from: a replicated,
@@ -39,6 +40,22 @@ type ReplicaBackend interface {
 	Resyncs() uint64
 	// Primary returns the primary's base URL, for monitoring output.
 	Primary() string
+	// Epoch returns the decision epoch this node is at: the replicated
+	// epoch while following, the successor epoch once promoted.
+	Epoch() uint64
+}
+
+// PromotableBackend is the optional failover surface of a replica backend:
+// a backend that can take over as primary. repl.Follower implements it.
+type PromotableBackend interface {
+	// Promote drains replication as far as the old primary is reachable,
+	// materializes the replica into a fresh durable deployment at dir
+	// under the successor decision epoch, and returns that deployment with
+	// its replication handler (to mount under /v1/repl/). Repeated calls
+	// fail with repl.ErrAlreadyPromoted.
+	Promote(dir string, opts disclosure.DurabilityOptions) (*disclosure.Durable, http.Handler, error)
+	// Promoted returns the promoted deployment, nil while still following.
+	Promoted() *disclosure.Durable
 }
 
 // FollowerOptions configures a FollowerServer.
@@ -71,6 +88,17 @@ type FollowerOptions struct {
 	Audit *obs.AuditLog
 	// SlowQuery is the audit threshold for admitted submissions.
 	SlowQuery time.Duration
+	// AdminToken, when non-empty, authenticates POST /v1/repl/promote and
+	// becomes the promoted node's admin token. Empty disables promotion
+	// (403) — a follower with no admin surface cannot be made a primary.
+	AdminToken string
+	// PromoteDir is the data directory a promotion materializes the
+	// replica into; it must be empty or absent on disk. Empty disables
+	// promotion (412) — a promoted primary must be durable.
+	PromoteDir string
+	// PromoteDurability configures the promoted deployment (shard count,
+	// group commit, checkpoint cadence).
+	PromoteDurability disclosure.DurabilityOptions
 }
 
 // FollowerServer is the read-path HTTP service of a follower disclosured:
@@ -100,6 +128,18 @@ type FollowerServer struct {
 	// gate. Both also surface as instance metrics.
 	failClosed *obs.Counter
 	lagRejects *obs.Counter
+	// promotions counts completed takeovers — 0 or 1 per process, but a
+	// counter so fleet-wide failover rates aggregate in one query.
+	promotions *obs.Counter
+
+	// promoteMu single-flights POST /v1/repl/promote; promotedSrv and
+	// promotedHandler, once set, are the full primary service this node
+	// flipped into (every request dispatches through promotedHandler), and
+	// promotedDur is the durable deployment it serves, closed on Shutdown.
+	promoteMu       sync.Mutex
+	promotedSrv     atomic.Pointer[Server]
+	promotedHandler atomic.Pointer[http.Handler]
+	promotedDur     atomic.Pointer[disclosure.Durable]
 
 	// Counter identity, local to this node (see SystemStats): queries is
 	// incremented when a submission enters, exactly one of the other three
@@ -144,12 +184,15 @@ func NewFollower(back ReplicaBackend, opts FollowerOptions) *FollowerServer {
 			"Submissions failed closed because the primary decision RPC errored."),
 		lagRejects: reg.Counter("disclosure_follower_lag_rejections_total",
 			"Requests refused 503 because replica staleness exceeded the max-lag bound."),
+		promotions: reg.Counter("disclosure_promotions_total",
+			"Completed promotions of this node from follower to primary."),
 	}
 	registerInstanceGauges(reg, back.System, f.start)
 	f.mux.HandleFunc("POST /v1/submit", f.gated(f.handleSubmit))
 	f.mux.HandleFunc("GET /v1/explain", f.gated(f.handleExplain))
 	f.mux.HandleFunc("GET /v1/stats", f.handleStats)
 	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
+	f.mux.HandleFunc("POST /v1/repl/promote", f.handlePromote)
 	f.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusForbidden, "read-only follower: administrative and write endpoints are served by the primary "+f.back.Primary())
 	})
@@ -168,6 +211,93 @@ func (f *FollowerServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeMetrics(w, f.reg)
+}
+
+// handlePromote serves POST /v1/repl/promote (admin token): the fenced
+// failover. The backend drains what it can still reach of the old
+// primary, materializes its replica into PromoteDir under the successor
+// decision epoch, and this server flips into a full primary service —
+// local durable decisions, administrative endpoints, and the replication
+// surface for the next generation of followers — on the same listener.
+// From the first replication message it sends or answers, the successor
+// epoch fences the old primary.
+func (f *FollowerServer) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if f.opts.AdminToken == "" {
+		writeError(w, http.StatusForbidden, "promotion disabled: follower started without an admin token")
+		return
+	}
+	if bearer(r) != f.opts.AdminToken {
+		writeError(w, http.StatusUnauthorized, "admin token required")
+		return
+	}
+	pb, ok := f.back.(PromotableBackend)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "this backend cannot be promoted")
+		return
+	}
+	if f.opts.PromoteDir == "" {
+		writeError(w, http.StatusPreconditionFailed,
+			"promotion needs a data directory: start the follower with -data-dir")
+		return
+	}
+	f.promoteMu.Lock()
+	defer f.promoteMu.Unlock()
+	if pb.Promoted() != nil {
+		f.promoteConflict(w)
+		return
+	}
+	applied := f.back.Applied()
+	dur, replHandler, err := pb.Promote(f.opts.PromoteDir, f.opts.PromoteDurability)
+	if err != nil {
+		if errors.Is(err, repl.ErrAlreadyPromoted) {
+			f.promoteConflict(w)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	srv, err := New(dur.System(), Options{
+		AdminToken:      f.opts.AdminToken,
+		MaxRequestBytes: f.opts.MaxRequestBytes,
+		MaxBatch:        f.opts.MaxBatch,
+		Journal:         dur,
+		Tokens:          dur.Tokens(),
+		Repl:            replHandler,
+		Metrics:         f.reg,
+	})
+	if err != nil {
+		// The successor epoch is already durably recorded; a node that
+		// cannot build its serving surface must not keep the deployment
+		// open and half-alive.
+		_ = dur.Close()
+		writeError(w, http.StatusInternalServerError, "promotion succeeded but the primary service failed to start: "+err.Error())
+		return
+	}
+	h := srv.Handler()
+	f.promotedDur.Store(dur)
+	f.promotedSrv.Store(srv)
+	f.promotedHandler.Store(&h)
+	f.promotions.Inc()
+	writeJSON(w, http.StatusOK, repl.PromoteResponse{
+		Epoch:      dur.Epoch(),
+		Dir:        f.opts.PromoteDir,
+		AppliedOps: applied,
+	})
+}
+
+// promoteConflict answers a promotion request on an already-promoted node.
+func (f *FollowerServer) promoteConflict(w http.ResponseWriter) {
+	var epoch uint64
+	if pb, ok := f.back.(PromotableBackend); ok {
+		if d := pb.Promoted(); d != nil {
+			epoch = d.Epoch()
+		}
+	}
+	writeJSON(w, http.StatusConflict, ErrorResponse{
+		Error: fmt.Sprintf("node is already promoted and decides under epoch %d", epoch),
+		Code:  repl.CodeAlreadyPromoted,
+		Epoch: epoch,
+	})
 }
 
 // gated stamps the staleness header and enforces MaxLag before running a
@@ -388,6 +518,8 @@ func (f *FollowerServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		StalenessSeconds: -1,
 		AppliedOps:       f.back.Applied(),
 		Resyncs:          f.back.Resyncs(),
+		Epoch:            f.back.Epoch(),
+		Promoted:         f.promotedSrv.Load() != nil,
 	}
 	if ok {
 		st.StalenessSeconds = age.Seconds()
@@ -414,12 +546,26 @@ func (f *FollowerServer) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // Handler returns the follower service's HTTP handler with the
-// request-size limit and metrics middleware applied.
+// request-size limit and metrics middleware applied. After a promotion it
+// dispatches every request to the promoted primary service instead — same
+// listener, full primary surface — except a repeated promote, which is
+// answered 409 here (the primary mux has no promote route).
 func (f *FollowerServer) Handler() http.Handler {
-	return f.hm.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	follower := f.hm.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, f.opts.MaxRequestBytes)
 		f.mux.ServeHTTP(w, r)
 	}))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := f.promotedHandler.Load(); h != nil {
+			if r.URL.Path == "/v1/repl/promote" {
+				f.promoteConflict(w)
+				return
+			}
+			(*h).ServeHTTP(w, r)
+			return
+		}
+		follower.ServeHTTP(w, r)
+	})
 }
 
 // Serve accepts connections on l until Shutdown, like Server.Serve.
@@ -431,13 +577,22 @@ func (f *FollowerServer) Serve(l net.Listener) error {
 	return srv.Serve(l)
 }
 
-// Shutdown gracefully stops a follower server started with Serve.
+// Shutdown gracefully stops a follower server started with Serve. If the
+// node was promoted, the promoted durable deployment is checkpointed and
+// closed after the listener drains, so a restart recovers it promptly.
 func (f *FollowerServer) Shutdown(ctx context.Context) error {
 	f.httpMu.Lock()
 	srv := f.http
 	f.httpMu.Unlock()
-	if srv == nil {
-		return nil
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
 	}
-	return srv.Shutdown(ctx)
+	if d := f.promotedDur.Swap(nil); d != nil {
+		_ = d.Checkpoint()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

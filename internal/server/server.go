@@ -35,6 +35,7 @@ import (
 
 	disclosure "repro"
 	"repro/internal/obs"
+	"repro/internal/repl"
 )
 
 // Options configures a Server.
@@ -298,6 +299,32 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg})
 }
 
+// decisionGateErr refuses a request up front when the node can make no
+// decisions at all: a fenced node (superseded by a completed failover)
+// answers a structured 409 so epoch-aware clients repoint, and an expired
+// decision lease answers 503 (retryable once a follower reconnects or the
+// operator resolves the partition). Returns true when the request was
+// answered.
+func decisionGateErr(w http.ResponseWriter, sys *disclosure.System) bool {
+	err := sys.DecisionErr()
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, disclosure.ErrFenced):
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error:    err.Error(),
+			Code:     repl.CodeFenced,
+			Epoch:    sys.Epoch(),
+			FencedBy: sys.FencedBy(),
+		})
+	case errors.Is(err, disclosure.ErrLeaseExpired):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	return true
+}
+
 // decode parses a JSON request body into v, writing 400 (or 413 for
 // oversized bodies) and returning false on failure.
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -322,6 +349,13 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	principal, ok := s.authPrincipal(w, r)
 	if !ok {
+		return
+	}
+	// Refuse the whole batch up front when this node cannot decide at all
+	// (fenced by a completed failover, or decision lease expired) — a
+	// transport-level status, not N per-query errors, so clients and
+	// load balancers see the node's state.
+	if decisionGateErr(w, s.sys) {
 		return
 	}
 	var req SubmitRequest
@@ -446,6 +480,13 @@ func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if err != nil {
+		if errors.Is(err, disclosure.ErrFenced) {
+			writeJSON(w, http.StatusConflict, ErrorResponse{
+				Error: err.Error(), Code: repl.CodeFenced,
+				Epoch: s.sys.Epoch(), FencedBy: s.sys.FencedBy(),
+			})
+			return
+		}
 		status := http.StatusBadRequest
 		if conflict {
 			status = http.StatusConflict
@@ -480,6 +521,13 @@ func (s *Server) handleRemovePolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if err != nil {
+		if errors.Is(err, disclosure.ErrFenced) {
+			writeJSON(w, http.StatusConflict, ErrorResponse{
+				Error: err.Error(), Code: repl.CodeFenced,
+				Epoch: s.sys.Epoch(), FencedBy: s.sys.FencedBy(),
+			})
+			return
+		}
 		// Only the durability layer can fail a removal.
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -527,6 +575,13 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, disclosure.ErrFenced) {
+			writeJSON(w, http.StatusConflict, ErrorResponse{
+				Error: err.Error(), Code: repl.CodeFenced,
+				Epoch: s.sys.Epoch(), FencedBy: s.sys.FencedBy(),
+			})
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -540,6 +595,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Principals:    s.sys.Principals(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Build:         s.build,
+		Epoch:         s.sys.Epoch(),
 	})
 }
 

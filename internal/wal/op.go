@@ -62,6 +62,22 @@ type SubmitOp struct {
 	Query string `json:"query"`
 }
 
+// EpochOp records a decision-epoch event in the meta shard's log. With
+// Fenced false it stamps the epoch this deployment decides under — written
+// at initialization and at follower promotion, so the epoch is part of the
+// replayable history and not ambient state. With Fenced true it records
+// that this node learned a higher epoch supersedes its own: replaying it
+// re-fences the node without adopting the foreign epoch, so a fenced
+// primary stays fenced across restarts.
+type EpochOp struct {
+	// Epoch is the decision epoch the record announces (Fenced false) or
+	// the superseding epoch the node was fenced by (Fenced true).
+	Epoch uint64 `json:"epoch"`
+	// Fenced marks a fencing record: the node at a lower epoch observed
+	// this one and must refuse decisions from then on.
+	Fenced bool `json:"fenced,omitempty"`
+}
+
 // Op is the union of state-changing operations a log record can carry;
 // exactly one field is set. Read-only traffic (admitted evaluations,
 // explains, stats) is never logged — only what recovery needs to rebuild
@@ -77,12 +93,14 @@ type Op struct {
 	Token *TokenOp `json:"token,omitempty"`
 	// Submit is a reference-monitor decision event.
 	Submit *SubmitOp `json:"submit,omitempty"`
+	// Epoch is a decision-epoch stamp or fencing record (meta shard only).
+	Epoch *EpochOp `json:"epoch,omitempty"`
 }
 
 // count returns the number of set operation fields.
 func (op *Op) count() int {
 	n := 0
-	for _, set := range []bool{op.Rows != nil, op.Policy != nil, op.Remove != nil, op.Token != nil, op.Submit != nil} {
+	for _, set := range []bool{op.Rows != nil, op.Policy != nil, op.Remove != nil, op.Token != nil, op.Submit != nil, op.Epoch != nil} {
 		if set {
 			n++
 		}
@@ -157,6 +175,13 @@ type Checkpoint struct {
 	// can refuse a re-partitioned open (the principal → shard routing is
 	// a function of this count).
 	Shards int `json:"shards,omitempty"`
+	// Epoch is the decision epoch the state was captured under. Zero in
+	// pre-epoch archives, which load as epoch 1 (the first epoch every
+	// deployment starts at).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// FencedBy, when non-zero, records that this node was fenced by a
+	// higher decision epoch; recovery keeps refusing decisions.
+	FencedBy uint64 `json:"fenced_by,omitempty"`
 	// Config is the schema and security-view catalog (store.Config with
 	// its Policies field unused — policies live in Principals, with their
 	// session state).

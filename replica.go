@@ -24,6 +24,28 @@ type replayState struct {
 
 	tokMu  sync.Mutex
 	tokens map[string]string
+
+	// epoch is the decision epoch the state decides (or was decided)
+	// under; fencedBy, when non-zero, is the higher epoch that superseded
+	// it. Both are restored from checkpoints and advanced by EpochOp
+	// records, so the epoch travels with the replayable history.
+	epoch    atomic.Uint64
+	fencedBy atomic.Uint64
+}
+
+// restoreEpoch adopts a checkpoint's epoch fields. A pre-epoch archive
+// (zero epoch) loads as epoch 1: every deployment starts there.
+func (rs *replayState) restoreEpoch(ck *wal.Checkpoint) {
+	e := ck.Epoch
+	if e == 0 {
+		e = 1
+	}
+	if e > rs.epoch.Load() {
+		rs.epoch.Store(e)
+	}
+	if ck.FencedBy > rs.fencedBy.Load() {
+		rs.fencedBy.Store(ck.FencedBy)
+	}
 }
 
 // restoreRows loads a meta checkpoint's rows into the freshly built
@@ -111,6 +133,16 @@ func (rs *replayState) applyOp(op *wal.Op) error {
 		rs.tokMu.Lock()
 		rs.tokens[op.Token.Principal] = op.Token.Token
 		rs.tokMu.Unlock()
+	case op.Epoch != nil:
+		// Epochs only move forward; a re-applied stamp for the current
+		// epoch is a no-op.
+		if op.Epoch.Fenced {
+			if op.Epoch.Epoch > rs.fencedBy.Load() {
+				rs.fencedBy.Store(op.Epoch.Epoch)
+			}
+		} else if op.Epoch.Epoch > rs.epoch.Load() {
+			rs.epoch.Store(op.Epoch.Epoch)
+		}
 	case op.Submit != nil:
 		q, err := cq.ParseQuery(op.Submit.Query)
 		if err != nil {
@@ -178,11 +210,17 @@ func NewReplica(meta *wal.Checkpoint) (*Replica, error) {
 		return nil, fmt.Errorf("disclosure: rebuilding system from shipped checkpoint: %w", err)
 	}
 	r := &Replica{replayState: replayState{sys: sys, tokens: make(map[string]string)}}
+	r.restoreEpoch(meta)
 	if err := r.restoreRows(meta); err != nil {
 		return nil, fmt.Errorf("disclosure: restoring shipped rows: %w", err)
 	}
 	return r, nil
 }
+
+// Epoch returns the decision epoch of the replicated state: the epoch the
+// primary the replica was bootstrapped from decides under, advanced by any
+// EpochOp records applied since.
+func (r *Replica) Epoch() uint64 { return r.epoch.Load() }
 
 // RestoreShard installs one data-shard checkpoint: its principals'
 // policies, sessions and tokens.

@@ -172,6 +172,36 @@ func (sys *System) RemovePolicy(principal string) error {
 // Principals returns the number of principals with an installed policy.
 func (sys *System) Principals() int { return sys.store.Len() }
 
+// Epoch returns the decision epoch a durable System decides under, or zero
+// for an in-memory System (epochs exist to coordinate durable nodes; a
+// process-local deployment has nothing to hand off).
+func (sys *System) Epoch() uint64 {
+	if d := sys.dur; d != nil {
+		return d.Epoch()
+	}
+	return 0
+}
+
+// FencedBy returns the higher decision epoch a durable System has been
+// superseded by, or zero while it is the authority (always zero for an
+// in-memory System).
+func (sys *System) FencedBy() uint64 {
+	if d := sys.dur; d != nil {
+		return d.FencedBy()
+	}
+	return 0
+}
+
+// DecisionErr reports whether this node may currently make admission
+// decisions: nil when it may, an error wrapping ErrFenced or
+// ErrLeaseExpired when it may not. In-memory Systems always may.
+func (sys *System) DecisionErr() error {
+	if d := sys.dur; d != nil {
+		return d.DecisionErr()
+	}
+	return nil
+}
+
 // Session returns a principal's live partitions and accept/refuse counts.
 func (sys *System) Session(principal string) (live []string, accepted, refused int, err error) {
 	live, accepted, refused, err = sys.store.Snapshot(principal)
